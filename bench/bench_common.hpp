@@ -1,0 +1,82 @@
+// Shared support for the benchmark harness: every binary regenerates one
+// table or figure of the paper, printing the same rows/series the paper
+// reports and dumping a CSV next to the terminal output.
+//
+// Environment knobs:
+//   OMEGA_BENCH_SCALE   workload scale factor (default 1.0 = Table IV scale)
+//   OMEGA_BENCH_OUTDIR  directory for CSV dumps (default ./bench_results)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "graph/stats.hpp"
+#include "omega/omega.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace omega::bench {
+
+inline double bench_scale() {
+  if (const char* s = std::getenv("OMEGA_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+inline std::string out_dir() {
+  if (const char* s = std::getenv("OMEGA_BENCH_OUTDIR")) return s;
+  return "bench_results";
+}
+
+/// Synthesizes the Table IV workloads once per binary.
+inline const std::vector<GnnWorkload>& workloads() {
+  static const std::vector<GnnWorkload> all = [] {
+    SynthesisOptions opt;
+    opt.scale = bench_scale();
+    return synthesize_all_workloads(opt);
+  }();
+  return all;
+}
+
+inline const GnnWorkload& workload(const std::string& name) {
+  for (const auto& w : workloads()) {
+    if (to_lower(w.name) == to_lower(name)) return w;
+  }
+  throw InvalidArgumentError("no workload named " + name);
+}
+
+/// The paper's evaluation layer: GCN with 16 output features.
+inline LayerSpec eval_layer() { return LayerSpec{16}; }
+
+/// Tile tuple in the figures' bracket notation:
+/// (T_VAGG, T_N, T_FAGG, T_VCMB, T_G, T_FCMB).
+inline std::string tile_tuple(const DataflowDescriptor& df) {
+  return "(" + std::to_string(df.agg.tiles.v) + "," +
+         std::to_string(df.agg.tiles.n) + "," +
+         std::to_string(df.agg.tiles.f) + "," +
+         std::to_string(df.cmb.tiles.v) + "," +
+         std::to_string(df.cmb.tiles.g) + "," +
+         std::to_string(df.cmb.tiles.f) + ")";
+}
+
+inline void emit(const std::string& title, const TextTable& table,
+                 const std::string& csv_name) {
+  std::cout << "\n== " << title << " ==\n" << table << std::flush;
+  const std::string path = out_dir() + "/" + csv_name;
+  if (write_file_if_possible(path, table.to_csv())) {
+    std::cout << "(csv: " << path << ")\n";
+  }
+}
+
+inline void banner(const std::string& what) {
+  std::cout << "OMEGA reproduction harness — " << what << "\n"
+            << "accelerator: " << default_accelerator().summary()
+            << "; workload scale " << fixed(bench_scale(), 2) << "\n";
+}
+
+}  // namespace omega::bench

@@ -1,0 +1,70 @@
+// google-benchmark microbenchmarks of the OMEGA framework itself: cost-model
+// evaluation throughput is what makes design-space exploration practical
+// (trillions of mappings exist; a mapper needs fast evaluations).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dataflow/enumerate.hpp"
+#include "dse/search.hpp"
+
+namespace {
+
+using namespace omega;
+using namespace omega::bench;
+
+const GnnWorkload& citeseer() {
+  static const GnnWorkload w = [] {
+    SynthesisOptions opt;
+    opt.scale = 0.25;  // keep per-iteration cost benchmarkable
+    return synthesize_workload(dataset_by_name("Citeseer"), opt);
+  }();
+  return w;
+}
+
+void BM_RunPattern(benchmark::State& state) {
+  const Omega omega(default_accelerator());
+  const auto& pattern = table5_patterns()[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(pattern.name);
+  for (auto _ : state) {
+    const RunResult r = omega.run_pattern(citeseer(), eval_layer(), pattern);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+}
+BENCHMARK(BM_RunPattern)->DenseRange(0, 8)->Unit(benchmark::kMillisecond);
+
+void BM_TaxonomyEnumeration(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto counts = enumerate_design_space();
+    benchmark::DoNotOptimize(counts.total());
+  }
+}
+BENCHMARK(BM_TaxonomyEnumeration)->Unit(benchmark::kMillisecond);
+
+void BM_SynthesizeWorkload(benchmark::State& state) {
+  SynthesisOptions opt;
+  opt.scale = 0.25;
+  for (auto _ : state) {
+    const GnnWorkload w =
+        synthesize_workload(dataset_by_name("Citeseer"), opt);
+    benchmark::DoNotOptimize(w.num_edges());
+  }
+}
+BENCHMARK(BM_SynthesizeWorkload)->Unit(benchmark::kMillisecond);
+
+void BM_MappingSearch(benchmark::State& state) {
+  const Omega omega(default_accelerator());
+  SearchOptions opt;
+  opt.max_candidates = static_cast<std::size_t>(state.range(0));
+  opt.threads = 0;
+  for (auto _ : state) {
+    const SearchResult r =
+        search_mappings(omega, citeseer(), eval_layer(), opt);
+    benchmark::DoNotOptimize(r.evaluated);
+  }
+  state.counters["evaluated"] = static_cast<double>(opt.max_candidates);
+}
+BENCHMARK(BM_MappingSearch)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// End-to-end GNN inference: a classic two-layer GCN on a citation-network
+// style graph, with (a) functional verification that the simulated dataflow
+// computes exactly what the reference kernels compute, and (b) the per-layer
+// cost-model results under a chosen dataflow pattern.
+#include <iostream>
+
+#include "gnn/inference.hpp"
+#include "graph/generators.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace omega;
+
+  // A small citation-style graph (heavy-tailed degrees) and a 2-layer GCN:
+  // 64 input features -> 16 hidden -> 7 classes.
+  Rng rng(11);
+  const CSRGraph raw = lognormal_chung_lu(600, 2400, 1.2, rng);
+  const CSRGraph adj = normalize_adjacency(raw, GnnModel::kGCN);
+  const GnnModelSpec model = gcn_two_layer(64, 16, 7);
+
+  MatrixF x(adj.num_vertices(), 64);
+  x.fill_uniform(rng);
+  std::vector<MatrixF> weights;
+  weights.emplace_back(64, 16);
+  weights.emplace_back(16, 7);
+  weights[0].fill_uniform(rng, -0.3, 0.3);
+  weights[1].fill_uniform(rng, -0.3, 0.3);
+
+  // (a) Functional check: run the actual numbers through the SP-Optimized
+  // loop structure and compare with the reference implementation.
+  auto df = DataflowDescriptor::parse("SP_AC(VsFsNt, VsFsGt)");
+  df.agg.tiles = {.v = 16, .n = 1, .f = 32, .g = 1};
+  df.cmb.tiles = {.v = 16, .n = 1, .f = 32, .g = 1};
+  const MatrixF ref = reference_inference(adj, x, weights, model);
+  const MatrixF got = functional_inference(adj, x, weights, model, df);
+  std::cout << "functional check: max |delta| = "
+            << fixed(max_abs_diff(ref, got), 8)
+            << (approx_equal(ref, got, 1e-3, 1e-3) ? "  (PASS)" : "  (FAIL)")
+            << "\n\n";
+
+  // (b) Cost model per layer under the SP2 pattern.
+  GnnWorkload w;
+  w.name = "citation-toy";
+  w.adjacency = adj;
+  w.in_features = 64;
+  const Omega omega(default_accelerator());
+  const ModelRunResult r =
+      run_model(omega, w, model, pattern_by_name("SP2"));
+
+  TextTable t({"layer", "F -> G", "dataflow", "cycles", "energy (uJ)",
+               "agg util", "cmb util"});
+  for (std::size_t l = 0; l < r.layers.size(); ++l) {
+    const auto& lr = r.layers[l];
+    const auto spec = model.layer_spec(l);
+    t.add_row({std::to_string(l), std::to_string(spec.in_features) + " -> " +
+                                      std::to_string(spec.out_features),
+               lr.dataflow.to_string(), with_commas(lr.cycles),
+               fixed(lr.energy.on_chip_pj() / 1e6, 3),
+               fixed(100 * lr.agg_dynamic_utilization(), 1) + "%",
+               fixed(100 * lr.cmb_dynamic_utilization(), 1) + "%"});
+  }
+  std::cout << t << "\ntotal: " << with_commas(r.total_cycles) << " cycles, "
+            << fixed(r.total_on_chip_pj / 1e6, 3) << " uJ on-chip, "
+            << with_commas(r.total_macs) << " MACs\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "arch/accelerator.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace omega {
+
+void AcceleratorConfig::validate() const {
+  OMEGA_CHECK(num_pes >= 1, "accelerator needs at least one PE");
+  OMEGA_CHECK(element_bytes >= 1, "element size must be positive");
+  OMEGA_CHECK(rf_bytes_per_pe >= element_bytes,
+              "RF must hold at least one element");
+  OMEGA_CHECK(gb_bytes >= element_bytes, "GB must hold at least one element");
+  OMEGA_CHECK(gb_bank_bytes >= 1, "bank size must be positive");
+  OMEGA_CHECK(distribution_bandwidth >= 1, "distribution bandwidth >= 1");
+  OMEGA_CHECK(reduction_bandwidth >= 1, "reduction bandwidth >= 1");
+  OMEGA_CHECK(dram_bandwidth >= 1, "DRAM bandwidth >= 1");
+  OMEGA_CHECK(supports_spatial_reduction || supports_temporal_reduction,
+              "substrate must support some reduction style");
+}
+
+std::string AcceleratorConfig::summary() const {
+  std::ostringstream os;
+  os << num_pes << " PEs, " << rf_bytes_per_pe << "B RF/PE, "
+     << (gb_bytes >> 20) << "MiB GB";
+  if (distribution_bandwidth != kUnbounded) {
+    os << ", dist BW " << distribution_bandwidth << " elem/cy";
+  }
+  if (reduction_bandwidth != kUnbounded) {
+    os << ", red BW " << reduction_bandwidth << " elem/cy";
+  }
+  return os.str();
+}
+
+AcceleratorConfig default_accelerator() { return AcceleratorConfig{}; }
+
+AcceleratorConfig scaled_accelerator(std::size_t num_pes) {
+  AcceleratorConfig cfg;
+  cfg.num_pes = num_pes;
+  return cfg;
+}
+
+}  // namespace omega

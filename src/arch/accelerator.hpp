@@ -1,0 +1,76 @@
+// Hardware model of the templated flexible spatial accelerator (Fig. 1):
+// a PE array with per-PE register files, a banked global scratchpad buffer,
+// a distribution network and a reduction network. Matches the evaluation
+// substrate of Section V-A3 (512 PEs, 64 B RF per PE, "sufficient"
+// distribution/reduction bandwidth unless a case study lowers it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace omega {
+
+struct AcceleratorConfig {
+  /// Total processing elements (one MAC per PE per cycle).
+  std::size_t num_pes = 512;
+
+  /// Per-PE register file, bytes (banked; holds stationary operands and
+  /// accumulators).
+  std::size_t rf_bytes_per_pe = 64;
+
+  /// Global buffer capacity in bytes. Table IV workloads fit a batch
+  /// on-chip (Section V-A2); the capacity only gates the *intermediate*
+  /// matrix of the Seq dataflow, which spills to DRAM when too large.
+  std::size_t gb_bytes = 4ull << 20;
+
+  /// Bank size used for the GB access-energy reference point (1 MB/bank).
+  std::size_t gb_bank_bytes = 1ull << 20;
+
+  /// Elements per cycle the distribution network can deliver from the GB to
+  /// the PEs (spatial multicast counts the unique elements once).
+  /// Defaults to "sufficient" — effectively unbounded.
+  std::size_t distribution_bandwidth = kUnbounded;
+
+  /// Elements per cycle the reduction/collection network can drain from the
+  /// PEs back to the GB.
+  std::size_t reduction_bandwidth = kUnbounded;
+
+  /// Elements per cycle exchangeable with DRAM (16 x 4B = 64 GB/s at 1 GHz).
+  /// Only exercised when the Seq dataflow's intermediate matrix exceeds the
+  /// global buffer and spills (Fig. 6/8a) — on-chip workloads never touch it.
+  std::size_t dram_bandwidth = 16;
+
+  /// Bytes per matrix element (fp32 features/weights).
+  std::size_t element_bytes = 4;
+
+  /// Flexibility switches used by the Section V-D rigid-substrate study:
+  /// a rigid temporal-only substrate cannot spatially reduce (no adder
+  /// tree), a rigid spatial-only substrate cannot accumulate in place.
+  bool supports_spatial_reduction = true;
+  bool supports_temporal_reduction = true;
+
+  static constexpr std::size_t kUnbounded =
+      std::numeric_limits<std::uint32_t>::max();
+
+  [[nodiscard]] std::size_t rf_elements_per_pe() const {
+    return rf_bytes_per_pe / element_bytes;
+  }
+  [[nodiscard]] std::size_t gb_elements() const {
+    return gb_bytes / element_bytes;
+  }
+
+  /// Throws InvalidArgumentError on nonsensical parameters.
+  void validate() const;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// The paper's default evaluation substrate.
+[[nodiscard]] AcceleratorConfig default_accelerator();
+
+/// The Fig. 15 scalability variant (2048 PEs).
+[[nodiscard]] AcceleratorConfig scaled_accelerator(std::size_t num_pes);
+
+}  // namespace omega

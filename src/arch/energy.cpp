@@ -1,0 +1,16 @@
+#include "arch/energy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omega {
+
+double EnergyModel::buffer_access_pj(std::size_t capacity_bytes) const {
+  if (capacity_bytes == 0) return rf_access_pj;
+  const double ratio = static_cast<double>(capacity_bytes) /
+                       static_cast<double>(reference_bank_bytes);
+  const double scaled = gb_access_pj * std::sqrt(ratio);
+  return std::clamp(scaled, rf_access_pj, gb_access_pj);
+}
+
+}  // namespace omega

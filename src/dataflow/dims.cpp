@@ -1,0 +1,26 @@
+#include "dataflow/dims.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace omega {
+
+const char* to_string(GnnPhase p) {
+  return p == GnnPhase::kAggregation ? "Aggregation" : "Combination";
+}
+
+const char* to_string(PhaseOrder o) { return o == PhaseOrder::kAC ? "AC" : "CA"; }
+
+Dim dim_from_letter(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'V': return Dim::kV;
+    case 'N': return Dim::kN;
+    case 'F': return Dim::kF;
+    case 'G': return Dim::kG;
+    default:
+      throw InvalidArgumentError(std::string("unknown dimension letter: ") + c);
+  }
+}
+
+}  // namespace omega

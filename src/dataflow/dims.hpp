@@ -1,0 +1,63 @@
+// Dimension and phase vocabulary of the GNN dataflow taxonomy (Section III).
+//
+// Aggregation iterates (V, N, F): output vertices, neighbors (the sparse
+// contraction), and features. Combination iterates (V, F, G): vertices,
+// input features (the dense contraction), and output features. V and F
+// appear in both phases, which is why tile sizes are written T_V_AGG /
+// T_V_CMB etc. For CA phase order the Aggregation feature axis has extent G
+// (the paper: "V×G matrix after Cmb becomes N×F for Agg") — the taxonomy
+// labels stay the same, only the bound extent changes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace omega {
+
+enum class Dim : std::uint8_t { kV = 0, kN = 1, kF = 2, kG = 3 };
+
+enum class GnnPhase : std::uint8_t { kAggregation = 0, kCombination = 1 };
+
+/// Computation order: Aggregation-then-Combination computes (A·X)·W,
+/// Combination-then-Aggregation computes A·(X·W).
+enum class PhaseOrder : std::uint8_t { kAC = 0, kCA = 1 };
+
+[[nodiscard]] constexpr char dim_letter(Dim d) {
+  switch (d) {
+    case Dim::kV: return 'V';
+    case Dim::kN: return 'N';
+    case Dim::kF: return 'F';
+    case Dim::kG: return 'G';
+  }
+  return '?';
+}
+
+[[nodiscard]] const char* to_string(GnnPhase p);
+[[nodiscard]] const char* to_string(PhaseOrder o);
+
+/// The three loop dimensions of a phase, in canonical (not loop) order.
+[[nodiscard]] constexpr std::array<Dim, 3> phase_dims(GnnPhase p) {
+  return p == GnnPhase::kAggregation
+             ? std::array<Dim, 3>{Dim::kV, Dim::kN, Dim::kF}
+             : std::array<Dim, 3>{Dim::kV, Dim::kF, Dim::kG};
+}
+
+/// The contraction (reduction) dimension of a phase: N for Aggregation
+/// (neighbor sum), F for Combination (input-feature dot product).
+[[nodiscard]] constexpr Dim contraction_dim(GnnPhase p) {
+  return p == GnnPhase::kAggregation ? Dim::kN : Dim::kF;
+}
+
+/// True if `d` is one of the phase's three loop dimensions.
+[[nodiscard]] constexpr bool dim_in_phase(GnnPhase p, Dim d) {
+  for (const Dim pd : phase_dims(p)) {
+    if (pd == d) return true;
+  }
+  return false;
+}
+
+/// Parses 'V'/'N'/'F'/'G' (case-insensitive); throws on anything else.
+[[nodiscard]] Dim dim_from_letter(char c);
+
+}  // namespace omega

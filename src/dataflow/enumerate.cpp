@@ -1,0 +1,100 @@
+#include "dataflow/enumerate.hpp"
+
+namespace omega {
+
+namespace {
+
+TileSizes tiles_from_mask(const LoopOrder& order, std::uint8_t mask) {
+  TileSizes t;
+  for (std::size_t i = 0; i < 3; ++i) {
+    t.set(order.at(i), (mask >> i) & 1u ? 2 : 1);
+  }
+  return t;
+}
+
+}  // namespace
+
+DataflowDescriptor EnumeratedDataflow::to_descriptor() const {
+  DataflowDescriptor df;
+  df.inter = inter;
+  df.phase_order = phase_order;
+  df.agg.phase = GnnPhase::kAggregation;
+  df.agg.order = agg_order;
+  df.agg.tiles = tiles_from_mask(agg_order, agg_spatial_mask);
+  df.cmb.phase = GnnPhase::kCombination;
+  df.cmb.order = cmb_order;
+  df.cmb.tiles = tiles_from_mask(cmb_order, cmb_spatial_mask);
+  return df;
+}
+
+std::vector<FeasiblePair> feasible_pipeline_pairs(PhaseOrder order) {
+  std::vector<FeasiblePair> out;
+  for (const auto& agg : all_loop_orders(GnnPhase::kAggregation)) {
+    for (const auto& cmb : all_loop_orders(GnnPhase::kCombination)) {
+      const auto analysis = analyze_pipeline(agg, cmb, order);
+      if (analysis.feasible) {
+        out.push_back({agg, cmb, analysis.granularity});
+      }
+    }
+  }
+  return out;
+}
+
+DesignSpaceCounts enumerate_design_space(
+    const std::function<void(const EnumeratedDataflow&)>& visit) {
+  DesignSpaceCounts counts;
+
+  for (const PhaseOrder po : {PhaseOrder::kAC, PhaseOrder::kCA}) {
+    // Granularity histogram over feasible pairs (per phase order).
+    for (const auto& pair : feasible_pipeline_pairs(po)) {
+      switch (pair.granularity) {
+        case Granularity::kElement: counts.element_pairs++; break;
+        case Granularity::kRow: counts.row_pairs++; break;
+        case Granularity::kColumn: counts.column_pairs++; break;
+        case Granularity::kNone: break;
+      }
+    }
+
+    for (const auto& agg : all_loop_orders(GnnPhase::kAggregation)) {
+      for (const auto& cmb : all_loop_orders(GnnPhase::kCombination)) {
+        const auto analysis = analyze_pipeline(agg, cmb, po);
+        for (std::uint8_t am = 0; am < 8; ++am) {
+          for (std::uint8_t cm = 0; cm < 8; ++cm) {
+            // Seq admits everything.
+            {
+              EnumeratedDataflow e{InterPhase::kSequential, po, agg, cmb,
+                                   am, cm, Granularity::kNone};
+              counts.seq++;
+              if (visit) visit(e);
+            }
+            if (!analysis.feasible) continue;
+            {
+              EnumeratedDataflow e{InterPhase::kSPGeneric, po, agg, cmb, am,
+                                   cm, analysis.granularity};
+              counts.sp++;
+              if (visit) visit(e);
+            }
+            {
+              EnumeratedDataflow e{InterPhase::kParallelPipeline, po, agg,
+                                   cmb, am, cm, analysis.granularity};
+              counts.pp++;
+              if (visit) visit(e);
+            }
+            // SP-Optimized refinement: same point, intermediate bound to
+            // the PE register files. Valid only for the Table II row-2
+            // templates; count them without double-charging the total.
+            {
+              EnumeratedDataflow e{InterPhase::kSPOptimized, po, agg, cmb,
+                                   am, cm, Granularity::kNone};
+              const DataflowDescriptor df = e.to_descriptor();
+              if (!df.validation_error()) counts.sp_optimized_refinements++;
+            }
+          }
+        }
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace omega

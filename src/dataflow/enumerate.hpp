@@ -1,0 +1,61 @@
+// Design-space enumeration (Table II and the paper's 6,656-choice count).
+//
+// The paper counts the product of all feasible loop orders, per-dimension
+// spatial/temporal choices, and phase orders across the three inter-phase
+// strategies: Seq admits every pair (4,608), SP and PP admit only the eight
+// pipelineable loop-order pairs per phase order (1,024 each), for a total of
+// 6,656. SP-Optimized is a tile-binding refinement of SP (Table II row 2)
+// and is not counted separately.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dataflow/descriptor.hpp"
+
+namespace omega {
+
+/// One enumerated point: loop orders plus binary spatial/temporal choices
+/// (tile sizes are represented as 1 or 2, matching the taxonomy's s/t view).
+struct EnumeratedDataflow {
+  InterPhase inter = InterPhase::kSequential;
+  PhaseOrder phase_order = PhaseOrder::kAC;
+  LoopOrder agg_order;
+  LoopOrder cmb_order;
+  std::uint8_t agg_spatial_mask = 0;  // bit i -> agg loop depth i is spatial
+  std::uint8_t cmb_spatial_mask = 0;
+  Granularity granularity = Granularity::kNone;
+
+  [[nodiscard]] DataflowDescriptor to_descriptor() const;
+};
+
+struct DesignSpaceCounts {
+  std::uint64_t seq = 0;
+  std::uint64_t sp = 0;
+  std::uint64_t pp = 0;
+  std::uint64_t sp_optimized_refinements = 0;  // row-2 tile-bound variants
+  // Per-granularity feasible loop-order pair counts (per phase order pair
+  // summed over both orders).
+  std::uint64_t element_pairs = 0;
+  std::uint64_t row_pairs = 0;
+  std::uint64_t column_pairs = 0;
+
+  [[nodiscard]] std::uint64_t total() const { return seq + sp + pp; }
+};
+
+/// Enumerates the whole taxonomy space; if `visit` is non-null it is called
+/// for every valid point (Seq, SP, PP). Returns the counts.
+DesignSpaceCounts enumerate_design_space(
+    const std::function<void(const EnumeratedDataflow&)>& visit = {});
+
+/// All pipelineable (Agg, Cmb) loop-order pairs for a phase order, with
+/// their granularity — Table II rows 4-9 for PP (and row 3 for SP-Generic).
+struct FeasiblePair {
+  LoopOrder agg;
+  LoopOrder cmb;
+  Granularity granularity = Granularity::kNone;
+};
+[[nodiscard]] std::vector<FeasiblePair> feasible_pipeline_pairs(PhaseOrder order);
+
+}  // namespace omega

@@ -1,0 +1,115 @@
+#include "dataflow/intra.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace omega {
+
+LoopOrder::LoopOrder(Dim outer, Dim middle, Dim inner)
+    : dims_{outer, middle, inner} {}
+
+LoopOrder LoopOrder::parse(const std::string& letters, GnnPhase phase) {
+  OMEGA_CHECK(letters.size() == 3, "loop order needs exactly three letters");
+  LoopOrder order(dim_from_letter(letters[0]), dim_from_letter(letters[1]),
+                  dim_from_letter(letters[2]));
+  order.validate(phase);
+  return order;
+}
+
+std::size_t LoopOrder::depth_of(Dim d) const {
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i] == d) return i;
+  }
+  throw InvalidArgumentError(std::string("dimension ") + dim_letter(d) +
+                             " not in loop order " + letters());
+}
+
+bool LoopOrder::contains(Dim d) const {
+  return std::find(dims_.begin(), dims_.end(), d) != dims_.end();
+}
+
+std::string LoopOrder::letters() const {
+  std::string s;
+  for (const Dim d : dims_) s.push_back(dim_letter(d));
+  return s;
+}
+
+void LoopOrder::validate(GnnPhase phase) const {
+  const auto expected = phase_dims(phase);
+  for (const Dim d : expected) {
+    OMEGA_CHECK(contains(d), "loop order " + letters() + " missing dim for " +
+                                 std::string(to_string(phase)));
+  }
+  // A 3-array containing all three expected dims is necessarily a permutation.
+}
+
+std::array<LoopOrder, 6> all_loop_orders(GnnPhase phase) {
+  auto d = phase_dims(phase);
+  std::sort(d.begin(), d.end());
+  std::array<LoopOrder, 6> out;
+  std::size_t i = 0;
+  do {
+    out[i++] = LoopOrder(d[0], d[1], d[2]);
+  } while (std::next_permutation(d.begin(), d.end()));
+  return out;
+}
+
+std::size_t IntraPhaseDataflow::spatial_extent() const {
+  std::size_t product = 1;
+  for (const Dim d : phase_dims(phase)) product *= tiles.get(d);
+  return product;
+}
+
+std::string IntraPhaseDataflow::to_string() const {
+  std::string s;
+  for (const Dim d : order.dims()) {
+    s.push_back(dim_letter(d));
+    s.push_back(is_spatial(d) ? 's' : 't');
+  }
+  return s;
+}
+
+IntraPhaseDataflow IntraPhaseDataflow::parse(const std::string& text,
+                                             GnnPhase phase) {
+  OMEGA_CHECK(text.size() == 6,
+              "intra-phase dataflow must be six characters, e.g. VtFsNt");
+  IntraPhaseDataflow df;
+  df.phase = phase;
+  std::string letters;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const char dim_c = text[2 * i];
+    const char sub = text[2 * i + 1];
+    letters.push_back(dim_c);
+    const Dim d = dim_from_letter(dim_c);
+    if (sub == 's' || sub == 'S') {
+      df.tiles.set(d, 2);  // placeholder spatial degree; tiler refines
+    } else if (sub == 't' || sub == 'T') {
+      df.tiles.set(d, 1);
+    } else {
+      throw InvalidArgumentError(
+          "subscript must be 's' or 't' (got '" + std::string(1, sub) +
+          "'); use DataflowPattern for 'x' wildcards");
+    }
+  }
+  df.order = LoopOrder::parse(letters, phase);
+  df.validate();
+  return df;
+}
+
+void IntraPhaseDataflow::validate() const {
+  order.validate(phase);
+  OMEGA_CHECK(tiles.v >= 1 && tiles.n >= 1 && tiles.f >= 1 && tiles.g >= 1,
+              "tile sizes must be >= 1");
+  // Dims outside the phase must stay at 1 so spatial_extent() is meaningful.
+  for (const Dim d : {Dim::kV, Dim::kN, Dim::kF, Dim::kG}) {
+    if (!dim_in_phase(phase, d)) {
+      OMEGA_CHECK(tiles.get(d) == 1,
+                  std::string("tile for unused dim ") + dim_letter(d) +
+                      " must be 1 in " + to_string());
+    }
+  }
+}
+
+}  // namespace omega

@@ -1,0 +1,103 @@
+// Intra-phase dataflow descriptor (Section III-A, Fig. 4).
+//
+// A phase's dataflow is its temporal loop order plus a tile size per
+// dimension; T_Dim > 1 means the dimension is unrolled spatially across PEs
+// (subscript `s` in the paper's notation), T_Dim == 1 means purely temporal
+// (`t`). `VtFsNt` with T_F = 4 therefore reads: loop order V->F->N, four
+// features mapped across PEs, neighbors reduced temporally.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "dataflow/dims.hpp"
+
+namespace omega {
+
+/// Temporal loop order, outermost first.
+class LoopOrder {
+ public:
+  LoopOrder() = default;
+  LoopOrder(Dim outer, Dim middle, Dim inner);
+
+  /// Parses e.g. "VFN" for Aggregation or "VGF" for Combination.
+  static LoopOrder parse(const std::string& letters, GnnPhase phase);
+
+  [[nodiscard]] Dim at(std::size_t depth) const { return dims_[depth]; }
+  [[nodiscard]] const std::array<Dim, 3>& dims() const { return dims_; }
+
+  /// Depth (0 = outermost .. 2 = innermost) of dimension `d`;
+  /// throws if d is not in the order.
+  [[nodiscard]] std::size_t depth_of(Dim d) const;
+  [[nodiscard]] bool contains(Dim d) const;
+
+  [[nodiscard]] std::string letters() const;
+
+  /// Checks the order is a permutation of the given phase's dims.
+  void validate(GnnPhase phase) const;
+
+  [[nodiscard]] bool operator==(const LoopOrder& o) const {
+    return dims_ == o.dims_;
+  }
+
+ private:
+  std::array<Dim, 3> dims_{Dim::kV, Dim::kN, Dim::kF};
+};
+
+/// All six permutations of a phase's dimensions.
+[[nodiscard]] std::array<LoopOrder, 6> all_loop_orders(GnnPhase phase);
+
+/// Tile sizes (spatial unrolling degree per dimension). A dimension not used
+/// by a phase keeps its default of 1.
+struct TileSizes {
+  std::size_t v = 1;
+  std::size_t n = 1;
+  std::size_t f = 1;
+  std::size_t g = 1;
+
+  [[nodiscard]] std::size_t get(Dim d) const {
+    switch (d) {
+      case Dim::kV: return v;
+      case Dim::kN: return n;
+      case Dim::kF: return f;
+      case Dim::kG: return g;
+    }
+    return 1;
+  }
+  void set(Dim d, std::size_t value) {
+    switch (d) {
+      case Dim::kV: v = value; break;
+      case Dim::kN: n = value; break;
+      case Dim::kF: f = value; break;
+      case Dim::kG: g = value; break;
+    }
+  }
+  [[nodiscard]] bool operator==(const TileSizes&) const = default;
+};
+
+/// One phase's complete dataflow: order + tiles.
+struct IntraPhaseDataflow {
+  GnnPhase phase = GnnPhase::kAggregation;
+  LoopOrder order;
+  TileSizes tiles;
+
+  [[nodiscard]] bool is_spatial(Dim d) const { return tiles.get(d) > 1; }
+
+  /// Product of tile sizes over the phase's dims == PEs statically occupied.
+  [[nodiscard]] std::size_t spatial_extent() const;
+
+  /// Paper notation, e.g. "VtFsNt" (subscript from tile size).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses "VtFsNt"-style strings; tile sizes are set to 1 (t) or 2 (s,
+  /// placeholder — the tiler assigns real sizes later). 'x' subscripts are
+  /// rejected here; patterns with 'x' live in dataflow/patterns.hpp.
+  static IntraPhaseDataflow parse(const std::string& text, GnnPhase phase);
+
+  /// Validates order against the phase and tile sizes >= 1; also checks
+  /// unused dims keep tile 1.
+  void validate() const;
+};
+
+}  // namespace omega

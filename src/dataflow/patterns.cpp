@@ -1,0 +1,143 @@
+#include "dataflow/patterns.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace omega {
+
+char tag_letter(MapTag t) {
+  switch (t) {
+    case MapTag::kSpatial: return 's';
+    case MapTag::kTemporal: return 't';
+    case MapTag::kEither: return 'x';
+  }
+  return '?';
+}
+
+const char* to_string(TileStyle s) {
+  switch (s) {
+    case TileStyle::kBalanced: return "balanced";
+    case TileStyle::kSpatialN: return "spatial-N";
+    case TileStyle::kHighF: return "high-F";
+    case TileStyle::kHighV: return "high-V";
+    case TileStyle::kExtremeV: return "extreme-V";
+    case TileStyle::kLowRows: return "low-rows";
+    case TileStyle::kHighRows: return "high-rows";
+  }
+  return "?";
+}
+
+std::string IntraPhasePattern::to_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < 3; ++i) {
+    s.push_back(dim_letter(order.at(i)));
+    s.push_back(tag_letter(tags[i]));
+  }
+  return s;
+}
+
+IntraPhasePattern IntraPhasePattern::parse(const std::string& text,
+                                           GnnPhase phase) {
+  OMEGA_CHECK(text.size() == 6, "pattern must be six characters, e.g. VxFsNt");
+  IntraPhasePattern p;
+  p.phase = phase;
+  std::string letters;
+  for (std::size_t i = 0; i < 3; ++i) {
+    letters.push_back(text[2 * i]);
+    switch (text[2 * i + 1]) {
+      case 's': case 'S': p.tags[i] = MapTag::kSpatial; break;
+      case 't': case 'T': p.tags[i] = MapTag::kTemporal; break;
+      case 'x': case 'X': p.tags[i] = MapTag::kEither; break;
+      default:
+        throw InvalidArgumentError("pattern subscript must be s/t/x");
+    }
+  }
+  p.order = LoopOrder::parse(letters, phase);
+  return p;
+}
+
+MapTag IntraPhasePattern::tag_of(Dim d) const {
+  return tags[order.depth_of(d)];
+}
+
+bool IntraPhasePattern::matches(const TileSizes& tiles) const {
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::size_t t = tiles.get(order.at(i));
+    if (tags[i] == MapTag::kSpatial && t <= 1) return false;
+    if (tags[i] == MapTag::kTemporal && t != 1) return false;
+  }
+  return true;
+}
+
+std::string DataflowPattern::to_string() const {
+  std::ostringstream os;
+  os << omega::to_string(inter) << "_" << omega::to_string(phase_order) << "("
+     << agg.to_string() << ", " << cmb.to_string() << ")";
+  return os.str();
+}
+
+namespace {
+
+DataflowPattern make_pattern(std::string name, std::string property,
+                             InterPhase inter, const std::string& agg,
+                             const std::string& cmb, TileStyle style) {
+  DataflowPattern p;
+  p.name = std::move(name);
+  p.property = std::move(property);
+  p.inter = inter;
+  p.phase_order = PhaseOrder::kAC;
+  p.agg = IntraPhasePattern::parse(agg, GnnPhase::kAggregation);
+  p.cmb = IntraPhasePattern::parse(cmb, GnnPhase::kCombination);
+  p.style = style;
+  return p;
+}
+
+}  // namespace
+
+const std::vector<DataflowPattern>& table5_patterns() {
+  // Table V verbatim. SP1/SP2/SPhighV are SP-Optimized instances (their
+  // loop-order pairs are exactly the row-2 templates); the paper's G
+  // subscript is effectively temporal there, which validate() enforces.
+  static const std::vector<DataflowPattern> patterns = {
+      make_pattern("Seq1", "Temporal Aggregation (T_N=1)",
+                   InterPhase::kSequential, "VxFxNt", "VxGxFx",
+                   TileStyle::kBalanced),
+      make_pattern("Seq2", "Spatial Aggregation (T_N>1)",
+                   InterPhase::kSequential, "VxFxNs", "VxGxFx",
+                   TileStyle::kSpatialN),
+      make_pattern("SP1", "Temporal Aggregation & high T_F",
+                   InterPhase::kSPOptimized, "VxFsNt", "VxFsGt",
+                   TileStyle::kHighF),
+      make_pattern("SP2", "Temporal Aggregation & high T_V",
+                   InterPhase::kSPOptimized, "VsFxNt", "VsFxGt",
+                   TileStyle::kHighV),
+      make_pattern("SPhighV", "SP dataflow; extremely high T_V",
+                   InterPhase::kSPOptimized, "VsFxNt", "VsFxGt",
+                   TileStyle::kExtremeV),
+      make_pattern("PP1", "Temporal Aggregation & granularity of lower rows",
+                   InterPhase::kParallelPipeline, "VxFxNt", "VxGxFx",
+                   TileStyle::kLowRows),
+      make_pattern("PP2", "Spatial Aggregation & low granularity",
+                   InterPhase::kParallelPipeline, "VxFxNs", "VxGxFx",
+                   TileStyle::kLowRows),
+      make_pattern("PP3", "Temporal Aggregation & high granularity",
+                   InterPhase::kParallelPipeline, "VxFxNt", "VsGxFx",
+                   TileStyle::kHighRows),
+      make_pattern("PP4", "Spatial Aggregation & high granularity",
+                   InterPhase::kParallelPipeline, "VxFxNs", "VsGxFx",
+                   TileStyle::kHighRows),
+  };
+  return patterns;
+}
+
+const DataflowPattern& pattern_by_name(const std::string& name) {
+  const std::string needle = to_lower(name);
+  for (const auto& p : table5_patterns()) {
+    if (to_lower(p.name) == needle) return p;
+  }
+  throw InvalidArgumentError("unknown dataflow pattern: " + name);
+}
+
+}  // namespace omega

@@ -1,0 +1,72 @@
+// Dataflow *patterns*: descriptors whose per-dimension mapping may still be
+// a wildcard (`x` in the paper's tables) and whose tile sizes are not yet
+// bound. Table V's nine evaluation configurations are expressed as patterns
+// plus a tile-selection style; omega/tiler.hpp binds them to a workload and
+// an accelerator to produce concrete DataflowDescriptors.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "dataflow/descriptor.hpp"
+
+namespace omega {
+
+/// Spatial/temporal wildcard per loop position: s, t, or x (either).
+enum class MapTag : std::uint8_t { kSpatial = 0, kTemporal = 1, kEither = 2 };
+
+[[nodiscard]] char tag_letter(MapTag t);
+
+struct IntraPhasePattern {
+  GnnPhase phase = GnnPhase::kAggregation;
+  LoopOrder order;
+  std::array<MapTag, 3> tags{MapTag::kEither, MapTag::kEither, MapTag::kEither};
+
+  /// Pattern string like "VxFsNt".
+  [[nodiscard]] std::string to_string() const;
+  static IntraPhasePattern parse(const std::string& text, GnnPhase phase);
+
+  /// Tag for a dimension (by its position in the loop order).
+  [[nodiscard]] MapTag tag_of(Dim d) const;
+
+  /// True if `tiles` respects the pattern: s -> T > 1, t -> T == 1.
+  [[nodiscard]] bool matches(const TileSizes& tiles) const;
+};
+
+/// Tile-selection style distinguishing the Table V configurations.
+enum class TileStyle : std::uint8_t {
+  kBalanced = 0,   // split PEs evenly over the spatial dims
+  kSpatialN,       // give N a share near the average degree (Seq2/PP2/PP4)
+  kHighF,          // SP1: most PEs on F
+  kHighV,          // SP2: most PEs on V (but not all)
+  kExtremeV,       // SPhighV: all PEs on V
+  kLowRows,        // PP1/PP2: small T_V -> fine-grained pipeline rows
+  kHighRows,       // PP3/PP4: large T_V_CMB -> coarse pipeline rows
+};
+
+[[nodiscard]] const char* to_string(TileStyle s);
+
+/// A named dataflow configuration (one row of Table V).
+struct DataflowPattern {
+  std::string name;         // "SP2"
+  std::string property;     // "Temporal Aggregation & high T_V"
+  InterPhase inter = InterPhase::kSequential;
+  PhaseOrder phase_order = PhaseOrder::kAC;
+  IntraPhasePattern agg;
+  IntraPhasePattern cmb;
+  TileStyle style = TileStyle::kBalanced;
+  double pp_agg_pe_fraction = 0.5;
+
+  /// Taxonomy string, e.g. "PP_AC(VxFxNt, VsGxFx)".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The nine evaluation configurations of Table V (Seq1, Seq2, SP1, SP2,
+/// SPhighV, PP1, PP2, PP3, PP4), in paper order.
+[[nodiscard]] const std::vector<DataflowPattern>& table5_patterns();
+
+/// Lookup by name (case-insensitive); throws InvalidArgumentError.
+[[nodiscard]] const DataflowPattern& pattern_by_name(const std::string& name);
+
+}  // namespace omega

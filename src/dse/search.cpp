@@ -1,0 +1,257 @@
+#include "dse/search.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "dataflow/enumerate.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace omega {
+
+const char* to_string(Objective o) {
+  switch (o) {
+    case Objective::kRuntime: return "runtime";
+    case Objective::kEnergy: return "energy";
+    case Objective::kEnergyDelayProduct: return "EDP";
+  }
+  return "?";
+}
+
+const Candidate& SearchResult::best() const {
+  OMEGA_CHECK(!ranked.empty(), "search produced no feasible mapping");
+  return ranked.front();
+}
+
+std::vector<std::array<std::size_t, 3>> enumerate_tile_triples(
+    std::size_t budget, std::size_t cap_a, std::size_t cap_b,
+    std::size_t cap_c, double min_util) {
+  std::vector<std::array<std::size_t, 3>> out;
+  const auto floor_target =
+      static_cast<double>(budget) * std::clamp(min_util, 0.0, 1.0);
+  for (std::size_t a = 1; a <= std::min(budget, cap_a); a *= 2) {
+    for (std::size_t b = 1; a * b <= budget && b <= cap_b; b *= 2) {
+      for (std::size_t c = 1; a * b * c <= budget && c <= cap_c; c *= 2) {
+        const std::size_t product = a * b * c;
+        // Keep only maximal points: no dimension can grow further within
+        // the budget and caps. The utilization floor filters among them but
+        // is waived when the caps themselves block growth (tiny workloads).
+        const bool cap_blocked =
+            a * 2 > cap_a && b * 2 > cap_b && c * 2 > cap_c;
+        const bool saturated = (2 * product > budget) || cap_blocked;
+        if (!saturated) continue;
+        if (static_cast<double>(product) >= floor_target || cap_blocked) {
+          out.push_back({a, b, c});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::size_t cap_of(std::size_t extent) {
+  return std::max<std::size_t>(1, std::bit_ceil(std::max<std::size_t>(extent, 1)));
+}
+
+/// Generates bound descriptors for one (inter, order-pair) choice.
+void generate_for_pair(const SearchOptions& opt, const WorkloadDims& dims,
+                       std::size_t pes, InterPhase inter, PhaseOrder po,
+                       const LoopOrder& agg_order, const LoopOrder& cmb_order,
+                       std::vector<DataflowDescriptor>& out) {
+  const std::size_t agg_feat =
+      po == PhaseOrder::kAC ? dims.in_features : dims.out_features;
+  auto make = [&](const TileSizes& at, const TileSizes& ct, double frac) {
+    DataflowDescriptor df;
+    df.inter = inter;
+    df.phase_order = po;
+    df.pp_agg_pe_fraction = frac;
+    df.agg.phase = GnnPhase::kAggregation;
+    df.agg.order = agg_order;
+    df.agg.tiles = at;
+    df.cmb.phase = GnnPhase::kCombination;
+    df.cmb.order = cmb_order;
+    df.cmb.tiles = ct;
+    if (!df.validation_error()) out.push_back(df);
+  };
+
+  const std::vector<double> fractions =
+      inter == InterPhase::kParallelPipeline ? opt.pp_fractions
+                                             : std::vector<double>{1.0};
+  for (const double frac : fractions) {
+    std::size_t pes_agg = pes;
+    std::size_t pes_cmb = pes;
+    if (inter == InterPhase::kParallelPipeline) {
+      pes_agg = std::clamp<std::size_t>(
+          static_cast<std::size_t>(static_cast<double>(pes) * frac), 1,
+          pes - 1);
+      pes_cmb = pes - pes_agg;
+    }
+    const auto agg_tilings = enumerate_tile_triples(
+        pes_agg, cap_of(dims.vertices),
+        cap_of(std::max<std::size_t>(dims.max_degree, 1)), cap_of(agg_feat),
+        opt.min_static_utilization);
+    if (inter == InterPhase::kSPOptimized) {
+      // Tiles tied across phases: T_N = 1, T_G = 1 (AC row-2 template).
+      for (const auto& [tv, tn, tf] : agg_tilings) {
+        if (tn != 1) continue;
+        TileSizes at;
+        at.v = tv;
+        at.n = 1;
+        at.f = tf;
+        TileSizes ct;
+        ct.v = tv;
+        ct.f = tf;
+        ct.g = 1;
+        make(at, ct, frac);
+      }
+      continue;
+    }
+    const auto cmb_tilings = enumerate_tile_triples(
+        pes_cmb, cap_of(dims.vertices), cap_of(dims.in_features),
+        cap_of(dims.out_features), opt.min_static_utilization);
+    for (const auto& [av, an, af] : agg_tilings) {
+      TileSizes at;
+      at.v = av;
+      at.n = an;
+      at.f = af;
+      for (const auto& [cv, cf, cg] : cmb_tilings) {
+        TileSizes ct;
+        ct.v = cv;
+        ct.f = cf;
+        ct.g = cg;
+        make(at, ct, frac);
+      }
+    }
+  }
+}
+
+double score_of(Objective obj, std::uint64_t cycles, double pj) {
+  switch (obj) {
+    case Objective::kRuntime: return static_cast<double>(cycles);
+    case Objective::kEnergy: return pj;
+    case Objective::kEnergyDelayProduct:
+      return static_cast<double>(cycles) * pj;
+  }
+  return static_cast<double>(cycles);
+}
+
+}  // namespace
+
+SearchResult search_mappings(const Omega& omega, const GnnWorkload& workload,
+                             const LayerSpec& layer,
+                             const SearchOptions& options) {
+  const WorkloadDims dims = dims_of(workload, layer);
+  const std::size_t pes = omega.config().num_pes;
+
+  std::vector<DataflowDescriptor> candidates;
+  std::vector<PhaseOrder> orders{PhaseOrder::kAC};
+  if (options.include_ca) orders.push_back(PhaseOrder::kCA);
+
+  for (const PhaseOrder po : orders) {
+    if (options.include_seq) {
+      for (const auto& ao : all_loop_orders(GnnPhase::kAggregation)) {
+        for (const auto& co : all_loop_orders(GnnPhase::kCombination)) {
+          generate_for_pair(options, dims, pes, InterPhase::kSequential, po,
+                            ao, co, candidates);
+        }
+      }
+    }
+    const auto pairs = feasible_pipeline_pairs(po);
+    for (const auto& pair : pairs) {
+      if (options.include_sp_generic) {
+        generate_for_pair(options, dims, pes, InterPhase::kSPGeneric, po,
+                          pair.agg, pair.cmb, candidates);
+      }
+      if (options.include_pp) {
+        generate_for_pair(options, dims, pes, InterPhase::kParallelPipeline,
+                          po, pair.agg, pair.cmb, candidates);
+      }
+    }
+    if (options.include_sp_optimized) {
+      const std::vector<std::pair<std::string, std::string>> templates =
+          po == PhaseOrder::kAC
+              ? std::vector<std::pair<std::string, std::string>>{{"VFN", "VFG"},
+                                                                 {"FVN", "FVG"}}
+              : std::vector<std::pair<std::string, std::string>>{{"NFV", "VGF"},
+                                                                 {"FNV", "GVF"}};
+      for (const auto& [a, c] : templates) {
+        generate_for_pair(options, dims, pes, InterPhase::kSPOptimized, po,
+                          LoopOrder::parse(a, GnnPhase::kAggregation),
+                          LoopOrder::parse(c, GnnPhase::kCombination),
+                          candidates);
+      }
+    }
+  }
+
+  SearchResult result;
+  result.generated = candidates.size();
+
+  // Deterministic stride subsampling under a candidate cap.
+  if (options.max_candidates > 0 &&
+      candidates.size() > options.max_candidates) {
+    std::vector<DataflowDescriptor> sampled;
+    sampled.reserve(options.max_candidates);
+    const double stride = static_cast<double>(candidates.size()) /
+                          static_cast<double>(options.max_candidates);
+    for (std::size_t i = 0; i < options.max_candidates; ++i) {
+      sampled.push_back(candidates[static_cast<std::size_t>(
+          static_cast<double>(i) * stride)]);
+    }
+    candidates = std::move(sampled);
+  }
+
+  std::vector<Candidate> evaluated(candidates.size());
+  std::vector<char> ok(candidates.size(), 0);
+  parallel_for(
+      candidates.size(),
+      [&](std::size_t i) {
+        try {
+          const RunResult r = omega.run(workload, layer, candidates[i]);
+          evaluated[i].dataflow = candidates[i];
+          evaluated[i].cycles = r.cycles;
+          evaluated[i].on_chip_pj = r.energy.on_chip_pj();
+          evaluated[i].score =
+              score_of(options.objective, r.cycles, r.energy.on_chip_pj());
+          ok[i] = 1;
+        } catch (const Error&) {
+          ok[i] = 0;  // infeasible under this substrate; skip
+        }
+      },
+      options.threads);
+
+  std::vector<Candidate> valid;
+  valid.reserve(evaluated.size());
+  for (std::size_t i = 0; i < evaluated.size(); ++i) {
+    if (ok[i]) valid.push_back(std::move(evaluated[i]));
+  }
+  result.evaluated = valid.size();
+
+  std::sort(valid.begin(), valid.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score < b.score;
+            });
+
+  // Pareto frontier over (cycles, energy).
+  std::vector<Candidate> by_cycles = valid;
+  std::sort(by_cycles.begin(), by_cycles.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.cycles != b.cycles) return a.cycles < b.cycles;
+              return a.on_chip_pj < b.on_chip_pj;
+            });
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (const auto& c : by_cycles) {
+    if (c.on_chip_pj < best_energy) {
+      best_energy = c.on_chip_pj;
+      result.pareto.push_back(c);
+    }
+  }
+
+  if (valid.size() > options.top_k) valid.resize(options.top_k);
+  result.ranked = std::move(valid);
+  return result;
+}
+
+}  // namespace omega

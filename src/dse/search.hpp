@@ -1,0 +1,67 @@
+// Mapping search over the GNN dataflow design space (Section VI "Mapping
+// Optimizer"): enumerates loop-order pairs from the taxonomy, binds
+// power-of-two tile splits with near-100% static utilization, evaluates
+// each candidate through the OMEGA cost model, and ranks by the chosen
+// objective. Evaluations run in parallel (Omega::run is const/thread-safe).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "omega/omega.hpp"
+
+namespace omega {
+
+enum class Objective : std::uint8_t {
+  kRuntime = 0,
+  kEnergy = 1,          // on-chip pJ
+  kEnergyDelayProduct = 2,
+};
+
+[[nodiscard]] const char* to_string(Objective o);
+
+struct SearchOptions {
+  Objective objective = Objective::kRuntime;
+  bool include_seq = true;
+  bool include_sp_generic = true;
+  bool include_sp_optimized = true;
+  bool include_pp = true;
+  bool include_ca = false;  // CA doubles the space; AC is the paper's focus
+  std::vector<double> pp_fractions = {0.25, 0.5, 0.75};
+  /// Minimum static utilization of generated tilings (1.0 = exactly full).
+  double min_static_utilization = 0.5;
+  /// Cap on evaluated candidates (deterministic stride subsampling); 0 = all.
+  std::size_t max_candidates = 0;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  /// Keep at most this many ranked results (best first).
+  std::size_t top_k = 16;
+};
+
+struct Candidate {
+  DataflowDescriptor dataflow;
+  std::uint64_t cycles = 0;
+  double on_chip_pj = 0.0;
+  double score = 0.0;
+};
+
+struct SearchResult {
+  std::vector<Candidate> ranked;  // best first, top_k entries
+  std::vector<Candidate> pareto;  // runtime/energy frontier, cycles ascending
+  std::size_t generated = 0;      // candidates produced by the generator
+  std::size_t evaluated = 0;      // candidates actually run
+
+  [[nodiscard]] const Candidate& best() const;
+};
+
+[[nodiscard]] SearchResult search_mappings(const Omega& omega,
+                                           const GnnWorkload& workload,
+                                           const LayerSpec& layer,
+                                           const SearchOptions& options = {});
+
+/// All power-of-two tile triples (a, b, c) with a*b*c <= budget,
+/// a <= cap_a etc., and a*b*c >= min_util * budget. Exposed for tests.
+[[nodiscard]] std::vector<std::array<std::size_t, 3>> enumerate_tile_triples(
+    std::size_t budget, std::size_t cap_a, std::size_t cap_b,
+    std::size_t cap_c, double min_util);
+
+}  // namespace omega

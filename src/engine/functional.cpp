@@ -1,0 +1,154 @@
+#include "engine/functional.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace omega {
+
+namespace {
+
+std::size_t clamp_tile(std::size_t tile, std::size_t extent) {
+  return std::min(std::max<std::size_t>(tile, 1), std::max<std::size_t>(extent, 1));
+}
+
+}  // namespace
+
+MatrixF functional_gemm(const MatrixF& a, const MatrixF& b,
+                        const LoopOrder& order, const TileSizes& tiles) {
+  OMEGA_CHECK(a.cols() == b.rows(), "gemm inner dimension mismatch");
+  order.validate(GnnPhase::kCombination);
+  const std::size_t rows = a.rows(), inner = a.cols(), cols = b.cols();
+  const std::size_t tv = clamp_tile(tiles.v, rows);
+  const std::size_t tf = clamp_tile(tiles.f, inner);
+  const std::size_t tg = clamp_tile(tiles.g, cols);
+
+  auto extent_of = [&](Dim d) {
+    return d == Dim::kV ? rows : d == Dim::kF ? inner : cols;
+  };
+  auto tile_of = [&](Dim d) { return d == Dim::kV ? tv : d == Dim::kF ? tf : tg; };
+
+  MatrixF c(rows, cols, 0.0f);
+  const Dim d0 = order.at(0), d1 = order.at(1), d2 = order.at(2);
+  for (std::size_t i0 = 0; i0 < extent_of(d0); i0 += tile_of(d0)) {
+    for (std::size_t i1 = 0; i1 < extent_of(d1); i1 += tile_of(d1)) {
+      for (std::size_t i2 = 0; i2 < extent_of(d2); i2 += tile_of(d2)) {
+        std::size_t v0 = 0, f0 = 0, g0 = 0;
+        auto assign = [&](Dim d, std::size_t base) {
+          if (d == Dim::kV) v0 = base;
+          else if (d == Dim::kF) f0 = base;
+          else g0 = base;
+        };
+        assign(d0, i0);
+        assign(d1, i1);
+        assign(d2, i2);
+        const std::size_t v1 = std::min(rows, v0 + tv);
+        const std::size_t f1 = std::min(inner, f0 + tf);
+        const std::size_t g1 = std::min(cols, g0 + tg);
+        for (std::size_t v = v0; v < v1; ++v) {
+          for (std::size_t f = f0; f < f1; ++f) {
+            const float av = a(v, f);
+            for (std::size_t gg = g0; gg < g1; ++gg) c(v, gg) += av * b(f, gg);
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+MatrixF functional_spmm(const CSRGraph& adj, const MatrixF& x,
+                        const LoopOrder& order, const TileSizes& tiles) {
+  OMEGA_CHECK(x.rows() == adj.num_vertices(),
+              "feature rows must match vertex count");
+  order.validate(GnnPhase::kAggregation);
+  const std::size_t v_extent = adj.num_vertices();
+  const std::size_t feat = x.cols();
+  const std::size_t dv = order.depth_of(Dim::kV);
+  const std::size_t dn = order.depth_of(Dim::kN);
+  const std::size_t df = order.depth_of(Dim::kF);
+  const bool scatter = dn < dv;
+  const CSRGraph walk_graph = scatter ? adj.transposed() : CSRGraph{};
+  const CSRGraph& walk = scatter ? walk_graph : adj;
+
+  const std::size_t row_tile =
+      clamp_tile(scatter ? tiles.n : tiles.v, v_extent);
+  const std::size_t lane_tile = std::max<std::size_t>(
+      scatter ? tiles.v : tiles.n, 1);
+  const std::size_t tf = clamp_tile(tiles.f, feat);
+  const bool f_outside_lanes = scatter ? df < dv : df < dn;
+  const bool f_outside_rows = scatter ? df < dn : df < dv;
+
+  MatrixF h(v_extent, feat, 0.0f);
+
+  // One lockstep micro-step: process lane chunk k of every row in the tile
+  // for one feature tile.
+  auto do_step = [&](std::size_t base, std::size_t count, std::size_t k,
+                     std::size_t f0) {
+    const std::size_t f1 = std::min(feat, f0 + tf);
+    for (std::size_t r = 0; r < count; ++r) {
+      const auto row = static_cast<VertexId>(base + r);
+      const auto nbrs = walk.neighbors(row);
+      const auto vals = walk.edge_values(row);
+      const std::size_t lo = k * lane_tile;
+      const std::size_t hi = std::min(nbrs.size(), lo + lane_tile);
+      for (std::size_t e = lo; e < hi; ++e) {
+        const float weight = vals.empty() ? 1.0f : vals[e];
+        if (scatter) {
+          // Push intermediate row `row` into output vertex nbrs[e].
+          for (std::size_t f = f0; f < f1; ++f) {
+            h(nbrs[e], f) += weight * x(row, f);
+          }
+        } else {
+          for (std::size_t f = f0; f < f1; ++f) {
+            h(row, f) += weight * x(nbrs[e], f);
+          }
+        }
+      }
+    }
+  };
+
+  auto trips_of = [&](std::size_t base, std::size_t count) {
+    std::size_t trips = 1;
+    for (std::size_t r = 0; r < count; ++r) {
+      trips = std::max(trips, (walk.degree(static_cast<VertexId>(base + r)) +
+                               lane_tile - 1) /
+                                  lane_tile);
+    }
+    return trips;
+  };
+
+  for (std::size_t outer = 0; outer < (f_outside_rows ? feat : 1);
+       outer += tf) {
+    for (std::size_t base = 0; base < v_extent; base += row_tile) {
+      const std::size_t count = std::min(row_tile, v_extent - base);
+      const std::size_t trips = trips_of(base, count);
+      if (f_outside_rows) {
+        for (std::size_t k = 0; k < trips; ++k) do_step(base, count, k, outer);
+      } else if (f_outside_lanes) {
+        for (std::size_t f0 = 0; f0 < feat; f0 += tf) {
+          for (std::size_t k = 0; k < trips; ++k) do_step(base, count, k, f0);
+        }
+      } else {
+        for (std::size_t k = 0; k < trips; ++k) {
+          for (std::size_t f0 = 0; f0 < feat; f0 += tf) {
+            do_step(base, count, k, f0);
+          }
+        }
+      }
+    }
+  }
+  return h;
+}
+
+MatrixF functional_gcn_layer(const CSRGraph& adj, const MatrixF& x,
+                             const MatrixF& w, const DataflowDescriptor& df) {
+  if (df.phase_order == PhaseOrder::kAC) {
+    const MatrixF h = functional_spmm(adj, x, df.agg.order, df.agg.tiles);
+    return functional_gemm(h, w, df.cmb.order, df.cmb.tiles);
+  }
+  const MatrixF h = functional_gemm(x, w, df.cmb.order, df.cmb.tiles);
+  return functional_spmm(adj, h, df.agg.order, df.agg.tiles);
+}
+
+}  // namespace omega

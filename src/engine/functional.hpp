@@ -1,0 +1,31 @@
+// Functional execution of dataflows: runs the *same* tiled loop structures
+// the cost engines time, but carrying real values. Used by the test suite to
+// prove that every valid mapping computes exactly the GCN layer the
+// reference kernels define (loop order and tiling must not change results
+// beyond FP reduction-order noise).
+#pragma once
+
+#include "dataflow/descriptor.hpp"
+#include "graph/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace omega {
+
+/// C = A x B evaluated through the given loop order and tile sizes.
+[[nodiscard]] MatrixF functional_gemm(const MatrixF& a, const MatrixF& b,
+                                      const LoopOrder& order,
+                                      const TileSizes& tiles);
+
+/// H = Adj x X evaluated through the given loop order and tile sizes;
+/// scatter orders (N outside V) walk the transposed adjacency and push.
+[[nodiscard]] MatrixF functional_spmm(const CSRGraph& adj, const MatrixF& x,
+                                      const LoopOrder& order,
+                                      const TileSizes& tiles);
+
+/// Full GCN layer through a dataflow descriptor:
+/// AC: (Adj x X) x W; CA: Adj x (X x W).
+[[nodiscard]] MatrixF functional_gcn_layer(const CSRGraph& adj,
+                                           const MatrixF& x, const MatrixF& w,
+                                           const DataflowDescriptor& df);
+
+}  // namespace omega

@@ -1,0 +1,302 @@
+#include "engine/gemm_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace omega {
+
+namespace {
+
+struct LoopInfo {
+  Dim dim;
+  std::size_t extent = 1;
+  std::size_t tile = 1;
+  std::size_t count = 1;  // ceil(extent / tile)
+};
+
+std::size_t actual_tile(const LoopInfo& l, std::size_t idx) {
+  const std::size_t base = idx * l.tile;
+  return std::min(l.tile, l.extent - base);
+}
+
+/// Deepest loop depth indexing the operand with more than one tile;
+/// -1 if the operand never needs re-fetching after the initial load.
+int deepest_effective_level(const std::array<LoopInfo, 3>& loops, bool uses_v,
+                            bool uses_f, bool uses_g) {
+  int level = -1;
+  for (int d = 0; d < 3; ++d) {
+    const bool uses = (loops[static_cast<std::size_t>(d)].dim == Dim::kV && uses_v) ||
+                      (loops[static_cast<std::size_t>(d)].dim == Dim::kF && uses_f) ||
+                      (loops[static_cast<std::size_t>(d)].dim == Dim::kG && uses_g);
+    if (uses && loops[static_cast<std::size_t>(d)].count > 1) level = d;
+  }
+  return level;
+}
+
+}  // namespace
+
+void GemmPhaseConfig::validate() const {
+  order.validate(GnnPhase::kCombination);
+  OMEGA_CHECK(rows >= 1 && inner >= 1 && cols >= 1, "extents must be >= 1");
+  OMEGA_CHECK(pes >= 1, "phase needs at least one PE");
+  OMEGA_CHECK(bw_dist >= 1 && bw_red >= 1, "bandwidth must be >= 1");
+  const std::size_t spatial =
+      std::min(tiles.v, rows) * std::min(tiles.f, inner) * std::min(tiles.g, cols);
+  OMEGA_CHECK(spatial <= pes,
+              "spatial tile footprint exceeds the PEs allocated to the phase");
+}
+
+PhaseResult run_gemm_phase(const GemmPhaseConfig& cfg) {
+  cfg.validate();
+
+  // Clamp tiles to extents so degenerate dims do not inflate the footprint.
+  const std::size_t tv = std::min(cfg.tiles.v, cfg.rows);
+  const std::size_t tf = std::min(cfg.tiles.f, cfg.inner);
+  const std::size_t tg = std::min(cfg.tiles.g, cfg.cols);
+
+  std::array<LoopInfo, 3> loops;
+  for (std::size_t d = 0; d < 3; ++d) {
+    const Dim dim = cfg.order.at(d);
+    LoopInfo info;
+    info.dim = dim;
+    switch (dim) {
+      case Dim::kV: info.extent = cfg.rows; info.tile = tv; break;
+      case Dim::kF: info.extent = cfg.inner; info.tile = tf; break;
+      case Dim::kG: info.extent = cfg.cols; info.tile = tg; break;
+      case Dim::kN: throw InvalidDataflowError("GEMM phase cannot loop over N");
+    }
+    info.count = ceil_div(info.extent, info.tile);
+    loops[d] = info;
+  }
+
+  const int la = deepest_effective_level(loops, true, true, false);  // A{V,F}
+  const int lb = deepest_effective_level(loops, false, true, true);  // B{F,G}
+
+  const std::size_t f_depth = cfg.order.depth_of(Dim::kF);
+  const std::size_t c_f = loops[f_depth].count;
+
+  const std::size_t a_bw = cfg.a_stream_bw > 0 ? cfg.a_stream_bw : cfg.bw_dist;
+  const std::size_t out_bw = cfg.out_drain_bw > 0 ? cfg.out_drain_bw : cfg.bw_red;
+
+  // RF-resident partial sums: between increments of the contraction (F)
+  // loop, each PE must keep one accumulator per output element it covers
+  // across all output tiles swept by the loops *inside* F. If that live set
+  // fits in half the RF, accumulators persist and no psum spill happens.
+  const std::size_t f_depth_raw = cfg.order.depth_of(Dim::kF);
+  std::uint64_t covered_v = tv;
+  std::uint64_t covered_g = tg;
+  if (cfg.order.depth_of(Dim::kV) > f_depth_raw) covered_v = cfg.rows;
+  if (cfg.order.depth_of(Dim::kG) > f_depth_raw) covered_g = cfg.cols;
+  const std::uint64_t tile_pes =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(tv) * tf * tg);
+  const std::uint64_t live_psums_per_pe =
+      ceil_div(covered_v * covered_g, tile_pes);
+  const bool psums_fit_in_rf =
+      live_psums_per_pe <= std::max<std::size_t>(cfg.rf_elements / 2, 1);
+
+  PhaseResult r;
+  const std::size_t num_chunks =
+      cfg.chunk_target == ChunkTarget::kNone ? 1 : cfg.chunks.num_chunks();
+  r.chunk_cycles.assign(num_chunks, 0);
+  r.chunk_completion.assign(num_chunks, 0);
+  std::size_t last_chunk_touched = 0;
+
+  // One-time fill: distribution latency + spatial-reduction tree depth.
+  const std::size_t tree_in = tf > 1 ? tf : 1;
+  r.fill_cycles =
+      2 + static_cast<std::uint64_t>(std::bit_width(tree_in) - 1);
+
+  auto charge_a_read = [&](std::uint64_t elems) {
+    if (cfg.a_from_rf) {
+      r.traffic.rf.reads += elems;
+      return;
+    }
+    if (cfg.a_in_dram) r.traffic.dram.reads += elems;
+    else if (cfg.a_via_partition)
+      r.traffic.intermediate_partition.reads += elems;
+    else r.traffic.gb_for(cfg.a_category).reads += elems;
+    r.traffic.rf.writes += elems;  // latched into PE registers
+  };
+  auto charge_b_read = [&](std::uint64_t elems) {
+    r.traffic.gb_for(cfg.b_category).reads += elems;
+    r.traffic.rf.writes += elems;
+  };
+
+  // Per-step tracking of the current output tile visit.
+  std::size_t prev_iv = std::numeric_limits<std::size_t>::max();
+  std::size_t prev_ig = std::numeric_limits<std::size_t>::max();
+  std::size_t prev_out_elems = 0;
+  bool prev_out_final = false;
+  std::size_t current_chunk = 0;
+
+  auto flush_out_visit = [&](std::uint64_t* sink_cycles) {
+    // Called when the (iv, ig) output tile changes or the nest ends; charges
+    // the drain of the visit that just finished.
+    if (prev_iv == std::numeric_limits<std::size_t>::max()) return;
+    const std::uint64_t elems = prev_out_elems;
+    if (prev_out_final) {
+      if (cfg.out_to_rf) {
+        r.traffic.rf.writes += elems;
+        // Result stays resident: no drain cycles.
+      } else {
+        if (cfg.out_in_dram) r.traffic.dram.writes += elems;
+        else if (cfg.out_via_partition)
+          r.traffic.intermediate_partition.writes += elems;
+        else r.traffic.gb_for(cfg.out_category).writes += elems;
+        const std::uint64_t cost = ceil_div(elems, out_bw);
+        r.stall_cycles += cost;
+        *sink_cycles += cost;
+      }
+    } else if (!psums_fit_in_rf) {
+      // Partial-sum spill: accumulators evicted to the GB psum region.
+      r.traffic.gb_for(TrafficCategory::kPsum).writes += elems;
+      r.traffic.rf.reads += elems;
+      const std::uint64_t cost = ceil_div(elems, cfg.bw_red);
+      r.psum_cycles += cost;
+      *sink_cycles += cost;
+    }
+    // Otherwise the partial sums stay live in the PE register files.
+  };
+
+  const std::size_t c0 = loops[0].count;
+  const std::size_t c1 = loops[1].count;
+  const std::size_t c2 = loops[2].count;
+
+  for (std::size_t i0 = 0; i0 < c0; ++i0) {
+    for (std::size_t i1 = 0; i1 < c1; ++i1) {
+      for (std::size_t i2 = 0; i2 < c2; ++i2) {
+        const std::array<std::size_t, 3> idx{i0, i1, i2};
+        // Current actual tile sizes by dim.
+        std::size_t av = 1, af = 1, ag = 1;
+        std::size_t v_base = 0, f_idx = 0, g_base = 0;
+        for (std::size_t d = 0; d < 3; ++d) {
+          const std::size_t a = actual_tile(loops[d], idx[d]);
+          switch (loops[d].dim) {
+            case Dim::kV: av = a; v_base = idx[d] * loops[d].tile; break;
+            case Dim::kF: af = a; f_idx = idx[d]; break;
+            case Dim::kG: ag = a; g_base = idx[d] * loops[d].tile; break;
+            case Dim::kN: break;
+          }
+        }
+        const std::uint64_t a_elems = static_cast<std::uint64_t>(av) * af;
+        const std::uint64_t b_elems = static_cast<std::uint64_t>(af) * ag;
+        const std::uint64_t out_elems = static_cast<std::uint64_t>(av) * ag;
+        const std::uint64_t macs = static_cast<std::uint64_t>(av) * af * ag;
+
+        // Which loop level did this step enter fresh?
+        int changed = 2;
+        if (i2 == 0) changed = (i1 == 0 && i0 == 0) ? -1 : (i1 == 0 ? 0 : 1);
+        // changed == -1 means the very first step: every level is fresh.
+
+        std::uint64_t serial = 0;   // serial cycles charged this step
+        std::uint64_t stream_a = 0;
+        std::uint64_t stream_b = 0;
+
+        // Stationary (re)loads for operands bound above the innermost level.
+        auto handle_operand = [&](int level, std::uint64_t elems, bool is_a) {
+          const bool fresh =
+              changed == -1 || (level >= 0 && changed <= level && level < 2);
+          if (level == 2) {
+            // Streams every step.
+            if (is_a) stream_a += elems; else stream_b += elems;
+            if (is_a) charge_a_read(elems); else charge_b_read(elems);
+          } else if (level >= 0 ? fresh : changed == -1) {
+            // Re-loaded at each entry of its binding level (or once if -1).
+            if (is_a) {
+              if (!cfg.a_from_rf) {
+                serial += ceil_div(elems, a_bw);
+                r.load_cycles += ceil_div(elems, a_bw);
+              }
+              charge_a_read(elems);
+            } else {
+              serial += ceil_div(elems, cfg.bw_dist);
+              r.load_cycles += ceil_div(elems, cfg.bw_dist);
+              charge_b_read(elems);
+            }
+          }
+        };
+        handle_operand(la, a_elems, true);
+        handle_operand(lb, b_elems, false);
+
+        // Output tile bookkeeping.
+        const std::size_t iv = idx[cfg.order.depth_of(Dim::kV)];
+        const std::size_t ig = idx[cfg.order.depth_of(Dim::kG)];
+        if (iv != prev_iv || ig != prev_ig) {
+          flush_out_visit(&serial);
+          if (f_idx > 0 && !psums_fit_in_rf) {
+            // Revisit: partial sums come back from the GB.
+            r.traffic.gb_for(TrafficCategory::kPsum).reads += out_elems;
+            r.traffic.rf.writes += out_elems;
+            const std::uint64_t cost = ceil_div(out_elems, cfg.bw_dist);
+            r.psum_cycles += cost;
+            serial += cost;
+          }
+          prev_iv = iv;
+          prev_ig = ig;
+        }
+        prev_out_elems = out_elems;
+        prev_out_final = (f_idx == c_f - 1);
+
+        // Step cost: MAC issue vs distribution of streaming operands.
+        std::uint64_t step = 1;
+        if (stream_a > 0) step = std::max(step, ceil_div(stream_a, a_bw));
+        if (stream_b > 0) step = std::max(step, ceil_div(stream_b, cfg.bw_dist));
+        if (step > 1) r.stall_cycles += step - 1;
+
+        // RF accounting: operand reads per MAC plus accumulator RMW per
+        // output lane per step (temporal accumulation).
+        r.traffic.rf.reads += 2 * macs;
+        r.traffic.rf.reads += out_elems;
+        r.traffic.rf.writes += out_elems;
+
+        r.issue_steps += 1;
+        r.macs += macs;
+        r.active_pe_cycles += macs;  // one PE-cycle per MAC at step cost 1
+        const std::uint64_t total_step = step + serial;
+        r.cycles += total_step;
+
+        if (cfg.chunk_target != ChunkTarget::kNone) {
+          std::size_t chunk = 0;
+          if (cfg.chunk_target == ChunkTarget::kMatrixA) {
+            chunk = cfg.chunks.chunk_of(v_base, f_idx * loops[f_depth].tile);
+          } else {
+            chunk = cfg.chunks.chunk_of(v_base, g_base);
+          }
+          current_chunk = chunk;
+          r.chunk_cycles[chunk] += total_step;
+          r.chunk_completion[chunk] = r.cycles;  // last contribution wins
+          last_chunk_touched = chunk;
+        } else {
+          r.chunk_cycles[0] += total_step;
+          r.chunk_completion[0] = r.cycles;
+          last_chunk_touched = 0;
+        }
+      }
+    }
+  }
+  std::uint64_t tail = 0;
+  flush_out_visit(&tail);
+  r.cycles += tail;
+  if (!r.chunk_cycles.empty()) {
+    r.chunk_cycles[last_chunk_touched] += tail;
+    r.chunk_completion[last_chunk_touched] += tail;
+  }
+
+  r.cycles += r.fill_cycles;
+  r.chunk_cycles.front() += r.fill_cycles;
+  // The pipeline fill delays every completion; never-touched chunks (empty
+  // grid cells) complete with their predecessors.
+  std::uint64_t floor_cycles = 0;
+  for (auto& c : r.chunk_completion) {
+    c += r.fill_cycles;
+    floor_cycles = std::max(floor_cycles, c);
+    c = std::max(c, floor_cycles);
+  }
+  return r;
+}
+
+}  // namespace omega

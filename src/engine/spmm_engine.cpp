@@ -1,0 +1,297 @@
+#include "engine/spmm_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace omega {
+
+namespace {
+
+/// Round-robin lane schedule over the walked rows. Spatially mapped rows do
+/// NOT advance in lockstep: each lane walks its own rows asynchronously and
+/// the phase finishes when the slowest lane drains. A row whose length
+/// exceeds its lane's fair share serializes that lane — the paper's "evil
+/// row" effect, which is what punishes extremely high T_V on skewed graphs
+/// while leaving moderate T_V efficient (Section V-B1).
+struct LaneSchedule {
+  std::uint64_t critical_path = 0;         // max lane work, in steps
+  std::uint64_t total_steps = 0;           // sum of all row steps
+  std::vector<std::uint64_t> row_finish;   // per-row completion step
+};
+
+LaneSchedule schedule_lanes(const CSRGraph& walk, std::size_t lanes,
+                            std::size_t lane_width, std::uint64_t f_factor) {
+  const std::size_t rows = walk.num_vertices();
+  LaneSchedule s;
+  s.row_finish.resize(rows);
+  std::vector<std::uint64_t> lane_cum(std::max<std::size_t>(lanes, 1), 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t deg = walk.degree(static_cast<VertexId>(r));
+    const std::uint64_t trips =
+        std::max<std::uint64_t>(1, ceil_div(deg, lane_width));
+    const std::uint64_t work = trips * f_factor;
+    auto& cum = lane_cum[r % std::max<std::size_t>(lanes, 1)];
+    cum += work;
+    s.row_finish[r] = cum;
+    s.total_steps += work;
+  }
+  for (const std::uint64_t c : lane_cum) {
+    s.critical_path = std::max(s.critical_path, c);
+  }
+  return s;
+}
+
+/// Splits `total_cycles` across `chunks` so that partial sums follow the
+/// cumulative step profile `cum_steps` (monotone, last == critical path).
+std::vector<std::uint64_t> scale_chunks(
+    const std::vector<std::uint64_t>& cum_steps, std::uint64_t critical_path,
+    std::uint64_t total_cycles) {
+  std::vector<std::uint64_t> out(cum_steps.size(), 0);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < cum_steps.size(); ++i) {
+    const std::uint64_t cum =
+        critical_path == 0
+            ? total_cycles
+            : static_cast<std::uint64_t>(
+                  static_cast<double>(cum_steps[i]) /
+                  static_cast<double>(critical_path) *
+                  static_cast<double>(total_cycles));
+    const std::uint64_t clamped = std::min(cum, total_cycles);
+    out[i] = clamped - prev;
+    prev = clamped;
+  }
+  if (!out.empty()) out.back() += total_cycles - prev;
+  return out;
+}
+
+}  // namespace
+
+void SpmmPhaseConfig::validate() const {
+  OMEGA_CHECK(graph != nullptr, "SpMM phase needs a graph");
+  order.validate(GnnPhase::kAggregation);
+  OMEGA_CHECK(feat >= 1, "feature width must be >= 1");
+  OMEGA_CHECK(pes >= 1, "phase needs at least one PE");
+  OMEGA_CHECK(bw_dist >= 1 && bw_red >= 1, "bandwidth must be >= 1");
+  const std::size_t v = graph->num_vertices();
+  const std::size_t spatial = std::min(tiles.v, std::max<std::size_t>(v, 1)) *
+                              tiles.n * std::min(tiles.f, feat);
+  OMEGA_CHECK(spatial <= pes,
+              "spatial tile footprint exceeds the PEs allocated to the phase");
+}
+
+PhaseResult run_spmm_phase(const SpmmPhaseConfig& cfg) {
+  cfg.validate();
+  const CSRGraph& g = *cfg.graph;
+  const std::size_t v_extent = g.num_vertices();
+  const std::uint64_t edges = g.num_edges();
+
+  const std::size_t dv = cfg.order.depth_of(Dim::kV);
+  const std::size_t dn = cfg.order.depth_of(Dim::kN);
+  const std::size_t df = cfg.order.depth_of(Dim::kF);
+  const bool gather = dv < dn;  // vertex lanes walk their own rows
+  // Scatter orders walk the reverse adjacency and push into outputs.
+  const bool f_outside_lanes = gather ? df < dn : df < dv;
+  const bool f_outside_rows = gather ? df < dv : df < dn;
+
+  // In gather mode T_V spans walked rows and T_N the in-row lanes; scatter
+  // swaps the roles (T_N spans intermediate rows, T_V the push lanes).
+  const std::size_t lanes =
+      std::min(gather ? std::max<std::size_t>(cfg.tiles.v, 1)
+                      : std::max<std::size_t>(cfg.tiles.n, 1),
+               std::max<std::size_t>(v_extent, 1));
+  const std::size_t lane_width =
+      gather ? std::max<std::size_t>(cfg.tiles.n, 1)
+             : std::max<std::size_t>(cfg.tiles.v, 1);
+  const std::size_t tf = std::min(std::max<std::size_t>(cfg.tiles.f, 1), cfg.feat);
+  const std::uint64_t c_f = ceil_div(cfg.feat, tf);
+
+  const CSRGraph transpose = gather ? CSRGraph{} : g.transposed();
+  const CSRGraph& walk = gather ? g : transpose;
+
+  const LaneSchedule sched = schedule_lanes(walk, lanes, lane_width, c_f);
+
+  const bool weighted = g.has_values();
+  const std::uint64_t id_words = weighted ? 2 : 1;
+
+  const std::size_t b_bw = cfg.b_stream_bw > 0 ? cfg.b_stream_bw : cfg.bw_dist;
+  const std::size_t out_bw =
+      cfg.out_drain_bw > 0 ? cfg.out_drain_bw : cfg.bw_red;
+
+  PhaseResult r;
+  const std::size_t tree_in = gather && lane_width > 1 ? lane_width : 1;
+  r.fill_cycles = 2 + static_cast<std::uint64_t>(std::bit_width(tree_in) - 1);
+  r.issue_steps = sched.critical_path;
+  r.macs = edges * cfg.feat;
+  r.active_pe_cycles = r.macs;
+
+  // ---- Traffic (exact totals; see DESIGN.md cost-model semantics) --------
+
+  // B matrix: gather fetches one element per (edge, feature); scatter
+  // multicasts each walked row slice once per lane-chunk step.
+  std::uint64_t b_elems = 0;
+  if (gather) {
+    b_elems = edges * cfg.feat;
+  } else {
+    b_elems = (sched.total_steps / c_f) * cfg.feat;  // sum of trips * Feat
+  }
+  if (cfg.b_from_rf) {
+    r.traffic.rf.reads += b_elems;
+  } else if (cfg.b_in_dram) {
+    r.traffic.dram.reads += b_elems;
+    r.traffic.rf.writes += b_elems;
+  } else if (cfg.b_via_partition) {
+    r.traffic.intermediate_partition.reads += b_elems;
+    r.traffic.rf.writes += b_elems;
+  } else {
+    r.traffic.gb_for(cfg.b_category).reads += b_elems;
+    r.traffic.rf.writes += b_elems;
+  }
+
+  // CSR metadata: edge ids (+ values) per row walk; rewalked per feature
+  // tile when the F loop encloses the lane loop. Row pointers per walk.
+  const std::uint64_t id_elems =
+      edges * id_words * (f_outside_lanes ? c_f : 1);
+  const std::uint64_t ptr_elems =
+      static_cast<std::uint64_t>(v_extent) * (f_outside_rows ? c_f : 1);
+  r.traffic.gb_for(TrafficCategory::kAdjacency).reads += id_elems + ptr_elems;
+
+  // Outputs.
+  const std::uint64_t out_total =
+      static_cast<std::uint64_t>(v_extent) * cfg.feat;
+  std::uint64_t psum_pairs = 0;  // spill+reload pairs (elements)
+  std::uint64_t scatter_rmw = 0;
+  if (gather) {
+    // RF-resident partial sums: with F inside the lane loop (VNF) each lane
+    // must keep the whole feature row live between neighbor chunks.
+    const std::uint64_t covered_f = f_outside_lanes ? tf : cfg.feat;
+    const std::uint64_t live_per_pe =
+        ceil_div(covered_f, static_cast<std::uint64_t>(lane_width) * tf);
+    const bool psums_fit =
+        live_per_pe <= std::max<std::size_t>(cfg.rf_elements / 2, 1);
+    if (!f_outside_lanes && !psums_fit) {
+      // One spill+reload per non-final neighbor chunk per feature element.
+      psum_pairs = (sched.total_steps / c_f -
+                    static_cast<std::uint64_t>(v_extent)) *
+                   cfg.feat;
+      r.traffic.gb_for(TrafficCategory::kPsum).writes += psum_pairs;
+      r.traffic.gb_for(TrafficCategory::kPsum).reads += psum_pairs;
+      r.traffic.rf.reads += psum_pairs;
+      r.traffic.rf.writes += psum_pairs;
+    }
+    if (cfg.out_to_rf) {
+      r.traffic.rf.writes += out_total;
+    } else if (cfg.out_in_dram) {
+      r.traffic.dram.writes += out_total;
+    } else if (cfg.out_via_partition) {
+      r.traffic.intermediate_partition.writes += out_total;
+    } else {
+      r.traffic.gb_for(cfg.out_category).writes += out_total;
+    }
+  } else {
+    // Scatter accumulation: every (edge, feature) update is a GB
+    // read-modify-write except each element's first touch; the final value
+    // is the output write.
+    scatter_rmw = r.macs > out_total ? r.macs - out_total : 0;
+    r.traffic.gb_for(TrafficCategory::kPsum).reads += scatter_rmw;
+    r.traffic.gb_for(TrafficCategory::kPsum).writes += scatter_rmw;
+    if (cfg.out_in_dram) r.traffic.dram.writes += out_total;
+    else if (cfg.out_via_partition)
+      r.traffic.intermediate_partition.writes += out_total;
+    else r.traffic.gb_for(cfg.out_category).writes += out_total;
+  }
+
+  // RF accounting: operand reads + accumulator read-modify-write per MAC.
+  r.traffic.rf.reads += 3 * r.macs;
+  r.traffic.rf.writes += r.macs;
+
+  // ---- Cycles: critical path vs throughput bounds -------------------------
+
+  std::uint64_t gb_stream = id_elems + ptr_elems;
+  if (!cfg.b_from_rf && !cfg.b_in_dram) gb_stream += b_elems;
+  std::uint64_t red_volume = scatter_rmw * 2;
+  if (!gather) red_volume += out_total;
+  std::uint64_t drain_volume = gather && !cfg.out_to_rf ? out_total : 0;
+
+  std::uint64_t cycles = sched.critical_path;
+  cycles = std::max(cycles, ceil_div(gb_stream, cfg.bw_dist));
+  if (cfg.b_in_dram) cycles = std::max(cycles, ceil_div(b_elems, b_bw));
+  cycles = std::max(cycles, ceil_div(red_volume, cfg.bw_red));
+  if (drain_volume > 0) {
+    cycles = std::max(
+        cycles, ceil_div(drain_volume, cfg.out_in_dram ? out_bw : cfg.bw_red));
+  }
+  r.stall_cycles = cycles - sched.critical_path;
+
+  // Partial-sum spills serialize on top of the streaming steady state.
+  r.psum_cycles =
+      ceil_div(psum_pairs, cfg.bw_red) + ceil_div(psum_pairs, cfg.bw_dist);
+  cycles += r.psum_cycles + r.fill_cycles;
+  r.cycles = cycles;
+
+  // ---- Chunk timeline ------------------------------------------------------
+
+  auto finish = [&]() -> PhaseResult {
+    // Lane traversal produces chunks in grid order: completions are the
+    // prefix sums of the per-chunk durations.
+    r.chunk_completion.resize(r.chunk_cycles.size());
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < r.chunk_cycles.size(); ++i) {
+      cum += r.chunk_cycles[i];
+      r.chunk_completion[i] = cum;
+    }
+    return r;
+  };
+
+  const std::size_t num_chunks =
+      cfg.chunk_target == ChunkTarget::kNone ? 1 : cfg.chunks.num_chunks();
+  if (num_chunks <= 1) {
+    r.chunk_cycles.assign(1, r.cycles);
+    return finish();
+  }
+
+  const std::size_t row_blocks = cfg.chunks.row_blocks();
+  const std::size_t col_blocks = cfg.chunks.col_blocks();
+  if (cfg.chunks.major == TraversalMajor::kColumnMajor || row_blocks == 1) {
+    // Column-granular (or single row block): each of the num_chunks passes
+    // covers the same rows; durations are uniform.
+    std::vector<std::uint64_t> cum(num_chunks);
+    for (std::size_t i = 0; i < num_chunks; ++i) {
+      cum[i] = sched.critical_path * (i + 1) / num_chunks;
+    }
+    r.chunk_cycles = scale_chunks(cum, sched.critical_path, r.cycles);
+    return finish();
+  }
+
+  // Row-major chunks: completion of a row block is the slowest lane's
+  // finish over its rows; element granularity splits each row block evenly
+  // across its column chunks.
+  const std::size_t row_block =
+      std::min(cfg.chunks.row_block, std::max<std::size_t>(v_extent, 1));
+  std::vector<std::uint64_t> block_cum(row_blocks, 0);
+  std::uint64_t running = 0;
+  for (std::size_t rix = 0; rix < v_extent; ++rix) {
+    running = std::max(running, sched.row_finish[rix]);
+    block_cum[std::min(rix / row_block, row_blocks - 1)] = running;
+  }
+  // Fill any empty trailing blocks.
+  for (std::size_t i = 1; i < row_blocks; ++i) {
+    block_cum[i] = std::max(block_cum[i], block_cum[i - 1]);
+  }
+  const std::vector<std::uint64_t> block_cycles =
+      scale_chunks(block_cum, sched.critical_path, r.cycles);
+  r.chunk_cycles.assign(num_chunks, 0);
+  for (std::size_t b = 0; b < row_blocks; ++b) {
+    std::uint64_t rem = block_cycles[b];
+    for (std::size_t c = 0; c < col_blocks; ++c) {
+      const std::uint64_t share = rem / (col_blocks - c);
+      r.chunk_cycles[b * col_blocks + c] = share;
+      rem -= share;
+    }
+  }
+  return finish();
+}
+
+}  // namespace omega

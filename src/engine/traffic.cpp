@@ -1,0 +1,17 @@
+#include "engine/traffic.hpp"
+
+namespace omega {
+
+const char* to_string(TrafficCategory c) {
+  switch (c) {
+    case TrafficCategory::kAdjacency: return "Adj";
+    case TrafficCategory::kInput: return "Inp";
+    case TrafficCategory::kWeight: return "Wt";
+    case TrafficCategory::kIntermediate: return "Int";
+    case TrafficCategory::kOutput: return "Op";
+    case TrafficCategory::kPsum: return "Psum";
+  }
+  return "?";
+}
+
+}  // namespace omega

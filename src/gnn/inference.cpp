@@ -1,0 +1,49 @@
+#include "gnn/inference.hpp"
+
+#include "engine/functional.hpp"
+#include "util/error.hpp"
+
+namespace omega {
+
+ModelRunResult run_model(const Omega& omega, const GnnWorkload& workload,
+                         const GnnModelSpec& spec,
+                         const DataflowPattern& pattern) {
+  OMEGA_CHECK(spec.num_layers() >= 1, "model needs at least one layer");
+  OMEGA_CHECK(workload.in_features == spec.feature_widths.front(),
+              "workload feature width must match the model's first layer");
+
+  ModelRunResult out;
+  GnnWorkload layer_workload = workload;  // adjacency shared across layers
+  for (std::size_t l = 0; l < spec.num_layers(); ++l) {
+    const GnnLayerSpec layer = spec.layer_spec(l);
+    OMEGA_CHECK(layer.allows_phase_order(pattern.phase_order),
+                std::string(to_string(spec.model)) +
+                    " does not allow phase order " +
+                    to_string(pattern.phase_order));
+    layer_workload.in_features = layer.in_features;
+    RunResult r = omega.run_pattern(layer_workload, layer.layer(), pattern);
+    out.total_cycles += r.cycles;
+    out.total_on_chip_pj += r.energy.on_chip_pj();
+    out.total_pj += r.energy.total_pj();
+    out.total_macs += r.agg.macs + r.cmb.macs;
+    out.layers.push_back(std::move(r));
+  }
+  return out;
+}
+
+MatrixF functional_inference(const CSRGraph& adj, const MatrixF& x,
+                             const std::vector<MatrixF>& weights,
+                             const GnnModelSpec& spec,
+                             const DataflowDescriptor& df) {
+  OMEGA_CHECK(weights.size() == spec.num_layers(),
+              "one weight matrix per layer required");
+  MatrixF h = x;
+  for (std::size_t l = 0; l < spec.num_layers(); ++l) {
+    const GnnLayerSpec layer = spec.layer_spec(l);
+    h = functional_gcn_layer(adj, h, weights[l], df);
+    if (layer.relu) relu_inplace(h);
+  }
+  return h;
+}
+
+}  // namespace omega

@@ -1,0 +1,35 @@
+// Multi-layer GNN inference through the OMEGA cost model: evaluates every
+// layer of a model under one dataflow pattern (re-binding tile sizes per
+// layer, since feature widths change) and aggregates runtime/energy.
+#pragma once
+
+#include "gnn/layers.hpp"
+#include "omega/omega.hpp"
+
+namespace omega {
+
+struct ModelRunResult {
+  std::vector<RunResult> layers;
+  std::uint64_t total_cycles = 0;
+  double total_on_chip_pj = 0.0;
+  double total_pj = 0.0;
+  std::uint64_t total_macs = 0;
+};
+
+/// Runs all layers of `spec` on `workload`'s graph with the given pattern.
+/// The workload's in_features must equal spec.feature_widths.front().
+[[nodiscard]] ModelRunResult run_model(const Omega& omega,
+                                       const GnnWorkload& workload,
+                                       const GnnModelSpec& spec,
+                                       const DataflowPattern& pattern);
+
+/// Functional end-to-end inference through the dataflow engines' loop
+/// structures (per layer: functional SpMM/GEMM + ReLU), for verification
+/// against reference_inference.
+[[nodiscard]] MatrixF functional_inference(const CSRGraph& adj,
+                                           const MatrixF& x,
+                                           const std::vector<MatrixF>& weights,
+                                           const GnnModelSpec& spec,
+                                           const DataflowDescriptor& df);
+
+}  // namespace omega

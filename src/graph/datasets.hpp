@@ -1,0 +1,74 @@
+// Synthetic workload models for the seven datasets of Table IV.
+//
+// Graph-classification sets (Mutag, Proteins, Imdb-bin, Collab, Reddit-bin)
+// are evaluated as one batch of `batch_size` graphs assembled into a single
+// block-diagonal adjacency, exactly as the paper does (batch of 64; 32 for
+// Reddit-bin). Node-classification sets (Citeseer, Cora) are single graphs
+// with heavy-tailed degree distributions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace omega {
+
+/// Paper's workload categories (Section V-A2): high-edge, high-feature,
+/// low-edge-and-feature.
+enum class WorkloadCategory { kHighEdges, kHighFeatures, kLowEdgesFeatures };
+
+[[nodiscard]] const char* to_string(WorkloadCategory c);
+
+/// One row of Table IV.
+struct DatasetSpec {
+  std::string name;
+  std::size_t num_graphs = 1;       // population size in the original corpus
+  double avg_nodes = 0.0;           // per graph
+  double avg_edges = 0.0;           // per graph (nnz of adjacency)
+  std::size_t num_features = 0;     // input feature width F
+  WorkloadCategory category = WorkloadCategory::kLowEdgesFeatures;
+  std::size_t batch_size = 1;       // graphs evaluated per batch (1 == node task)
+  bool node_classification = false;
+  double degree_sigma = 0.0;        // lognormal degree skew (node tasks)
+};
+
+/// All seven rows of Table IV, in paper order.
+[[nodiscard]] const std::vector<DatasetSpec>& table4_datasets();
+
+/// Lookup by (case-insensitive) name; throws InvalidArgumentError if unknown.
+[[nodiscard]] const DatasetSpec& dataset_by_name(const std::string& name);
+
+/// A concrete GNN inference workload: batched adjacency + layer dims.
+struct GnnWorkload {
+  std::string name;
+  WorkloadCategory category = WorkloadCategory::kLowEdgesFeatures;
+  CSRGraph adjacency;           // block-diagonal batch, self-loops included
+  std::size_t in_features = 0;  // F
+  std::size_t num_graphs_in_batch = 1;
+
+  [[nodiscard]] std::size_t num_vertices() const {
+    return adjacency.num_vertices();
+  }
+  [[nodiscard]] std::size_t num_edges() const { return adjacency.num_edges(); }
+};
+
+/// Options controlling synthesis.
+struct SynthesisOptions {
+  std::uint64_t seed = 7;
+  bool add_self_loops = true;   // GCN-style A+I
+  bool gcn_normalize = true;    // attach D^-1/2 A D^-1/2 edge values
+  /// Scale factor on batch/graph sizes for quick tests (1.0 == paper scale).
+  double scale = 1.0;
+};
+
+/// Synthesizes the workload for one dataset spec.
+[[nodiscard]] GnnWorkload synthesize_workload(const DatasetSpec& spec,
+                                              const SynthesisOptions& options = {});
+
+/// Synthesizes all Table IV workloads (paper order).
+[[nodiscard]] std::vector<GnnWorkload> synthesize_all_workloads(
+    const SynthesisOptions& options = {});
+
+}  // namespace omega

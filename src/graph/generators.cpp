@@ -1,0 +1,147 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace omega {
+
+namespace {
+
+using Edge = std::pair<VertexId, VertexId>;
+
+/// Symmetrizes and materializes a set of undirected pairs into directed
+/// (dst, src) edges for CSR rows.
+std::vector<Edge> to_directed(const std::set<Edge>& undirected) {
+  std::vector<Edge> out;
+  out.reserve(undirected.size() * 2);
+  for (const auto& [a, b] : undirected) {
+    out.emplace_back(a, b);
+    out.emplace_back(b, a);
+  }
+  return out;
+}
+
+}  // namespace
+
+CSRGraph erdos_renyi(std::size_t num_vertices, std::size_t num_edges, Rng& rng,
+                     bool undirected) {
+  OMEGA_CHECK(num_vertices >= 2, "need at least two vertices");
+  const std::size_t max_pairs = num_vertices * (num_vertices - 1);
+  OMEGA_CHECK(num_edges <= max_pairs, "edge budget exceeds simple-graph bound");
+
+  if (undirected) {
+    // Budget counts both directions; keep an even budget's worth of pairs.
+    const std::size_t pairs = num_edges / 2;
+    std::set<Edge> chosen;
+    while (chosen.size() < pairs) {
+      auto a = static_cast<VertexId>(rng.next_below(num_vertices));
+      auto b = static_cast<VertexId>(rng.next_below(num_vertices));
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);
+      chosen.insert({a, b});
+    }
+    return CSRGraph::from_coo(num_vertices, to_directed(chosen));
+  }
+
+  std::set<Edge> chosen;
+  while (chosen.size() < num_edges) {
+    const auto dst = static_cast<VertexId>(rng.next_below(num_vertices));
+    const auto src = static_cast<VertexId>(rng.next_below(num_vertices));
+    if (dst == src) continue;
+    chosen.insert({dst, src});
+  }
+  return CSRGraph::from_coo(num_vertices,
+                            std::vector<Edge>(chosen.begin(), chosen.end()));
+}
+
+CSRGraph lognormal_chung_lu(std::size_t num_vertices, std::size_t num_edges,
+                            double sigma, Rng& rng, bool undirected) {
+  OMEGA_CHECK(num_vertices >= 2, "need at least two vertices");
+  OMEGA_CHECK(sigma >= 0.0, "sigma must be non-negative");
+
+  // Expected-degree weights; mu is irrelevant (weights get normalized).
+  std::vector<double> weights(num_vertices);
+  for (auto& w : weights) w = rng.lognormal(0.0, sigma);
+
+  const std::size_t pair_budget = undirected ? num_edges / 2 : num_edges;
+  const DiscreteSampler sampler(weights);
+  std::set<std::pair<VertexId, VertexId>> chosen;
+  // Sample endpoints proportional to weight until the pair budget is met.
+  // Rejection on duplicates is cheap at the <1% densities of Table IV.
+  std::size_t attempts = 0;
+  const std::size_t attempt_cap = pair_budget * 200 + 1000;
+  while (chosen.size() < pair_budget && attempts < attempt_cap) {
+    ++attempts;
+    auto a = static_cast<VertexId>(sampler.sample(rng));
+    auto b = static_cast<VertexId>(sampler.sample(rng));
+    if (a == b) continue;
+    if (undirected && a > b) std::swap(a, b);
+    chosen.insert({a, b});
+  }
+  // Top up with uniform edges if the weighted sampler saturated (possible on
+  // tiny dense graphs).
+  while (chosen.size() < pair_budget) {
+    auto a = static_cast<VertexId>(rng.next_below(num_vertices));
+    auto b = static_cast<VertexId>(rng.next_below(num_vertices));
+    if (a == b) continue;
+    if (undirected && a > b) std::swap(a, b);
+    chosen.insert({a, b});
+  }
+
+  if (undirected) return CSRGraph::from_coo(num_vertices, to_directed(chosen));
+  return CSRGraph::from_coo(
+      num_vertices, std::vector<std::pair<VertexId, VertexId>>(chosen.begin(),
+                                                               chosen.end()));
+}
+
+CSRGraph path_graph(std::size_t num_vertices) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (std::size_t v = 0; v + 1 < num_vertices; ++v) {
+    edges.emplace_back(static_cast<VertexId>(v), static_cast<VertexId>(v + 1));
+    edges.emplace_back(static_cast<VertexId>(v + 1), static_cast<VertexId>(v));
+  }
+  return CSRGraph::from_coo(num_vertices, std::move(edges));
+}
+
+CSRGraph cycle_graph(std::size_t num_vertices) {
+  OMEGA_CHECK(num_vertices >= 3, "cycle needs >= 3 vertices");
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    const auto u = static_cast<VertexId>(v);
+    const auto w = static_cast<VertexId>((v + 1) % num_vertices);
+    edges.emplace_back(u, w);
+    edges.emplace_back(w, u);
+  }
+  return CSRGraph::from_coo(num_vertices, std::move(edges));
+}
+
+CSRGraph star_graph(std::size_t num_leaves) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (std::size_t l = 1; l <= num_leaves; ++l) {
+    edges.emplace_back(VertexId{0}, static_cast<VertexId>(l));
+    edges.emplace_back(static_cast<VertexId>(l), VertexId{0});
+  }
+  return CSRGraph::from_coo(num_leaves + 1, std::move(edges));
+}
+
+CSRGraph complete_graph(std::size_t num_vertices) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (std::size_t a = 0; a < num_vertices; ++a) {
+    for (std::size_t b = 0; b < num_vertices; ++b) {
+      if (a == b) continue;
+      edges.emplace_back(static_cast<VertexId>(a), static_cast<VertexId>(b));
+    }
+  }
+  return CSRGraph::from_coo(num_vertices, std::move(edges));
+}
+
+CSRGraph paper_example_graph() {
+  // Rows of the adjacency in Fig. 3c (with self-loops).
+  return CSRGraph::from_rows({{0, 1}, {1, 2}, {1, 2, 4}, {0, 3}, {0, 4}});
+}
+
+}  // namespace omega

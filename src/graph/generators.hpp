@@ -1,0 +1,45 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on TU-Dortmund graph-classification sets and Planetoid
+// citation networks. Those files are not redistributable here, so we
+// synthesize graphs whose *dataflow-relevant* statistics match Table IV:
+// vertex/edge counts, density, and — crucially for the SPhighV "evil row"
+// result — a skewed degree tail for the citation networks. Generators are
+// deterministic given the seed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace omega {
+
+/// G(V, E) Erdős–Rényi-style: exactly `num_edges` distinct directed edges
+/// placed uniformly (symmetrized if `undirected`, counting both directions
+/// toward the edge budget). Self-loops excluded; add them via
+/// CSRGraph::with_self_loops when building a GCN workload.
+[[nodiscard]] CSRGraph erdos_renyi(std::size_t num_vertices,
+                                   std::size_t num_edges, Rng& rng,
+                                   bool undirected = true);
+
+/// Chung-Lu style graph with lognormal expected degrees: heavy-tailed degree
+/// distribution controlled by `sigma` (sigma ≈ 1.5 reproduces citation-network
+/// skew: max degree ~50-100x the mean). Edge count approaches `num_edges` in
+/// expectation and is then trimmed/topped-up to hit it exactly.
+[[nodiscard]] CSRGraph lognormal_chung_lu(std::size_t num_vertices,
+                                          std::size_t num_edges, double sigma,
+                                          Rng& rng, bool undirected = true);
+
+/// Deterministic structures for unit tests.
+[[nodiscard]] CSRGraph path_graph(std::size_t num_vertices);
+[[nodiscard]] CSRGraph cycle_graph(std::size_t num_vertices);
+[[nodiscard]] CSRGraph star_graph(std::size_t num_leaves);  // hub = vertex 0
+[[nodiscard]] CSRGraph complete_graph(std::size_t num_vertices);
+
+/// The five-vertex example of Fig. 3 (self-loops included):
+/// edge-array [0,1, 1,2, 1,2,4, 0,3, 0,4], vertex-array [0,2,4,7,9,11].
+[[nodiscard]] CSRGraph paper_example_graph();
+
+}  // namespace omega

@@ -1,0 +1,31 @@
+#include "graph/spmm.hpp"
+
+#include "util/error.hpp"
+
+namespace omega {
+
+void spmm_reference(const CSRGraph& a, const MatrixF& x, MatrixF& h) {
+  OMEGA_CHECK(x.rows() == a.num_vertices(),
+              "feature rows must match vertex count");
+  h = MatrixF(a.num_vertices(), x.cols(), 0.0f);
+  const std::size_t f = x.cols();
+  for (std::size_t v = 0; v < a.num_vertices(); ++v) {
+    const auto vid = static_cast<VertexId>(v);
+    const auto nbrs = a.neighbors(vid);
+    const auto vals = a.edge_values(vid);
+    float* hrow = h.row(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const float weight = vals.empty() ? 1.0f : vals[i];
+      const float* xrow = x.row(nbrs[i]);
+      for (std::size_t c = 0; c < f; ++c) hrow[c] += weight * xrow[c];
+    }
+  }
+}
+
+MatrixF spmm(const CSRGraph& a, const MatrixF& x) {
+  MatrixF h;
+  spmm_reference(a, x, h);
+  return h;
+}
+
+}  // namespace omega

@@ -1,0 +1,16 @@
+// Reference SpMM: H = A * X with A in CSR. Ground truth for the Aggregation
+// phase of the simulated dataflows.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace omega {
+
+/// H(v, f) = sum over neighbors n of value(v,n) * X(n, f).
+/// Unweighted graphs use value 1 (sum aggregation).
+void spmm_reference(const CSRGraph& a, const MatrixF& x, MatrixF& h);
+
+[[nodiscard]] MatrixF spmm(const CSRGraph& a, const MatrixF& x);
+
+}  // namespace omega

@@ -1,0 +1,53 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace omega {
+
+double percentile(std::vector<std::size_t> values, double p) {
+  OMEGA_CHECK(!values.empty(), "percentile of empty set");
+  OMEGA_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return static_cast<double>(values[lo]) +
+         frac * (static_cast<double>(values[hi]) - static_cast<double>(values[lo]));
+}
+
+DegreeStats compute_degree_stats(const CSRGraph& g) {
+  DegreeStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  if (s.num_vertices == 0) return s;
+
+  std::vector<std::size_t> degrees(s.num_vertices);
+  for (std::size_t v = 0; v < s.num_vertices; ++v) {
+    degrees[v] = g.degree(static_cast<VertexId>(v));
+  }
+  s.min_degree = *std::min_element(degrees.begin(), degrees.end());
+  s.max_degree = *std::max_element(degrees.begin(), degrees.end());
+  s.mean_degree =
+      static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices);
+  s.median_degree = percentile(degrees, 50.0);
+  s.p99_degree = percentile(degrees, 99.0);
+
+  double var = 0.0;
+  for (const std::size_t d : degrees) {
+    const double diff = static_cast<double>(d) - s.mean_degree;
+    var += diff * diff;
+  }
+  var /= static_cast<double>(s.num_vertices);
+  s.stddev_degree = std::sqrt(var);
+  s.skew_ratio = s.mean_degree > 0.0
+                     ? static_cast<double>(s.max_degree) / s.mean_degree
+                     : 0.0;
+  s.density = g.density();
+  return s;
+}
+
+}  // namespace omega

@@ -1,0 +1,33 @@
+// Degree-distribution statistics used to characterize workloads (Table IV
+// categories) and to verify that synthetic datasets reproduce the skew the
+// paper's results depend on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace omega {
+
+struct DegreeStats {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  double median_degree = 0.0;
+  double p99_degree = 0.0;
+  double stddev_degree = 0.0;
+  /// max/mean — the "evil row" indicator: > ~20 means a spatial-V dataflow
+  /// with very high T_V will be bound by a few dense rows.
+  double skew_ratio = 0.0;
+  double density = 0.0;
+};
+
+[[nodiscard]] DegreeStats compute_degree_stats(const CSRGraph& g);
+
+/// Percentile over an unsorted copy (nearest-rank); p in [0, 100].
+[[nodiscard]] double percentile(std::vector<std::size_t> values, double p);
+
+}  // namespace omega

@@ -1,0 +1,103 @@
+// OMEGA: Observing Mapping Efficiency over GNN Accelerators (Fig. 10).
+//
+// The facade wires the two intra-phase engines (STONNE-style SpMM and GEMM
+// cost models) to the inter-phase cost model of Section IV / Table III and
+// returns runtime, buffering, per-matrix traffic and energy for a complete
+// GNN-layer dataflow on the modeled spatial accelerator.
+#pragma once
+
+#include <string>
+
+#include "arch/accelerator.hpp"
+#include "arch/energy.hpp"
+#include "dataflow/patterns.hpp"
+#include "engine/gemm_engine.hpp"
+#include "engine/spmm_engine.hpp"
+#include "graph/datasets.hpp"
+#include "omega/tiler.hpp"
+
+namespace omega {
+
+/// Energy roll-up (Section V-B2). On-chip = GB + RF + the PP intermediate
+/// partition; DRAM (Seq spill) is reported separately, matching the paper's
+/// on-chip characterization.
+struct EnergyBreakdown {
+  std::array<double, kNumTrafficCategories> gb_by_category_pj{};
+  double gb_pj = 0.0;
+  double rf_pj = 0.0;
+  double partition_pj = 0.0;  // PP ping-pong buffer accesses
+  double dram_pj = 0.0;
+
+  [[nodiscard]] double on_chip_pj() const {
+    return gb_pj + rf_pj + partition_pj;
+  }
+  [[nodiscard]] double total_pj() const { return on_chip_pj() + dram_pj; }
+};
+
+/// Complete result of evaluating one dataflow on one workload.
+struct RunResult {
+  std::string config_name;  // Table V name when run via run_pattern
+  DataflowDescriptor dataflow;
+
+  std::uint64_t cycles = 0;
+  PhaseResult agg;
+  PhaseResult cmb;
+  std::size_t pes_agg = 0;
+  std::size_t pes_cmb = 0;
+
+  Granularity granularity = Granularity::kNone;
+  std::size_t pipeline_chunks = 1;
+  std::size_t pipeline_elements = 0;            // Pel
+  std::size_t intermediate_buffer_elements = 0; // Table III buffering
+  bool intermediate_spilled = false;            // Seq: V x F exceeded the GB
+
+  TrafficCounters traffic;
+  EnergyBreakdown energy;
+
+  double agg_static_utilization = 0.0;
+  double cmb_static_utilization = 0.0;
+  [[nodiscard]] double agg_dynamic_utilization() const {
+    return agg.utilization(pes_agg);
+  }
+  [[nodiscard]] double cmb_dynamic_utilization() const {
+    return cmb.utilization(pes_cmb);
+  }
+};
+
+/// The analytical framework. Immutable after construction; run() is const
+/// and thread-safe, so design-space sweeps can evaluate mappings in
+/// parallel.
+class Omega {
+ public:
+  explicit Omega(AcceleratorConfig hw = default_accelerator(),
+                 EnergyModel energy = EnergyModel{});
+
+  /// Evaluates a fully bound dataflow descriptor.
+  [[nodiscard]] RunResult run(const GnnWorkload& workload,
+                              const LayerSpec& layer,
+                              const DataflowDescriptor& df) const;
+
+  /// Binds a pattern's tile sizes (omega/tiler.hpp) and evaluates it.
+  [[nodiscard]] RunResult run_pattern(const GnnWorkload& workload,
+                                      const LayerSpec& layer,
+                                      const DataflowPattern& pattern) const;
+
+  [[nodiscard]] const AcceleratorConfig& config() const { return hw_; }
+  [[nodiscard]] const EnergyModel& energy_model() const { return energy_; }
+
+ private:
+  AcceleratorConfig hw_;
+  EnergyModel energy_;
+};
+
+/// Pipeline composition (exposed for unit tests): the consumer starts chunk
+/// i once the producer has COMPLETED it and the consumer finished chunk i-1:
+///   cons_done[i] = max(producer_completion[i], cons_done[i-1]) + cons[i]
+/// Producer completions are absolute cycle stamps (PhaseResult::
+/// chunk_completion), which correctly handles producers that revisit chunks
+/// across sweeps. Returns cons_done.back().
+[[nodiscard]] std::uint64_t compose_parallel_pipeline(
+    const std::vector<std::uint64_t>& producer_completion,
+    const std::vector<std::uint64_t>& consumer_chunk_cycles);
+
+}  // namespace omega

@@ -1,0 +1,46 @@
+// Tile-size selection: binds a DataflowPattern (loop orders + s/t/x tags +
+// a TileStyle) to a workload and an accelerator, producing a concrete
+// DataflowDescriptor whose static utilization is as close to 100% of the
+// phase's PEs as the pattern allows (Section V-A3: "tile sizes are chosen
+// such that ... the static utilization is nearly 100% of the PEs").
+#pragma once
+
+#include "arch/accelerator.hpp"
+#include "dataflow/patterns.hpp"
+#include "graph/datasets.hpp"
+
+namespace omega {
+
+/// GNN layer shape: the workload supplies V/E/F, the layer supplies G.
+struct LayerSpec {
+  std::size_t out_features = 16;  // GCN hidden width
+};
+
+/// Dimensions the tiler works against.
+struct WorkloadDims {
+  std::size_t vertices = 0;
+  std::size_t in_features = 0;   // F
+  std::size_t out_features = 0;  // G
+  double avg_degree = 0.0;
+  std::size_t max_degree = 0;
+};
+
+[[nodiscard]] WorkloadDims dims_of(const GnnWorkload& w, const LayerSpec& layer);
+
+/// Largest power of two <= x (x >= 1).
+[[nodiscard]] std::size_t pow2_floor(std::size_t x);
+/// Smallest power of two >= x (x >= 1).
+[[nodiscard]] std::size_t pow2_ceil(std::size_t x);
+
+/// Binds tile sizes for both phases. For PP the PE budget is split by
+/// `pattern.pp_agg_pe_fraction`; SP-Optimized ties the shared dims across
+/// phases. Throws InvalidDataflowError if the pattern cannot be satisfied.
+[[nodiscard]] DataflowDescriptor bind_tiles(const DataflowPattern& pattern,
+                                            const WorkloadDims& dims,
+                                            const AcceleratorConfig& hw);
+
+/// Static utilization of a bound phase: spatial tile footprint / phase PEs.
+[[nodiscard]] double static_utilization(const IntraPhaseDataflow& phase,
+                                        std::size_t phase_pes);
+
+}  // namespace omega

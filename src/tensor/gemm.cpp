@@ -1,0 +1,36 @@
+#include "tensor/gemm.hpp"
+
+namespace omega {
+
+void gemm_reference(const MatrixF& a, const MatrixF& b, MatrixF& c) {
+  OMEGA_CHECK(a.cols() == b.rows(), "gemm inner dimension mismatch");
+  c = MatrixF(a.rows(), b.cols(), 0.0f);
+  gemm_accumulate_reference(a, b, c);
+}
+
+void gemm_accumulate_reference(const MatrixF& a, const MatrixF& b, MatrixF& c) {
+  OMEGA_CHECK(a.cols() == b.rows(), "gemm inner dimension mismatch");
+  OMEGA_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+              "gemm output shape mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  // i-k-j order streams B rows; good enough for verification-sized inputs.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = a(i, kk);
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(kk);
+      float* crow = c.row(i);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+MatrixF gemm(const MatrixF& a, const MatrixF& b) {
+  MatrixF c;
+  gemm_reference(a, b, c);
+  return c;
+}
+
+}  // namespace omega

@@ -1,0 +1,19 @@
+// Reference dense kernels. These define "ground truth" for the functional
+// verification of simulated dataflows: whatever loop order / tiling a
+// dataflow uses, its computed output must match these (within FP tolerance).
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace omega {
+
+/// C = A(BxK) * B(KxN). Shapes validated; C is resized.
+void gemm_reference(const MatrixF& a, const MatrixF& b, MatrixF& c);
+
+/// C += A * B with C already shaped (rows(a) x cols(b)).
+void gemm_accumulate_reference(const MatrixF& a, const MatrixF& b, MatrixF& c);
+
+/// Convenience value-returning form.
+[[nodiscard]] MatrixF gemm(const MatrixF& a, const MatrixF& b);
+
+}  // namespace omega

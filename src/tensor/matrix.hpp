@@ -1,0 +1,117 @@
+// Dense row-major matrix used for feature/weight/intermediate matrices and
+// for the functional verification path of the simulated dataflows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace omega {
+
+/// Row-major dense matrix with value semantics. Kept deliberately simple —
+/// the simulator needs shape bookkeeping and element access, not BLAS.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws InvalidArgumentError on out-of-range.
+  [[nodiscard]] T& at(std::size_t r, std::size_t c) {
+    OMEGA_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return (*this)(r, c);
+  }
+  [[nodiscard]] const T& at(std::size_t r, std::size_t c) const {
+    OMEGA_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return (*this)(r, c);
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] T* row(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  [[nodiscard]] const T* row(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Fills with uniform values in [lo, hi) from a deterministic RNG.
+  void fill_uniform(Rng& rng, double lo = -1.0, double hi = 1.0) {
+    for (auto& v : data_) v = static_cast<T>(rng.uniform(lo, hi));
+  }
+
+  [[nodiscard]] Matrix<T> transposed() const {
+    Matrix<T> out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool operator==(const Matrix<T>& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixD = Matrix<double>;
+
+/// Largest absolute elementwise difference; shapes must match.
+template <typename T>
+[[nodiscard]] double max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
+  OMEGA_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "max_abs_diff shape mismatch");
+  double worst = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const double d = std::abs(static_cast<double>(a(r, c)) -
+                                static_cast<double>(b(r, c)));
+      if (d > worst) worst = d;
+    }
+  }
+  return worst;
+}
+
+/// True if all elements differ by at most `tol` (absolute) or `rtol` relative
+/// to the larger magnitude — accommodates reduction-order differences between
+/// the simulated dataflow and the reference kernel.
+template <typename T>
+[[nodiscard]] bool approx_equal(const Matrix<T>& a, const Matrix<T>& b,
+                                double tol = 1e-4, double rtol = 1e-4) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const double x = static_cast<double>(a(r, c));
+      const double y = static_cast<double>(b(r, c));
+      const double d = std::abs(x - y);
+      const double scale = std::max(std::abs(x), std::abs(y));
+      if (d > tol && d > rtol * scale) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace omega

@@ -1,0 +1,16 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace omega::detail {
+
+void throw_check_failure(const char* expr, const std::string& msg,
+                         const std::source_location& loc) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << loc.file_name() << ":"
+     << loc.line();
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgumentError(os.str());
+}
+
+}  // namespace omega::detail

@@ -1,0 +1,39 @@
+// Small string-formatting helpers shared across the framework.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omega {
+
+/// Joins the elements of `parts` with `sep` ("a, b, c").
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+/// Formats a count with thousands separators: 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+/// Human-readable engineering suffix: 1536 -> "1.54K", 2.1e9 -> "2.10G".
+[[nodiscard]] std::string si_suffix(double value, int precision = 2);
+
+/// Fixed-precision double ("%.3f" style) without locale surprises.
+[[nodiscard]] std::string fixed(double value, int precision = 3);
+
+/// Left/right padding to a fixed width (truncates if longer).
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+
+/// Lower-cases ASCII.
+[[nodiscard]] std::string to_lower(std::string s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Splits on a single character, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(const std::string& s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string trim(const std::string& s);
+
+}  // namespace omega

@@ -1,0 +1,54 @@
+// Leveled logging for the simulator. Off (Warn) by default so library users
+// and tests stay quiet; bench binaries raise it to Info for progress lines.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace omega {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line to stderr as "[level] message" if `level` is enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-style one-shot logger: Log(kInfo) << "x=" << x; flushes on
+/// destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogLine log_debug() {
+  return detail::LogLine(LogLevel::kDebug);
+}
+[[nodiscard]] inline detail::LogLine log_info() {
+  return detail::LogLine(LogLevel::kInfo);
+}
+[[nodiscard]] inline detail::LogLine log_warn() {
+  return detail::LogLine(LogLevel::kWarn);
+}
+[[nodiscard]] inline detail::LogLine log_error() {
+  return detail::LogLine(LogLevel::kError);
+}
+
+}  // namespace omega

@@ -1,0 +1,32 @@
+// Minimal shared-memory parallel loop used to parallelize design-space
+// sweeps (the cost model itself is deterministic and single-threaded per
+// evaluation, so evaluations across mappings are embarrassingly parallel).
+//
+// This is a plain std::thread fork-join helper rather than OpenMP so the
+// library builds with no extra toolchain flags; the interface mirrors
+// `#pragma omp parallel for schedule(static)`.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+namespace omega {
+
+/// Number of worker threads parallel_for will use by default:
+/// hardware_concurrency, clamped to at least 1.
+[[nodiscard]] std::size_t default_thread_count() noexcept;
+
+/// Runs body(i) for i in [0, n) across up to `threads` workers with a static
+/// block partition. Exceptions thrown by `body` are rethrown on the calling
+/// thread (first one wins). With threads <= 1 (or n small) runs inline.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+/// Runs body(begin, end) per worker over a static partition of [0, n);
+/// useful when per-iteration dispatch cost matters.
+void parallel_for_blocks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t threads = 0);
+
+}  // namespace omega

@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace omega {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  OMEGA_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  OMEGA_CHECK(row.size() == header_.size(),
+              "row arity must match header arity");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << pad_right(row[c], widths[c]);
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.to_string();
+}
+
+bool write_file_if_possible(const std::string& path, const std::string& content) {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) return false;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace omega

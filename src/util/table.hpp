@@ -1,0 +1,42 @@
+// ASCII table and CSV writers used by the benchmark harness to print the
+// rows/series the paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace omega {
+
+/// Column-aligned ASCII table with a header row, in the style of the result
+/// tables printed by the bench binaries. Cells are strings; callers format
+/// numbers with util/format helpers so alignment stays stable.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+
+  /// Renders with column padding and a separator rule under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes `content` to `path`, creating parent directories if needed.
+/// Returns false (without throwing) if the file cannot be written, so bench
+/// binaries can run in read-only sandboxes.
+bool write_file_if_possible(const std::string& path, const std::string& content);
+
+}  // namespace omega

@@ -1,0 +1,94 @@
+// Accelerator-model and energy-model unit tests.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "arch/accelerator.hpp"
+#include "arch/energy.hpp"
+#include "engine/traffic.hpp"
+
+namespace omega {
+namespace {
+
+TEST(AcceleratorConfigTest, DefaultsMatchPaperEvaluation) {
+  const AcceleratorConfig hw = default_accelerator();
+  EXPECT_EQ(hw.num_pes, 512u);                  // Section V-A3
+  EXPECT_EQ(hw.rf_bytes_per_pe, 64u);           // 64B banked RF
+  EXPECT_EQ(hw.rf_elements_per_pe(), 16u);      // fp32
+  EXPECT_EQ(hw.distribution_bandwidth, AcceleratorConfig::kUnbounded);
+  EXPECT_TRUE(hw.supports_spatial_reduction);
+  EXPECT_TRUE(hw.supports_temporal_reduction);
+  EXPECT_NO_THROW(hw.validate());
+}
+
+TEST(AcceleratorConfigTest, ValidationCatchesNonsense) {
+  AcceleratorConfig hw;
+  hw.num_pes = 0;
+  EXPECT_THROW(hw.validate(), Error);
+  hw = AcceleratorConfig{};
+  hw.rf_bytes_per_pe = 2;  // smaller than one element
+  EXPECT_THROW(hw.validate(), Error);
+  hw = AcceleratorConfig{};
+  hw.supports_spatial_reduction = false;
+  hw.supports_temporal_reduction = false;
+  EXPECT_THROW(hw.validate(), Error);
+  hw = AcceleratorConfig{};
+  hw.dram_bandwidth = 0;
+  EXPECT_THROW(hw.validate(), Error);
+}
+
+TEST(AcceleratorConfigTest, SummaryMentionsBoundedBandwidth) {
+  AcceleratorConfig hw;
+  EXPECT_EQ(hw.summary().find("dist BW"), std::string::npos);
+  hw.distribution_bandwidth = 128;
+  EXPECT_NE(hw.summary().find("dist BW 128"), std::string::npos);
+}
+
+TEST(EnergyModelTest, PaperAccessEnergies) {
+  const EnergyModel em;
+  EXPECT_DOUBLE_EQ(em.gb_access_pj, 1.046);  // Dally et al., 1MB bank
+  EXPECT_DOUBLE_EQ(em.rf_access_pj, 0.053);
+}
+
+TEST(EnergyModelTest, BufferEnergyScalesWithSqrtCapacity) {
+  const EnergyModel em;
+  // Reference bank -> full GB energy.
+  EXPECT_DOUBLE_EQ(em.buffer_access_pj(1u << 20), em.gb_access_pj);
+  // Quarter capacity -> half energy.
+  EXPECT_NEAR(em.buffer_access_pj(1u << 18), em.gb_access_pj / 2, 1e-9);
+  // Tiny partitions clamp at the RF energy, never below.
+  EXPECT_DOUBLE_EQ(em.buffer_access_pj(16), em.rf_access_pj);
+  // Oversized partitions clamp at the GB energy, never above.
+  EXPECT_DOUBLE_EQ(em.buffer_access_pj(64u << 20), em.gb_access_pj);
+  // Zero bytes behaves like a register.
+  EXPECT_DOUBLE_EQ(em.buffer_access_pj(0), em.rf_access_pj);
+}
+
+TEST(TrafficCountersTest, AccumulationAndTotals) {
+  TrafficCounters a;
+  a.gb_for(TrafficCategory::kInput).reads = 10;
+  a.gb_for(TrafficCategory::kWeight).writes = 5;
+  a.rf.reads = 7;
+  a.dram.writes = 3;
+  TrafficCounters b;
+  b.gb_for(TrafficCategory::kInput).reads = 1;
+  b.intermediate_partition.reads = 4;
+  a += b;
+  EXPECT_EQ(a.gb_for(TrafficCategory::kInput).reads, 11u);
+  EXPECT_EQ(a.gb_total(), 16u);
+  EXPECT_EQ(a.rf.total(), 7u);
+  EXPECT_EQ(a.dram.total(), 3u);
+  EXPECT_EQ(a.intermediate_partition.total(), 4u);
+}
+
+TEST(TrafficCategoryTest, NamesMatchFig13Labels) {
+  EXPECT_STREQ(to_string(TrafficCategory::kAdjacency), "Adj");
+  EXPECT_STREQ(to_string(TrafficCategory::kInput), "Inp");
+  EXPECT_STREQ(to_string(TrafficCategory::kIntermediate), "Int");
+  EXPECT_STREQ(to_string(TrafficCategory::kWeight), "Wt");
+  EXPECT_STREQ(to_string(TrafficCategory::kOutput), "Op");
+  EXPECT_STREQ(to_string(TrafficCategory::kPsum), "Psum");
+}
+
+}  // namespace
+}  // namespace omega

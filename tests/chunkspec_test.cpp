@@ -1,0 +1,158 @@
+// ChunkSpec grid logic and chunk-timeline invariants across the engines.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "engine/gemm_engine.hpp"
+#include "engine/spmm_engine.hpp"
+#include "graph/generators.hpp"
+
+namespace omega {
+namespace {
+
+TEST(ChunkSpecTest, WholeCoversEverythingInOneChunk) {
+  const ChunkSpec s = ChunkSpec::whole(100, 64);
+  EXPECT_EQ(s.num_chunks(), 1u);
+  EXPECT_EQ(s.chunk_of(0, 0), 0u);
+  EXPECT_EQ(s.chunk_of(99, 63), 0u);
+}
+
+TEST(ChunkSpecTest, RowMajorGrid) {
+  ChunkSpec s;
+  s.rows = 100;
+  s.cols = 64;
+  s.row_block = 25;
+  s.col_block = 32;
+  s.major = TraversalMajor::kRowMajor;
+  EXPECT_EQ(s.row_blocks(), 4u);
+  EXPECT_EQ(s.col_blocks(), 2u);
+  EXPECT_EQ(s.num_chunks(), 8u);
+  EXPECT_EQ(s.chunk_of(0, 0), 0u);
+  EXPECT_EQ(s.chunk_of(0, 32), 1u);
+  EXPECT_EQ(s.chunk_of(25, 0), 2u);
+  EXPECT_EQ(s.chunk_of(99, 63), 7u);
+}
+
+TEST(ChunkSpecTest, ColumnMajorGrid) {
+  ChunkSpec s;
+  s.rows = 100;
+  s.cols = 64;
+  s.row_block = 50;
+  s.col_block = 16;
+  s.major = TraversalMajor::kColumnMajor;
+  EXPECT_EQ(s.num_chunks(), 8u);
+  EXPECT_EQ(s.chunk_of(0, 0), 0u);
+  EXPECT_EQ(s.chunk_of(50, 0), 1u);   // next row block, same column
+  EXPECT_EQ(s.chunk_of(0, 16), 2u);   // next column block
+}
+
+TEST(ChunkSpecTest, RaggedTailBlocks) {
+  ChunkSpec s;
+  s.rows = 10;
+  s.cols = 7;
+  s.row_block = 4;
+  s.col_block = 3;
+  EXPECT_EQ(s.row_blocks(), 3u);  // 4+4+2
+  EXPECT_EQ(s.col_blocks(), 3u);  // 3+3+1
+  EXPECT_EQ(s.chunk_of(9, 6), 8u);
+}
+
+TEST(ChunkTimelineTest, GemmCompletionsArePrefixSumsWhenMonotone) {
+  GemmPhaseConfig cfg;
+  cfg.rows = 32;
+  cfg.inner = 8;
+  cfg.cols = 8;
+  cfg.order = LoopOrder::parse("VGF", GnnPhase::kCombination);
+  cfg.tiles = {.v = 8, .n = 1, .f = 1, .g = 8};
+  cfg.pes = 64;
+  cfg.chunks.rows = 32;
+  cfg.chunks.cols = 8;
+  cfg.chunks.row_block = 8;
+  cfg.chunk_target = ChunkTarget::kMatrixA;
+  const PhaseResult r = run_gemm_phase(cfg);
+  ASSERT_EQ(r.chunk_cycles.size(), 4u);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    cum += r.chunk_cycles[i];
+    EXPECT_EQ(r.chunk_completion[i], cum) << i;
+  }
+  EXPECT_EQ(cum, r.cycles);
+}
+
+TEST(ChunkTimelineTest, RevisitingProducerCompletesLate) {
+  // CA-style producer GVF with T_G=1 sweeps all row blocks once per G
+  // value: every chunk's completion lands in the LAST sweep, far after the
+  // first visit.
+  GemmPhaseConfig cfg;
+  cfg.rows = 64;
+  cfg.inner = 16;
+  cfg.cols = 4;  // 4 G-sweeps
+  cfg.order = LoopOrder::parse("GVF", GnnPhase::kCombination);
+  cfg.tiles = {.v = 16, .n = 1, .f = 1, .g = 1};
+  cfg.pes = 64;
+  cfg.chunks.rows = 64;   // intermediate is V x G
+  cfg.chunks.cols = 4;
+  cfg.chunks.row_block = 16;
+  cfg.chunks.col_block = 4;  // handoff width covers all of G
+  cfg.chunks.major = TraversalMajor::kColumnMajor;
+  cfg.chunk_target = ChunkTarget::kMatrixOut;
+  const PhaseResult r = run_gemm_phase(cfg);
+  ASSERT_EQ(r.chunk_cycles.size(), 4u);
+  // Even the first chunk (rows 0-15, all G) completes only in the final
+  // G sweep: later than 3/4 of the run.
+  EXPECT_GT(r.chunk_completion[0], r.cycles * 3 / 4);
+  // Completions are ordered by final-sweep traversal.
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GE(r.chunk_completion[i], r.chunk_completion[i - 1]);
+  }
+}
+
+TEST(ChunkTimelineTest, SpmmCompletionsMatchDurations) {
+  Rng rng(5);
+  const CSRGraph g = erdos_renyi(60, 240, rng).with_self_loops();
+  SpmmPhaseConfig cfg;
+  cfg.graph = &g;
+  cfg.feat = 16;
+  cfg.order = LoopOrder::parse("VFN", GnnPhase::kAggregation);
+  cfg.tiles = {.v = 4, .n = 1, .f = 8, .g = 1};
+  cfg.pes = 64;
+  cfg.chunks.rows = 60;
+  cfg.chunks.cols = 16;
+  cfg.chunks.row_block = 12;
+  cfg.chunk_target = ChunkTarget::kMatrixOut;
+  const PhaseResult r = run_spmm_phase(cfg);
+  ASSERT_EQ(r.chunk_cycles.size(), 5u);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < r.chunk_cycles.size(); ++i) {
+    cum += r.chunk_cycles[i];
+    EXPECT_EQ(r.chunk_completion[i], cum);
+  }
+  EXPECT_EQ(cum, r.cycles);
+}
+
+TEST(ChunkTimelineTest, ElementGranularitySplitsRowBlocks) {
+  const CSRGraph g = star_graph(15);  // 16 vertices
+  SpmmPhaseConfig cfg;
+  cfg.graph = &g;
+  cfg.feat = 8;
+  cfg.order = LoopOrder::parse("VFN", GnnPhase::kAggregation);
+  cfg.tiles = {.v = 4, .n = 1, .f = 4, .g = 1};
+  cfg.pes = 64;
+  cfg.chunks.rows = 16;
+  cfg.chunks.cols = 8;
+  cfg.chunks.row_block = 4;
+  cfg.chunks.col_block = 4;
+  cfg.chunk_target = ChunkTarget::kMatrixOut;
+  const PhaseResult r = run_spmm_phase(cfg);
+  ASSERT_EQ(r.chunk_cycles.size(), 8u);  // 4 row blocks x 2 col blocks
+  std::uint64_t sum = 0;
+  for (const auto c : r.chunk_cycles) sum += c;
+  EXPECT_EQ(sum, r.cycles);
+  // The hub's row block dominates the rest.
+  const std::uint64_t hub = r.chunk_cycles[0] + r.chunk_cycles[1];
+  const std::uint64_t leaf = r.chunk_cycles[6] + r.chunk_cycles[7];
+  EXPECT_GT(hub, leaf);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,124 @@
+// Mapping-search tests: tiling enumeration, objective ranking, Pareto
+// structure, and the optimizer's value over the hand-picked Table V configs.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "dse/search.hpp"
+#include "graph/generators.hpp"
+
+namespace omega {
+namespace {
+
+GnnWorkload toy_workload() {
+  Rng rng(42);
+  GnnWorkload w;
+  w.name = "dse-toy";
+  w.adjacency = erdos_renyi(80, 400, rng).with_self_loops().gcn_normalized();
+  w.in_features = 24;
+  return w;
+}
+
+TEST(TileTriplesTest, RespectsBudgetAndCaps) {
+  const auto triples = enumerate_tile_triples(64, 16, 4, 64, 0.5);
+  ASSERT_FALSE(triples.empty());
+  for (const auto& [a, b, c] : triples) {
+    EXPECT_LE(a * b * c, 64u);
+    EXPECT_GE(a * b * c, 32u);
+    EXPECT_LE(a, 16u);
+    EXPECT_LE(b, 4u);
+    // Powers of two only.
+    EXPECT_EQ(a & (a - 1), 0u);
+  }
+}
+
+TEST(TileTriplesTest, SmallCapsStillYieldSaturatedPoints) {
+  // Caps so small the budget cannot be filled: the saturated corner must
+  // still be emitted (utilization floor is waived when nothing can grow).
+  const auto triples = enumerate_tile_triples(512, 2, 2, 2, 0.9);
+  ASSERT_EQ(triples.size(), 1u);
+  EXPECT_EQ(triples[0][0] * triples[0][1] * triples[0][2], 8u);
+}
+
+TEST(SearchTest, FindsCandidatesAndRanksByObjective) {
+  AcceleratorConfig hw;
+  hw.num_pes = 64;
+  const Omega omega(hw);
+  SearchOptions opt;
+  opt.max_candidates = 400;
+  opt.top_k = 8;
+  const SearchResult r =
+      search_mappings(omega, toy_workload(), LayerSpec{8}, opt);
+  ASSERT_FALSE(r.ranked.empty());
+  EXPECT_GT(r.generated, 0u);
+  EXPECT_LE(r.ranked.size(), 8u);
+  for (std::size_t i = 1; i < r.ranked.size(); ++i) {
+    EXPECT_LE(r.ranked[i - 1].score, r.ranked[i].score);
+  }
+  EXPECT_EQ(r.best().score, static_cast<double>(r.best().cycles));
+}
+
+TEST(SearchTest, ParetoFrontierIsMonotone) {
+  AcceleratorConfig hw;
+  hw.num_pes = 64;
+  const Omega omega(hw);
+  SearchOptions opt;
+  opt.max_candidates = 300;
+  const SearchResult r =
+      search_mappings(omega, toy_workload(), LayerSpec{8}, opt);
+  ASSERT_GE(r.pareto.size(), 1u);
+  for (std::size_t i = 1; i < r.pareto.size(); ++i) {
+    EXPECT_GE(r.pareto[i].cycles, r.pareto[i - 1].cycles);
+    EXPECT_LT(r.pareto[i].on_chip_pj, r.pareto[i - 1].on_chip_pj);
+  }
+}
+
+TEST(SearchTest, EnergyObjectiveChangesWinner) {
+  AcceleratorConfig hw;
+  hw.num_pes = 64;
+  const Omega omega(hw);
+  SearchOptions runtime_opt;
+  runtime_opt.max_candidates = 300;
+  SearchOptions energy_opt = runtime_opt;
+  energy_opt.objective = Objective::kEnergy;
+  const auto by_runtime =
+      search_mappings(omega, toy_workload(), LayerSpec{8}, runtime_opt);
+  const auto by_energy =
+      search_mappings(omega, toy_workload(), LayerSpec{8}, energy_opt);
+  EXPECT_LE(by_energy.best().on_chip_pj, by_runtime.best().on_chip_pj);
+}
+
+TEST(SearchTest, StrategyFiltersApply) {
+  AcceleratorConfig hw;
+  hw.num_pes = 64;
+  const Omega omega(hw);
+  SearchOptions opt;
+  opt.include_seq = false;
+  opt.include_sp_generic = false;
+  opt.include_sp_optimized = true;
+  opt.include_pp = false;
+  opt.max_candidates = 100;
+  const auto r = search_mappings(omega, toy_workload(), LayerSpec{8}, opt);
+  for (const auto& c : r.ranked) {
+    EXPECT_EQ(c.dataflow.inter, InterPhase::kSPOptimized);
+  }
+}
+
+TEST(SearchTest, OptimizerMatchesOrBeatsTableVConfigs) {
+  // The future-work pitch of Section VI: a search over the taxonomy should
+  // never lose to the nine hand-picked configurations.
+  AcceleratorConfig hw;
+  hw.num_pes = 64;
+  const Omega omega(hw);
+  const GnnWorkload w = toy_workload();
+  SearchOptions opt;
+  opt.max_candidates = 800;
+  const auto best = search_mappings(omega, w, LayerSpec{8}, opt).best();
+  for (const auto& p : table5_patterns()) {
+    const auto r = omega.run_pattern(w, LayerSpec{8}, p);
+    EXPECT_LE(best.cycles, r.cycles) << "search lost to " << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace omega

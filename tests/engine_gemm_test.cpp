@@ -1,0 +1,207 @@
+// GEMM cost-engine tests: access counts must match the closed-form reuse
+// model (DESIGN.md "Cost-model semantics") and cycle counts must respond to
+// bandwidth, stationarity and psum spills exactly as Table I / Section IV
+// describe.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "engine/gemm_engine.hpp"
+
+namespace omega {
+namespace {
+
+GemmPhaseConfig base_config(const char* order, TileSizes tiles) {
+  GemmPhaseConfig cfg;
+  cfg.rows = 8;
+  cfg.inner = 4;
+  cfg.cols = 6;
+  cfg.order = LoopOrder::parse(order, GnnPhase::kCombination);
+  cfg.tiles = tiles;
+  cfg.pes = 512;
+  return cfg;
+}
+
+std::uint64_t gb_reads(const PhaseResult& r, TrafficCategory c) {
+  return r.traffic.gb_for(c).reads;
+}
+std::uint64_t gb_writes(const PhaseResult& r, TrafficCategory c) {
+  return r.traffic.gb_for(c).writes;
+}
+
+TEST(GemmEngineTest, MacsAlwaysEqualVFG) {
+  for (const char* order : {"VGF", "VFG", "GVF", "GFV", "FVG", "FGV"}) {
+    const auto r = run_gemm_phase(
+        base_config(order, {.v = 4, .n = 1, .f = 1, .g = 3}));
+    EXPECT_EQ(r.macs, 8u * 4 * 6) << order;
+  }
+}
+
+TEST(GemmEngineTest, IssueStepsAreTileCountProduct) {
+  // C_V = 2, C_F = 4, C_G = 2.
+  const auto r =
+      run_gemm_phase(base_config("VGF", {.v = 4, .n = 1, .f = 1, .g = 3}));
+  EXPECT_EQ(r.issue_steps, 2u * 4 * 2);
+}
+
+TEST(GemmEngineTest, OutputStationaryVGF) {
+  // Table I row 1: VsGsFt — output stationary, A and W stream every cycle,
+  // temporal reduction -> no psum traffic.
+  const auto r =
+      run_gemm_phase(base_config("VGF", {.v = 4, .n = 1, .f = 1, .g = 3}));
+  EXPECT_EQ(gb_reads(r, TrafficCategory::kIntermediate), 8u * 4 * 2);  // V*F*C_G
+  EXPECT_EQ(gb_reads(r, TrafficCategory::kWeight), 4u * 6 * 2);        // F*G*C_V
+  EXPECT_EQ(gb_writes(r, TrafficCategory::kOutput), 8u * 6);           // V*G once
+  EXPECT_EQ(gb_writes(r, TrafficCategory::kPsum), 0u);
+  EXPECT_EQ(gb_reads(r, TrafficCategory::kPsum), 0u);
+}
+
+TEST(GemmEngineTest, PsumSpillsWhenContractionIsNotInnermost) {
+  // VFG with C_F = 4 > 1 and C_G = 2 > 1 and an RF too small to keep the
+  // swept output row live: every output element spills and reloads once per
+  // non-final F tile (the SPhighV energy pathology).
+  auto cfg = base_config("VFG", {.v = 4, .n = 1, .f = 1, .g = 3});
+  cfg.rf_elements = 2;  // live set is 2 psums/PE; only 1 fits
+  const auto r = run_gemm_phase(cfg);
+  EXPECT_EQ(gb_writes(r, TrafficCategory::kPsum), 8u * 6 * 3);  // V*G*(C_F-1)
+  EXPECT_EQ(gb_reads(r, TrafficCategory::kPsum), 8u * 6 * 3);
+  EXPECT_EQ(gb_writes(r, TrafficCategory::kOutput), 8u * 6);
+}
+
+TEST(GemmEngineTest, NoPsumWhenWholeOutputTileResident) {
+  // VFG but G fully spatial (C_G = 1): the accumulators never get evicted.
+  auto cfg = base_config("VFG", {.v = 4, .n = 1, .f = 1, .g = 6});
+  cfg.rf_elements = 2;
+  const auto r = run_gemm_phase(cfg);
+  EXPECT_EQ(gb_writes(r, TrafficCategory::kPsum), 0u);
+}
+
+TEST(GemmEngineTest, RfResidentPsumsAvoidSpills) {
+  // Same VFG shape, but the default 16-element RF holds the 2-psum live set
+  // (C_G / T_F = 2): accumulation stays local — SP2 vs SPhighV in miniature.
+  const auto r =
+      run_gemm_phase(base_config("VFG", {.v = 4, .n = 1, .f = 1, .g = 3}));
+  EXPECT_EQ(gb_writes(r, TrafficCategory::kPsum), 0u);
+  EXPECT_EQ(gb_reads(r, TrafficCategory::kPsum), 0u);
+  EXPECT_EQ(gb_writes(r, TrafficCategory::kOutput), 8u * 6);
+}
+
+TEST(GemmEngineTest, WeightStationaryGFV) {
+  // Weight-stationary family: W loaded once per (G,F) tile, A streams.
+  const auto r =
+      run_gemm_phase(base_config("GFV", {.v = 2, .n = 1, .f = 2, .g = 2}));
+  // W tiles: C_G * C_F = 3 * 2 fetches of 2*2 elements = F*G elements once.
+  EXPECT_EQ(gb_reads(r, TrafficCategory::kWeight), 4u * 6);
+  // A streams every step: V*F per (g,f) tile pair -> V*F*C_G.
+  EXPECT_EQ(gb_reads(r, TrafficCategory::kIntermediate), 8u * 4 * 3);
+}
+
+TEST(GemmEngineTest, AFromRfRemovesLoadsAndGbReads) {
+  // SP-Optimized consumer: the intermediate is already in the PEs.
+  auto cfg = base_config("VFG", {.v = 4, .n = 1, .f = 4, .g = 1});
+  const auto with_gb = run_gemm_phase(cfg);
+  cfg.a_from_rf = true;
+  const auto with_rf = run_gemm_phase(cfg);
+  EXPECT_EQ(gb_reads(with_rf, TrafficCategory::kIntermediate), 0u);
+  EXPECT_GT(gb_reads(with_gb, TrafficCategory::kIntermediate), 0u);
+  EXPECT_LT(with_rf.cycles, with_gb.cycles);  // the t_load credit
+  EXPECT_EQ(with_rf.load_cycles, 0u);
+  EXPECT_GT(with_gb.load_cycles, 0u);
+}
+
+TEST(GemmEngineTest, BandwidthStallsAreMonotone) {
+  auto cfg = base_config("VGF", {.v = 8, .n = 1, .f = 1, .g = 6});
+  cfg.rows = 64;
+  cfg.inner = 32;
+  cfg.cols = 16;
+  cfg.tiles = {.v = 16, .n = 1, .f = 1, .g = 16};
+  std::uint64_t prev = 0;
+  for (const std::size_t bw : {256u, 64u, 16u, 4u}) {
+    cfg.bw_dist = bw;
+    const auto r = run_gemm_phase(cfg);
+    EXPECT_GE(r.cycles, prev) << "bw=" << bw;
+    prev = r.cycles;
+  }
+}
+
+TEST(GemmEngineTest, UnboundedBandwidthMeansNoStreamStalls) {
+  const auto r =
+      run_gemm_phase(base_config("VGF", {.v = 4, .n = 1, .f = 1, .g = 3}));
+  // Every step costs 1 plus only final-drain serialization.
+  EXPECT_EQ(r.issue_steps + r.stall_cycles + r.load_cycles + r.psum_cycles +
+                r.fill_cycles,
+            r.cycles);
+}
+
+TEST(GemmEngineTest, DramSpillChargesDramTraffic) {
+  auto cfg = base_config("VGF", {.v = 4, .n = 1, .f = 1, .g = 3});
+  cfg.a_in_dram = true;
+  cfg.a_stream_bw = 2;
+  const auto r = run_gemm_phase(cfg);
+  EXPECT_EQ(gb_reads(r, TrafficCategory::kIntermediate), 0u);
+  EXPECT_EQ(r.traffic.dram.reads, 8u * 4 * 2);
+  // DRAM streaming at bw=2 stalls the pipeline.
+  const auto on_chip =
+      run_gemm_phase(base_config("VGF", {.v = 4, .n = 1, .f = 1, .g = 3}));
+  EXPECT_GT(r.cycles, on_chip.cycles);
+}
+
+TEST(GemmEngineTest, PartitionRoutingSeparatesTraffic) {
+  auto cfg = base_config("VGF", {.v = 4, .n = 1, .f = 1, .g = 3});
+  cfg.a_via_partition = true;
+  const auto r = run_gemm_phase(cfg);
+  EXPECT_EQ(gb_reads(r, TrafficCategory::kIntermediate), 0u);
+  EXPECT_EQ(r.traffic.intermediate_partition.reads, 8u * 4 * 2);
+}
+
+TEST(GemmEngineTest, ChunkCyclesSumToTotal) {
+  auto cfg = base_config("VGF", {.v = 2, .n = 1, .f = 1, .g = 3});
+  cfg.chunks.rows = cfg.rows;
+  cfg.chunks.cols = cfg.inner;
+  cfg.chunks.row_block = 4;  // two row chunks of the V x F intermediate
+  cfg.chunk_target = ChunkTarget::kMatrixA;
+  const auto r = run_gemm_phase(cfg);
+  ASSERT_EQ(r.chunk_cycles.size(), 2u);
+  EXPECT_EQ(r.chunk_cycles[0] + r.chunk_cycles[1], r.cycles);
+  EXPECT_GT(r.chunk_cycles[0], 0u);
+  EXPECT_GT(r.chunk_cycles[1], 0u);
+}
+
+TEST(GemmEngineTest, PartialTilesKeepTrafficExact) {
+  // Extents that do not divide by the tiles: totals must still be exact.
+  GemmPhaseConfig cfg;
+  cfg.rows = 7;
+  cfg.inner = 5;
+  cfg.cols = 3;
+  cfg.order = LoopOrder::parse("VGF", GnnPhase::kCombination);
+  cfg.tiles = {.v = 4, .n = 1, .f = 2, .g = 2};
+  cfg.pes = 64;
+  const auto r = run_gemm_phase(cfg);
+  EXPECT_EQ(r.macs, 7u * 5 * 3);
+  EXPECT_EQ(gb_writes(r, TrafficCategory::kOutput), 7u * 3);
+}
+
+TEST(GemmEngineTest, RejectsOversizedFootprint) {
+  auto cfg = base_config("VGF", {.v = 64, .n = 1, .f = 1, .g = 6});
+  cfg.rows = 512;
+  cfg.pes = 16;
+  EXPECT_THROW(run_gemm_phase(cfg), Error);
+}
+
+TEST(GemmEngineTest, UtilizationReflectsEdgeWaste) {
+  // 6 cols with T_G = 4 -> the second G tile runs half empty.
+  GemmPhaseConfig cfg;
+  cfg.rows = 64;
+  cfg.inner = 16;
+  cfg.cols = 6;
+  cfg.order = LoopOrder::parse("VGF", GnnPhase::kCombination);
+  cfg.tiles = {.v = 8, .n = 1, .f = 1, .g = 4};
+  cfg.pes = 64;
+  const auto r = run_gemm_phase(cfg);
+  const double util = r.utilization(8 * 4);
+  EXPECT_LT(util, 0.9);
+  EXPECT_GT(util, 0.5);
+}
+
+}  // namespace
+}  // namespace omega

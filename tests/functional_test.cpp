@@ -1,0 +1,123 @@
+// Functional-equivalence property tests: every loop order and tiling must
+// compute exactly what the reference kernels compute (within FP
+// reduction-order tolerance) — the dataflow only changes *how*, never *what*.
+#include <gtest/gtest.h>
+
+#include "engine/functional.hpp"
+#include "graph/generators.hpp"
+#include "graph/spmm.hpp"
+#include "tensor/gemm.hpp"
+#include "util/rng.hpp"
+
+namespace omega {
+namespace {
+
+struct FunctionalCase {
+  const char* order;
+  TileSizes tiles;
+};
+
+class GemmOrders : public ::testing::TestWithParam<FunctionalCase> {};
+
+TEST_P(GemmOrders, MatchesReference) {
+  Rng rng(101);
+  MatrixF a(13, 9);
+  MatrixF b(9, 7);
+  a.fill_uniform(rng);
+  b.fill_uniform(rng);
+  const auto& p = GetParam();
+  const MatrixF got = functional_gemm(
+      a, b, LoopOrder::parse(p.order, GnnPhase::kCombination), p.tiles);
+  EXPECT_TRUE(approx_equal(got, gemm(a, b), 1e-4, 1e-4)) << p.order;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrdersAndTilings, GemmOrders,
+    ::testing::Values(
+        FunctionalCase{"VGF", {.v = 4, .n = 1, .f = 2, .g = 3}},
+        FunctionalCase{"VFG", {.v = 1, .n = 1, .f = 4, .g = 1}},
+        FunctionalCase{"GVF", {.v = 5, .n = 1, .f = 1, .g = 2}},
+        FunctionalCase{"GFV", {.v = 13, .n = 1, .f = 9, .g = 7}},
+        FunctionalCase{"FVG", {.v = 2, .n = 1, .f = 3, .g = 2}},
+        FunctionalCase{"FGV", {.v = 1, .n = 1, .f = 1, .g = 1}}));
+
+class SpmmOrders : public ::testing::TestWithParam<FunctionalCase> {};
+
+TEST_P(SpmmOrders, MatchesReference) {
+  Rng rng(202);
+  const CSRGraph g =
+      erdos_renyi(25, 120, rng).with_self_loops().gcn_normalized();
+  MatrixF x(25, 6);
+  x.fill_uniform(rng);
+  const auto& p = GetParam();
+  const MatrixF got = functional_spmm(
+      g, x, LoopOrder::parse(p.order, GnnPhase::kAggregation), p.tiles);
+  EXPECT_TRUE(approx_equal(got, spmm(g, x), 1e-4, 1e-4)) << p.order;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrdersAndTilings, SpmmOrders,
+    ::testing::Values(
+        // Gather family.
+        FunctionalCase{"VFN", {.v = 4, .n = 1, .f = 2, .g = 1}},
+        FunctionalCase{"VNF", {.v = 2, .n = 3, .f = 4, .g = 1}},
+        FunctionalCase{"FVN", {.v = 3, .n = 2, .f = 1, .g = 1}},
+        // Scatter family (reverse-adjacency push).
+        FunctionalCase{"NVF", {.v = 2, .n = 4, .f = 3, .g = 1}},
+        FunctionalCase{"NFV", {.v = 1, .n = 2, .f = 2, .g = 1}},
+        FunctionalCase{"FNV", {.v = 3, .n = 1, .f = 2, .g = 1}}));
+
+TEST(FunctionalLayerTest, AcAndCaAgree) {
+  // GCN allows both phase orders: (AX)W == A(XW).
+  Rng rng(303);
+  const CSRGraph g =
+      erdos_renyi(20, 80, rng).with_self_loops().gcn_normalized();
+  MatrixF x(20, 10);
+  MatrixF w(10, 4);
+  x.fill_uniform(rng);
+  w.fill_uniform(rng);
+
+  auto ac = DataflowDescriptor::parse("Seq_AC(VsFsNt, VsGsFt)");
+  ac.agg.tiles = {.v = 4, .n = 1, .f = 2, .g = 1};
+  ac.cmb.tiles = {.v = 4, .n = 1, .f = 1, .g = 2};
+  auto ca = DataflowDescriptor::parse("Seq_CA(VsFsNt, VsGsFt)");
+  ca.agg.tiles = {.v = 4, .n = 1, .f = 2, .g = 1};
+  ca.cmb.tiles = {.v = 4, .n = 1, .f = 1, .g = 2};
+
+  const MatrixF ref = gemm(spmm(g, x), w);
+  EXPECT_TRUE(approx_equal(functional_gcn_layer(g, x, w, ac), ref, 1e-3, 1e-3));
+  EXPECT_TRUE(approx_equal(functional_gcn_layer(g, x, w, ca), ref, 1e-3, 1e-3));
+}
+
+TEST(FunctionalLayerTest, ScatterAggregationInCaLayer) {
+  Rng rng(404);
+  const CSRGraph g =
+      erdos_renyi(18, 70, rng).with_self_loops().gcn_normalized();
+  MatrixF x(18, 8);
+  MatrixF w(8, 5);
+  x.fill_uniform(rng);
+  w.fill_uniform(rng);
+  // AWB-GCN-style CA dataflow with a scatter aggregation order.
+  auto ca = DataflowDescriptor::parse("Seq_CA(NsFtVs, GtFtVs)");
+  ca.agg.tiles = {.v = 2, .n = 3, .f = 1, .g = 1};
+  ca.cmb.tiles = {.v = 4, .n = 1, .f = 1, .g = 1};
+  const MatrixF ref = gemm(spmm(g, x), w);
+  EXPECT_TRUE(approx_equal(functional_gcn_layer(g, x, w, ca), ref, 1e-3, 1e-3));
+}
+
+TEST(FunctionalLayerTest, TilesLargerThanExtentsAreClamped) {
+  Rng rng(505);
+  const CSRGraph g = cycle_graph(6).with_self_loops();
+  MatrixF x(6, 3);
+  MatrixF w(3, 2);
+  x.fill_uniform(rng);
+  w.fill_uniform(rng);
+  auto df = DataflowDescriptor::parse("Seq_AC(VsFsNt, VsGsFt)");
+  df.agg.tiles = {.v = 512, .n = 1, .f = 512, .g = 1};
+  df.cmb.tiles = {.v = 512, .n = 1, .f = 1, .g = 512};
+  const MatrixF ref = gemm(spmm(g, x), w);
+  EXPECT_TRUE(approx_equal(functional_gcn_layer(g, x, w, df), ref, 1e-4, 1e-4));
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/spmm.hpp"
+#include "graph/stats.hpp"
+#include "tensor/gemm.hpp"
+
+namespace omega {
+namespace {
+
+TEST(CsrTest, PaperExampleMatchesFigure3) {
+  const CSRGraph g = paper_example_graph();
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 11u);
+  const std::vector<std::uint64_t> expected_vertex = {0, 2, 4, 7, 9, 11};
+  const std::vector<VertexId> expected_edge = {0, 1, 1, 2, 1, 2, 4, 0, 3, 0, 4};
+  EXPECT_EQ(g.vertex_array(), expected_vertex);
+  EXPECT_EQ(g.edge_array(), expected_edge);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(CsrTest, FromCooSortsAndDedups) {
+  const CSRGraph g = CSRGraph::from_coo(
+      3, {{2, 1}, {0, 2}, {0, 1}, {0, 1}, {2, 0}});
+  g.validate();
+  EXPECT_EQ(g.num_edges(), 4u);  // duplicate (0,1) removed
+  const auto n0 = g.neighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(CsrTest, SelfLoopsAddedOnceAndIdempotent) {
+  const CSRGraph g = CSRGraph::from_rows({{1}, {0, 1}, {}});
+  const CSRGraph s = g.with_self_loops();
+  EXPECT_EQ(s.num_edges(), g.num_edges() + 2);  // vertex 1 already had one
+  EXPECT_EQ(s.with_self_loops().num_edges(), s.num_edges());
+  for (VertexId v = 0; v < 3; ++v) {
+    const auto nbrs = s.neighbors(v);
+    EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end());
+  }
+}
+
+TEST(CsrTest, GcnNormalizationIsSymmetricScaled) {
+  const CSRGraph g = paper_example_graph().gcn_normalized();
+  ASSERT_TRUE(g.has_values());
+  // value(u, v) = 1/sqrt(deg(u) deg(v)); row 2 has degree 3, vertex 1 degree 2.
+  const auto vals = g.edge_values(2);
+  const auto nbrs = g.neighbors(2);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const double expected =
+        1.0 / std::sqrt(3.0 * static_cast<double>(g.degree(nbrs[i])));
+    EXPECT_NEAR(vals[i], expected, 1e-6);
+  }
+}
+
+TEST(CsrTest, MeanNormalizationRowsSumToOne) {
+  const CSRGraph g = paper_example_graph().mean_normalized();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto vals = g.edge_values(v);
+    const double sum = std::accumulate(vals.begin(), vals.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(CsrTest, TransposeInvolution) {
+  Rng rng(3);
+  const CSRGraph g = erdos_renyi(50, 300, rng, /*undirected=*/false);
+  const CSRGraph tt = g.transposed().transposed();
+  EXPECT_EQ(tt.vertex_array(), g.vertex_array());
+  EXPECT_EQ(tt.edge_array(), g.edge_array());
+}
+
+TEST(CsrTest, TransposeMatchesDenseTranspose) {
+  const CSRGraph g = paper_example_graph().gcn_normalized();
+  const MatrixF dt = g.to_dense().transposed();
+  const MatrixF t = g.transposed().to_dense();
+  EXPECT_TRUE(approx_equal(dt, t));
+}
+
+TEST(CsrTest, ValidateCatchesCorruption) {
+  CSRGraph g = CSRGraph::from_rows({{1}, {0}});
+  g.set_values({1.0f, 2.0f});
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_THROW(g.set_values({1.0f}), Error);
+}
+
+TEST(BlockDiagonalTest, OffsetsAndValuesPreserved) {
+  const CSRGraph a = paper_example_graph().gcn_normalized();
+  const CSRGraph b = paper_example_graph().gcn_normalized();
+  const CSRGraph batched = block_diagonal({a, b});
+  batched.validate();
+  EXPECT_EQ(batched.num_vertices(), 10u);
+  EXPECT_EQ(batched.num_edges(), 22u);
+  ASSERT_TRUE(batched.has_values());
+  // Second block neighbors are shifted by 5 and keep their values.
+  const auto nbrs = batched.neighbors(7);  // == vertex 2 of block b
+  const auto vals = batched.edge_values(7);
+  const auto orig_n = b.neighbors(2);
+  const auto orig_v = b.edge_values(2);
+  ASSERT_EQ(nbrs.size(), orig_n.size());
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    EXPECT_EQ(nbrs[i], orig_n[i] + 5);
+    EXPECT_FLOAT_EQ(vals[i], orig_v[i]);
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiHitsEdgeBudget) {
+  Rng rng(5);
+  const CSRGraph g = erdos_renyi(100, 600, rng);
+  g.validate();
+  EXPECT_EQ(g.num_edges(), 600u);
+  // Undirected: adjacency must be symmetric.
+  const MatrixF d = g.to_dense();
+  EXPECT_TRUE(approx_equal(d, d.transposed()));
+}
+
+TEST(GeneratorsTest, ChungLuSkewGrowsWithSigma) {
+  Rng rng1(7), rng2(7);
+  const CSRGraph flat = lognormal_chung_lu(800, 4000, 0.1, rng1);
+  const CSRGraph skewed = lognormal_chung_lu(800, 4000, 1.5, rng2);
+  EXPECT_EQ(flat.num_edges(), 4000u);
+  EXPECT_EQ(skewed.num_edges(), 4000u);
+  const auto s1 = compute_degree_stats(flat);
+  const auto s2 = compute_degree_stats(skewed);
+  EXPECT_GT(s2.skew_ratio, 2.0 * s1.skew_ratio)
+      << "sigma=1.5 should produce a much heavier tail";
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  Rng a(99), b(99);
+  const CSRGraph g1 = lognormal_chung_lu(200, 1000, 1.0, a);
+  const CSRGraph g2 = lognormal_chung_lu(200, 1000, 1.0, b);
+  EXPECT_EQ(g1.edge_array(), g2.edge_array());
+}
+
+TEST(GeneratorsTest, FixedTopologies) {
+  EXPECT_EQ(path_graph(5).num_edges(), 8u);
+  EXPECT_EQ(cycle_graph(5).num_edges(), 10u);
+  const CSRGraph star = star_graph(6);
+  EXPECT_EQ(star.num_vertices(), 7u);
+  EXPECT_EQ(star.degree(0), 6u);
+  EXPECT_EQ(complete_graph(4).num_edges(), 12u);
+}
+
+TEST(SpmmTest, MatchesDenseComputation) {
+  Rng rng(11);
+  const CSRGraph g = erdos_renyi(30, 120, rng).with_self_loops().gcn_normalized();
+  MatrixF x(30, 8);
+  x.fill_uniform(rng);
+  const MatrixF h = spmm(g, x);
+  const MatrixF expected = gemm(g.to_dense(), x);
+  EXPECT_TRUE(approx_equal(h, expected, 1e-4, 1e-4));
+}
+
+TEST(SpmmTest, UnweightedSumsNeighbors) {
+  const CSRGraph g = CSRGraph::from_rows({{1, 2}, {}, {0}});
+  MatrixF x(3, 1);
+  x(0, 0) = 1;
+  x(1, 0) = 2;
+  x(2, 0) = 4;
+  const MatrixF h = spmm(g, x);
+  EXPECT_FLOAT_EQ(h(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(h(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(h(2, 0), 1.0f);
+}
+
+TEST(StatsTest, PercentileAndDegreeStats) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 100.0), 5.0);
+  const CSRGraph star = star_graph(9);
+  const auto s = compute_degree_stats(star);
+  EXPECT_EQ(s.max_degree, 9u);
+  EXPECT_NEAR(s.mean_degree, 1.8, 1e-9);
+  EXPECT_GT(s.skew_ratio, 4.9);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,183 @@
+// End-to-end integration: synthesized Table IV workloads through all nine
+// Table V dataflows, checking the qualitative shapes the paper reports
+// (Section V-B/V-E) at reduced scale.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <map>
+
+#include "graph/stats.hpp"
+#include "omega/omega.hpp"
+
+namespace omega {
+namespace {
+
+class TableVOnDatasets : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SynthesisOptions opt;
+    opt.scale = 0.15;  // keep CI fast; shapes survive scaling (Fig. 15)
+    workloads_ = new std::vector<GnnWorkload>(synthesize_all_workloads(opt));
+    omega_ = new Omega(default_accelerator());
+  }
+  static void TearDownTestSuite() {
+    delete workloads_;
+    delete omega_;
+    workloads_ = nullptr;
+    omega_ = nullptr;
+  }
+
+  static const GnnWorkload& by_name(const std::string& name) {
+    for (const auto& w : *workloads_) {
+      if (w.name == name) return w;
+    }
+    throw InvalidArgumentError("no workload " + name);
+  }
+
+  static std::vector<GnnWorkload>* workloads_;
+  static Omega* omega_;
+};
+
+std::vector<GnnWorkload>* TableVOnDatasets::workloads_ = nullptr;
+Omega* TableVOnDatasets::omega_ = nullptr;
+
+TEST_F(TableVOnDatasets, AllPatternsRunOnAllDatasets) {
+  const LayerSpec layer{16};
+  for (const auto& w : *workloads_) {
+    for (const auto& p : table5_patterns()) {
+      SCOPED_TRACE(w.name + "/" + p.name);
+      const RunResult r = omega_->run_pattern(w, layer, p);
+      EXPECT_GT(r.cycles, 0u);
+      EXPECT_GT(r.energy.on_chip_pj(), 0.0);
+      // MAC work is dataflow-invariant.
+      EXPECT_EQ(r.agg.macs, w.num_edges() * w.in_features);
+      EXPECT_EQ(r.cmb.macs,
+                static_cast<std::uint64_t>(w.num_vertices()) *
+                    w.in_features * 16);
+    }
+  }
+}
+
+// Full-scale Citeseer fixture: the evil-row and spill effects need the real
+// Table IV dimensions (V*F ~ 49 MB intermediate, degree tail to ~100).
+class CiteseerFullScale : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    citeseer_ = new GnnWorkload(
+        synthesize_workload(dataset_by_name("Citeseer"), SynthesisOptions{}));
+    omega_ = new Omega(default_accelerator());
+  }
+  static void TearDownTestSuite() {
+    delete citeseer_;
+    delete omega_;
+    citeseer_ = nullptr;
+    omega_ = nullptr;
+  }
+  static GnnWorkload* citeseer_;
+  static Omega* omega_;
+};
+
+GnnWorkload* CiteseerFullScale::citeseer_ = nullptr;
+Omega* CiteseerFullScale::omega_ = nullptr;
+
+TEST_F(CiteseerFullScale, SpHighVIsPathologicalOnSkewedGraphs) {
+  // Section V-B1: extremely high T_V is evil-row bound on HF datasets.
+  const LayerSpec layer{16};
+  const auto sp2 =
+      omega_->run_pattern(*citeseer_, layer, pattern_by_name("SP2"));
+  const auto high =
+      omega_->run_pattern(*citeseer_, layer, pattern_by_name("SPhighV"));
+  EXPECT_GT(high.cycles, 2 * sp2.cycles)
+      << "SPhighV should be dominated by dense rows";
+}
+
+TEST_F(CiteseerFullScale, SpHighVPsumTrafficBlowsUp) {
+  // Section V-B2: T_F = 1 leaves no RF room for the output row, so SPhighV
+  // pays partial-sum GB traffic that SP2 (T_F > 1) avoids entirely.
+  const LayerSpec layer{16};
+  const auto sp2 =
+      omega_->run_pattern(*citeseer_, layer, pattern_by_name("SP2"));
+  const auto high =
+      omega_->run_pattern(*citeseer_, layer, pattern_by_name("SPhighV"));
+  EXPECT_EQ(sp2.traffic.gb_for(TrafficCategory::kPsum).total(), 0u);
+  EXPECT_GT(high.traffic.gb_for(TrafficCategory::kPsum).total(), 1000000u);
+}
+
+TEST_F(CiteseerFullScale, HfSeqSpillsButPipelinesDoNot) {
+  // HF datasets have V*F intermediates far beyond the 4 MiB GB; Seq spills
+  // while SP/PP keep everything on chip (Fig. 6).
+  const LayerSpec layer{16};
+  const auto seq =
+      omega_->run_pattern(*citeseer_, layer, pattern_by_name("Seq1"));
+  const auto pp3 =
+      omega_->run_pattern(*citeseer_, layer, pattern_by_name("PP3"));
+  const auto sp2 =
+      omega_->run_pattern(*citeseer_, layer, pattern_by_name("SP2"));
+  EXPECT_TRUE(seq.intermediate_spilled);
+  EXPECT_FALSE(pp3.intermediate_spilled);
+  EXPECT_EQ(pp3.traffic.dram.total(), 0u);
+  EXPECT_EQ(sp2.traffic.dram.total(), 0u);
+  // Avoiding the spill is the pipelining win on HF (Section V-E).
+  EXPECT_LT(pp3.cycles, seq.cycles);
+  EXPECT_LT(sp2.cycles, seq.cycles);
+}
+
+TEST_F(TableVOnDatasets, SpOptimizedHasNoIntermediateGbTraffic) {
+  const LayerSpec layer{16};
+  for (const char* name : {"SP1", "SP2"}) {
+    const auto r = omega_->run_pattern(by_name("Mutag"), layer,
+                                       pattern_by_name(name));
+    EXPECT_EQ(r.traffic.gb_for(TrafficCategory::kIntermediate).total(), 0u)
+        << name;
+  }
+}
+
+TEST_F(TableVOnDatasets, SeqMovesWholeIntermediateThroughMemory) {
+  const LayerSpec layer{16};
+  const auto& w = by_name("Mutag");
+  const auto r = omega_->run_pattern(w, layer, pattern_by_name("Seq1"));
+  const std::uint64_t vf =
+      static_cast<std::uint64_t>(w.num_vertices()) * w.in_features;
+  if (r.intermediate_spilled) {
+    EXPECT_GE(r.traffic.dram.writes, vf);
+  } else {
+    EXPECT_GE(r.traffic.gb_for(TrafficCategory::kIntermediate).writes, vf);
+    EXPECT_GE(r.traffic.gb_for(TrafficCategory::kIntermediate).reads, vf);
+  }
+}
+
+TEST_F(TableVOnDatasets, UtilizationIsHighForBalancedConfigs) {
+  const LayerSpec layer{16};
+  const auto r =
+      omega_->run_pattern(by_name("Collab"), layer, pattern_by_name("Seq1"));
+  EXPECT_GT(r.agg_static_utilization, 0.99);
+  EXPECT_GT(r.cmb_static_utilization, 0.99);
+  EXPECT_GT(r.cmb_dynamic_utilization(), 0.5);
+}
+
+TEST_F(TableVOnDatasets, EnergyDominatedByGbOverRf) {
+  // Fig. 12: GB accesses dominate the energy budget.
+  const LayerSpec layer{16};
+  const auto r =
+      omega_->run_pattern(by_name("Imdb-bin"), layer, pattern_by_name("Seq1"));
+  EXPECT_GT(r.energy.gb_pj, r.energy.rf_pj * 0.5);
+  EXPECT_GT(r.energy.gb_pj, 0.0);
+}
+
+TEST_F(TableVOnDatasets, PPEnergyBelowSeqViaPartition) {
+  // Fig. 12: the PP intermediate partition is cheaper per access than the
+  // GB, so PP's intermediate energy undercuts Seq's.
+  const LayerSpec layer{16};
+  const auto& w = by_name("Proteins");
+  const auto seq = omega_->run_pattern(w, layer, pattern_by_name("Seq1"));
+  const auto pp1 = omega_->run_pattern(w, layer, pattern_by_name("PP1"));
+  const double seq_int =
+      seq.energy.gb_by_category_pj[static_cast<std::size_t>(
+          TrafficCategory::kIntermediate)] +
+      seq.energy.dram_pj;
+  EXPECT_LT(pp1.energy.partition_pj, seq_int * 1.01);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,135 @@
+// CA (Combination-then-Aggregation) phase-order coverage through the full
+// OMEGA stack: Table II row 7-9 dataflows, AWB-GCN-style scatter
+// aggregation, SP-Optimized CA, and AC-vs-CA work accounting.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "gnn/layers.hpp"
+#include "graph/generators.hpp"
+#include "omega/omega.hpp"
+
+namespace omega {
+namespace {
+
+GnnWorkload ca_workload(std::size_t v = 120, std::size_t e = 520,
+                        std::size_t f = 48) {
+  Rng rng(17);
+  GnnWorkload w;
+  w.name = "ca-unit";
+  w.adjacency = erdos_renyi(v, e, rng).with_self_loops().gcn_normalized();
+  w.in_features = f;
+  return w;
+}
+
+AcceleratorConfig hw64() {
+  AcceleratorConfig hw;
+  hw.num_pes = 64;
+  return hw;
+}
+
+TEST(CaRunTest, MacWorkMatchesAlgebra) {
+  // AC: E*F (agg) + V*F*G (cmb). CA: V*F*G (cmb) + E*G (agg) — CA shrinks
+  // the aggregation work by F/G.
+  const Omega omega(hw64());
+  const GnnWorkload w = ca_workload();
+  const LayerSpec layer{8};
+
+  auto ac = DataflowDescriptor::parse("Seq_AC(VsFsNt, VsGsFt)");
+  ac.agg.tiles = {.v = 8, .n = 1, .f = 8, .g = 1};
+  ac.cmb.tiles = {.v = 8, .n = 1, .f = 1, .g = 8};
+  auto ca = DataflowDescriptor::parse("Seq_CA(VsFsNt, VsGsFt)");
+  ca.agg.tiles = {.v = 8, .n = 1, .f = 8, .g = 1};
+  ca.cmb.tiles = {.v = 8, .n = 1, .f = 1, .g = 8};
+
+  const RunResult rac = omega.run(w, layer, ac);
+  const RunResult rca = omega.run(w, layer, ca);
+  EXPECT_EQ(rac.agg.macs, w.num_edges() * w.in_features);
+  EXPECT_EQ(rca.agg.macs, w.num_edges() * layer.out_features);
+  EXPECT_EQ(rac.cmb.macs, rca.cmb.macs);
+  // With F >> G, CA's total MAC count is strictly smaller.
+  EXPECT_LT(rca.agg.macs + rca.cmb.macs, rac.agg.macs + rac.cmb.macs);
+}
+
+TEST(CaRunTest, IntermediateIsVxG) {
+  const Omega omega(hw64());
+  const GnnWorkload w = ca_workload();
+  auto ca = DataflowDescriptor::parse("Seq_CA(VsFsNt, VsGsFt)");
+  ca.agg.tiles = {.v = 8, .n = 1, .f = 8, .g = 1};
+  ca.cmb.tiles = {.v = 8, .n = 1, .f = 1, .g = 8};
+  const RunResult r = omega.run(w, LayerSpec{8}, ca);
+  EXPECT_EQ(r.intermediate_buffer_elements, w.num_vertices() * 8u);
+  // The intermediate write volume equals V*G once.
+  EXPECT_EQ(r.traffic.gb_for(TrafficCategory::kIntermediate).writes,
+            w.num_vertices() * 8u);
+}
+
+TEST(CaRunTest, ScatterAggregationChargesRmwPsums) {
+  const Omega omega(hw64());
+  const GnnWorkload w = ca_workload();
+  // AWB-GCN-style: scatter aggregation consuming columns of the
+  // intermediate (Table II row 9 pair FNV/GFV).
+  auto ca = DataflowDescriptor::parse("PP_CA(FsNtVs, GtFtVs)");
+  ca.agg.tiles = {.v = 4, .n = 1, .f = 8, .g = 1};  // 32 PEs (50-50 split)
+  ca.cmb.tiles = {.v = 16, .n = 1, .f = 1, .g = 1};
+  ca.validate();
+  const RunResult r = omega.run(w, LayerSpec{8}, ca);
+  EXPECT_EQ(r.granularity, Granularity::kColumn);
+  // Scatter accumulation: one GB RMW per (edge, out-feature) beyond the
+  // first touch.
+  const std::uint64_t updates = w.num_edges() * 8u;
+  const std::uint64_t out = w.num_vertices() * 8u;
+  EXPECT_EQ(r.traffic.gb_for(TrafficCategory::kPsum).writes, updates - out);
+  EXPECT_EQ(r.traffic.gb_for(TrafficCategory::kOutput).writes, out);
+}
+
+TEST(CaRunTest, SpOptimizedCaRunsAndKeepsIntermediateLocal) {
+  const Omega omega(hw64());
+  const GnnWorkload w = ca_workload();
+  auto ca = DataflowDescriptor::parse("SP_CA(NsFsVt, VsGsFt)");
+  ca.agg.tiles = {.v = 1, .n = 8, .f = 8, .g = 1};
+  ca.cmb.tiles = {.v = 8, .n = 1, .f = 1, .g = 8};
+  ca.validate();
+  const RunResult r = omega.run(w, LayerSpec{8}, ca);
+  EXPECT_EQ(r.traffic.gb_for(TrafficCategory::kIntermediate).total(), 0u);
+  EXPECT_EQ(r.intermediate_buffer_elements, 0u);
+}
+
+TEST(CaRunTest, PipelinedCaOverlapsPhases) {
+  const Omega omega(hw64());
+  const GnnWorkload w = ca_workload();
+  auto pp = DataflowDescriptor::parse("PP_CA(NsFsVt, VsGsFt)");
+  pp.agg.tiles = {.v = 1, .n = 8, .f = 4, .g = 1};
+  pp.cmb.tiles = {.v = 8, .n = 1, .f = 1, .g = 4};
+  pp.validate();
+  const RunResult r = omega.run(w, LayerSpec{8}, pp);
+  EXPECT_EQ(r.granularity, Granularity::kElement);
+  EXPECT_GT(r.pipeline_chunks, 1u);
+  EXPECT_LE(r.cycles, r.agg.cycles + r.cmb.cycles);
+}
+
+TEST(CaRunTest, GraphSageForbidsCa) {
+  GnnLayerSpec sage;
+  sage.model = GnnModel::kGraphSAGE;
+  EXPECT_FALSE(sage.allows_phase_order(PhaseOrder::kCA));
+}
+
+TEST(CaRunTest, CaBeatsAcWhenFeaturesDwarfHidden) {
+  // The well-known GCN trick: with F = 48 >> G = 4, computing X*W first
+  // shrinks the aggregation 12x. The cost model must reflect it.
+  const Omega omega(hw64());
+  const GnnWorkload w = ca_workload(120, 520, 48);
+  const LayerSpec layer{4};
+  auto ac = DataflowDescriptor::parse("Seq_AC(VsFsNt, VsGsFt)");
+  ac.agg.tiles = {.v = 8, .n = 1, .f = 8, .g = 1};
+  ac.cmb.tiles = {.v = 16, .n = 1, .f = 1, .g = 4};
+  auto ca = DataflowDescriptor::parse("Seq_CA(VsFsNt, VsGsFt)");
+  ca.agg.tiles = {.v = 16, .n = 1, .f = 4, .g = 1};
+  ca.cmb.tiles = {.v = 16, .n = 1, .f = 1, .g = 4};
+  const RunResult rac = omega.run(w, layer, ac);
+  const RunResult rca = omega.run(w, layer, ca);
+  EXPECT_LT(rca.agg.cycles, rac.agg.cycles);
+}
+
+}  // namespace
+}  // namespace omega

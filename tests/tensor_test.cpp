@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace omega {
+namespace {
+
+TEST(MatrixTest, ShapeAndAccess) {
+  MatrixF m(3, 4, 1.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  m(2, 3) = 7.0f;
+  EXPECT_FLOAT_EQ(m(2, 3), 7.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 1.5f);
+  EXPECT_THROW((void)m.at(3, 0), Error);
+  EXPECT_THROW((void)m.at(0, 4), Error);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Rng rng(1);
+  MatrixF m(5, 3);
+  m.fill_uniform(rng);
+  const MatrixF t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 5u);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(MatrixTest, MaxAbsDiffAndApproxEqual) {
+  MatrixF a(2, 2, 1.0f), b(2, 2, 1.0f);
+  b(1, 1) = 1.5f;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+  EXPECT_FALSE(approx_equal(a, b));
+  b(1, 1) = 1.0f + 1e-6f;
+  EXPECT_TRUE(approx_equal(a, b));
+  const MatrixF c(2, 3);
+  EXPECT_FALSE(approx_equal(a, c));
+}
+
+TEST(GemmTest, KnownProduct) {
+  MatrixF a(2, 3);
+  MatrixF b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(std::begin(av), std::end(av), a.data());
+  std::copy(std::begin(bv), std::end(bv), b.data());
+  const MatrixF c = gemm(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(GemmTest, IdentityIsNeutral) {
+  Rng rng(2);
+  MatrixF a(4, 4);
+  a.fill_uniform(rng);
+  MatrixF eye(4, 4, 0.0f);
+  for (std::size_t i = 0; i < 4; ++i) eye(i, i) = 1.0f;
+  EXPECT_TRUE(approx_equal(gemm(a, eye), a));
+  EXPECT_TRUE(approx_equal(gemm(eye, a), a));
+}
+
+TEST(GemmTest, ShapeMismatchThrows) {
+  const MatrixF a(2, 3), b(4, 2);
+  MatrixF c;
+  EXPECT_THROW(gemm_reference(a, b, c), Error);
+}
+
+TEST(GemmTest, AccumulateAddsOnTop) {
+  const MatrixF a(2, 2, 1.0f), b(2, 2, 1.0f);
+  MatrixF c(2, 2, 10.0f);
+  gemm_accumulate_reference(a, b, c);
+  EXPECT_FLOAT_EQ(c(0, 0), 12.0f);
+}
+
+}  // namespace
+}  // namespace omega

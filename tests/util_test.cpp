@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace omega {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);  // all of -2..2 should appear
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, LognormalIsPositiveAndSkewed) {
+  Rng rng(13);
+  double max_v = 0, sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.lognormal(0.0, 1.5);
+    EXPECT_GT(x, 0.0);
+    max_v = std::max(max_v, x);
+    sum += x;
+  }
+  // Heavy tail: the max should dwarf the mean.
+  EXPECT_GT(max_v, 10.0 * (sum / n));
+}
+
+TEST(RngTest, WeightedIndexHonorsZeros) {
+  Rng rng(17);
+  const std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.weighted_index(w), 1u);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), Error);
+}
+
+TEST(DiscreteSamplerTest, MatchesWeights) {
+  Rng rng(19);
+  const DiscreteSampler sampler({1.0, 3.0});
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += (sampler.sample(rng) == 1);
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(FormatTest, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+}
+
+TEST(FormatTest, SiSuffix) {
+  EXPECT_EQ(si_suffix(950.0, 0), "950");
+  EXPECT_EQ(si_suffix(1536.0), "1.54K");
+  EXPECT_EQ(si_suffix(-2.5e9, 1), "-2.5G");
+}
+
+TEST(FormatTest, FixedAndPadding) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("abcdef", 3), "abc");
+}
+
+TEST(FormatTest, SplitTrimLower) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_TRUE(starts_with("PP_AC", "PP"));
+  EXPECT_FALSE(starts_with("PP", "PP_AC"));
+}
+
+TEST(TableTest, RendersAlignedRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TableTest, CsvEscaping) {
+  TextTable t({"a", "b"});
+  t.add_row({"x,y", "q\"z"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"z\""), std::string::npos);
+}
+
+TEST(ParallelTest, CoversAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(100, [](std::size_t i) {
+        if (i == 57) throw InvalidArgumentError("boom");
+      }, 4),
+      Error);
+}
+
+TEST(ParallelTest, BlocksPartitionExactly) {
+  std::atomic<std::size_t> total{0};
+  parallel_for_blocks(
+      1000, [&](std::size_t b, std::size_t e) { total += e - b; }, 8);
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ParallelTest, ZeroAndOneElement) {
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { calls++; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](std::size_t) { calls++; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ErrorTest, CheckMacroThrowsWithContext) {
+  try {
+    OMEGA_CHECK(1 == 2, "custom detail");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,167 @@
+// omega_cli — evaluate any dataflow on any Table IV workload from the
+// command line.
+//
+// Usage:
+//   omega_cli run  <dataset> "<dataflow>" [--tiles v,n,f,V,G,F] [--pes N]
+//                  [--g N] [--frac X] [--bw N] [--scale X]
+//   omega_cli list                     # datasets and Table V configs
+//   omega_cli pattern <dataset> <name> [--pes N] [--g N] [--scale X]
+//
+// Examples:
+//   omega_cli run Citeseer "PP_AC(VtFsNt, VsGsFt)" --tiles 1,1,256,16,16,1
+//   omega_cli pattern Collab SP2
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "graph/stats.hpp"
+#include "omega/omega.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace omega;
+
+struct CliOptions {
+  std::size_t pes = 512;
+  std::size_t g = 16;
+  double frac = 0.5;
+  std::size_t bw = 0;  // 0 = unbounded
+  double scale = 1.0;
+  std::vector<std::size_t> tiles;
+};
+
+CliOptions parse_flags(int argc, char** argv, int first) {
+  CliOptions o;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw InvalidArgumentError("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--pes") o.pes = static_cast<std::size_t>(std::stoul(next()));
+    else if (a == "--g") o.g = static_cast<std::size_t>(std::stoul(next()));
+    else if (a == "--frac") o.frac = std::stod(next());
+    else if (a == "--bw") o.bw = static_cast<std::size_t>(std::stoul(next()));
+    else if (a == "--scale") o.scale = std::stod(next());
+    else if (a == "--tiles") {
+      for (const auto& part : split(next(), ',')) {
+        o.tiles.push_back(static_cast<std::size_t>(std::stoul(part)));
+      }
+      if (o.tiles.size() != 6) {
+        throw InvalidArgumentError(
+            "--tiles wants 6 values: T_VAGG,T_N,T_FAGG,T_VCMB,T_G,T_FCMB");
+      }
+    } else {
+      throw InvalidArgumentError("unknown flag: " + a);
+    }
+  }
+  return o;
+}
+
+AcceleratorConfig hw_of(const CliOptions& o) {
+  AcceleratorConfig hw;
+  hw.num_pes = o.pes;
+  if (o.bw > 0) {
+    hw.distribution_bandwidth = o.bw;
+    hw.reduction_bandwidth = o.bw;
+  }
+  return hw;
+}
+
+GnnWorkload load_workload(const std::string& name, const CliOptions& o) {
+  SynthesisOptions so;
+  so.scale = o.scale;
+  return synthesize_workload(dataset_by_name(name), so);
+}
+
+void print_result(const RunResult& r, const GnnWorkload& w) {
+  std::cout << "workload:    " << w.name << " (V="
+            << with_commas(w.num_vertices()) << ", E="
+            << with_commas(w.num_edges()) << ", F=" << w.in_features << ")\n"
+            << "dataflow:    " << r.dataflow.to_string() << "\n"
+            << "granularity: " << to_string(r.granularity) << ", Pel="
+            << with_commas(r.pipeline_elements) << ", buffering="
+            << with_commas(r.intermediate_buffer_elements) << " elems"
+            << (r.intermediate_spilled ? " (Seq spilled to DRAM)" : "") << "\n"
+            << "cycles:      " << with_commas(r.cycles) << "  (agg "
+            << with_commas(r.agg.cycles) << " on " << r.pes_agg << " PEs, cmb "
+            << with_commas(r.cmb.cycles) << " on " << r.pes_cmb << " PEs)\n"
+            << "utilization: agg " << fixed(100 * r.agg_dynamic_utilization(), 1)
+            << "% / cmb " << fixed(100 * r.cmb_dynamic_utilization(), 1)
+            << "%\n"
+            << "energy:      " << fixed(r.energy.on_chip_pj() / 1e6, 3)
+            << " uJ on-chip + " << fixed(r.energy.dram_pj / 1e6, 3)
+            << " uJ DRAM\n";
+  TextTable t({"matrix", "GB reads", "GB writes"});
+  for (std::size_t c = 0; c < kNumTrafficCategories; ++c) {
+    const auto& a = r.traffic.gb[c];
+    t.add_row({to_string(static_cast<TrafficCategory>(c)),
+               with_commas(a.reads), with_commas(a.writes)});
+  }
+  std::cout << t;
+}
+
+int cmd_list() {
+  std::cout << "datasets (Table IV):\n";
+  for (const auto& s : table4_datasets()) {
+    std::cout << "  " << pad_right(s.name, 12) << to_string(s.category)
+              << "  V~" << fixed(s.avg_nodes, 0) << " E~"
+              << fixed(s.avg_edges, 0) << " F=" << s.num_features << "\n";
+  }
+  std::cout << "\ndataflow configs (Table V):\n";
+  for (const auto& p : table5_patterns()) {
+    std::cout << "  " << pad_right(p.name, 9) << pad_right(p.to_string(), 26)
+              << p.property << "\n";
+  }
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 4) throw InvalidArgumentError("run needs <dataset> <dataflow>");
+  const CliOptions o = parse_flags(argc, argv, 4);
+  const GnnWorkload w = load_workload(argv[2], o);
+  DataflowDescriptor df = DataflowDescriptor::parse(argv[3]);
+  df.pp_agg_pe_fraction = o.frac;
+  if (!o.tiles.empty()) {
+    df.agg.tiles = {.v = o.tiles[0], .n = o.tiles[1], .f = o.tiles[2], .g = 1};
+    df.cmb.tiles = {.v = o.tiles[3], .n = 1, .f = o.tiles[5], .g = o.tiles[4]};
+  }
+  const Omega omega(hw_of(o));
+  print_result(omega.run(w, LayerSpec{o.g}, df), w);
+  return 0;
+}
+
+int cmd_pattern(int argc, char** argv) {
+  if (argc < 4) throw InvalidArgumentError("pattern needs <dataset> <name>");
+  const CliOptions o = parse_flags(argc, argv, 4);
+  const GnnWorkload w = load_workload(argv[2], o);
+  DataflowPattern p = pattern_by_name(argv[3]);
+  p.pp_agg_pe_fraction = o.frac;
+  const Omega omega(hw_of(o));
+  print_result(omega.run_pattern(w, LayerSpec{o.g}, p), w);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      std::cerr << "usage: omega_cli {run|pattern|list} ...\n";
+      return 2;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "list") return cmd_list();
+    if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "pattern") return cmd_pattern(argc, argv);
+    std::cerr << "unknown command: " << cmd << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
