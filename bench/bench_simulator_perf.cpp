@@ -1,11 +1,31 @@
-// google-benchmark microbenchmarks of the OMEGA framework itself: cost-model
-// evaluation throughput is what makes design-space exploration practical
-// (trillions of mappings exist; a mapper needs fast evaluations).
+// Microbenchmarks of the OMEGA framework itself: cost-model evaluation
+// throughput is what makes design-space exploration practical (trillions of
+// mappings exist; a mapper needs fast evaluations).
+//
+// Besides the google-benchmark micro benches, this binary runs a DSE sweep
+// benchmark on an R-MAT graph: the same candidate population is evaluated
+// through the pre-reuse code path (no WorkloadContext — every candidate
+// re-transposes / re-schedules) and through the memoized path, reporting
+// candidates/sec for both and writing BENCH_dse.json.
+//
+// Knobs: OMEGA_DSE_SCALE (R-MAT scale, default 16 => 65536 vertices),
+//        OMEGA_DSE_EDGES (edge budget, default 524288),
+//        OMEGA_DSE_CANDIDATES (sweep size, default 16384),
+//        OMEGA_DSE_BASELINE (uncached-baseline sample size, default 1024),
+//        OMEGA_DSE_JSON (output path, default BENCH_dse.json),
+//        --dse-only (skip the google-benchmark micro benches),
+//        --dse-skip (micro benches only; skip the sweep).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
 
 #include "bench_common.hpp"
 #include "dataflow/enumerate.hpp"
 #include "dse/search.hpp"
+#include "graph/generators.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -65,6 +85,198 @@ void BM_MappingSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_MappingSearch)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
+// ---- DSE sweep: cached vs uncached candidates/sec ---------------------------
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  if (const char* s = std::getenv(name)) {
+    const long long v = std::atoll(s);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+struct SweepTiming {
+  double seconds = 0.0;
+  double candidates_per_sec = 0.0;
+  std::size_t evaluated = 0;
+};
+
+/// Evaluates every candidate (in parallel) and accumulates a fingerprint of
+/// the results so the two code paths can be checked for bit-identity.
+template <typename Eval>
+SweepTiming time_sweep(const std::vector<DataflowDescriptor>& candidates,
+                       std::vector<std::uint64_t>* cycles_out, Eval&& eval) {
+  cycles_out->assign(candidates.size(), 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  parallel_blocks(candidates.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        (*cycles_out)[i] = eval(candidates[i]).cycles;
+      } catch (const Error&) {
+        (*cycles_out)[i] = 0;  // infeasible candidates count as evaluated
+      }
+    }
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  SweepTiming t;
+  t.evaluated = candidates.size();
+  t.seconds = std::chrono::duration<double>(t1 - t0).count();
+  t.candidates_per_sec =
+      t.seconds > 0.0 ? static_cast<double>(t.evaluated) / t.seconds : 0.0;
+  return t;
+}
+
+int run_dse_sweep() {
+  const std::size_t scale = env_or("OMEGA_DSE_SCALE", 16);
+  const std::size_t edge_budget = env_or("OMEGA_DSE_EDGES", 524288);
+  const std::size_t max_candidates = env_or("OMEGA_DSE_CANDIDATES", 16384);
+  const std::size_t baseline_n = env_or("OMEGA_DSE_BASELINE", 1024);
+  const char* json_path = std::getenv("OMEGA_DSE_JSON");
+  if (json_path == nullptr) json_path = "BENCH_dse.json";
+
+  std::cout << "\n== DSE sweep: evaluation-reuse layer ==\n";
+  Rng rng(42);
+  GnnWorkload w;
+  w.name = "rmat-s" + std::to_string(scale);
+  w.adjacency =
+      rmat(scale, edge_budget, rng).with_self_loops().gcn_normalized();
+  w.in_features = 64;
+  const LayerSpec layer = eval_layer();
+  std::cout << "graph: " << w.num_vertices() << " vertices, " << w.num_edges()
+            << " edges (R-MAT scale " << scale << ")\n";
+
+  const Omega omega(default_accelerator());
+  SearchOptions opt;
+  opt.include_ca = true;
+  std::vector<DataflowDescriptor> candidates = enumerate_search_candidates(
+      opt, dims_of(w, layer), omega.config().num_pes);
+  const std::size_t population = candidates.size();
+  if (candidates.size() > max_candidates) {
+    // The deterministic stride subsample search_mappings uses.
+    std::vector<DataflowDescriptor> sampled;
+    sampled.reserve(max_candidates);
+    for (std::size_t i = 0; i < max_candidates; ++i) {
+      sampled.push_back(
+          candidates[stride_sample_index(i, candidates.size(), max_candidates)]);
+    }
+    candidates = std::move(sampled);
+  }
+  // The pre-PR (uncached) path pays a fixed cost per candidate, so its rate
+  // is estimated on a stride subsample of the same population; the cached
+  // rate is measured over the full sweep, where its memo reuse actually
+  // operates (a real sweep is dense by definition).
+  const std::size_t baseline_count = std::min(baseline_n, candidates.size());
+  std::vector<DataflowDescriptor> baseline;
+  baseline.reserve(baseline_count);
+  for (std::size_t i = 0; i < baseline_count; ++i) {
+    baseline.push_back(
+        candidates[stride_sample_index(i, candidates.size(), baseline_count)]);
+  }
+  std::cout << "candidates: " << candidates.size() << " (of " << population
+            << " generated; uncached baseline on " << baseline.size()
+            << ")\n";
+
+  // Pre-PR code path: every candidate pays its own transpose + schedule +
+  // full phase simulations.
+  std::vector<std::uint64_t> uncached_cycles;
+  const SweepTiming uncached =
+      time_sweep(baseline, &uncached_cycles,
+                 [&](const DataflowDescriptor& df) {
+                   return omega.run(w, layer, df);
+                 });
+
+  // Reuse layer: one context shared by the whole sweep.
+  const WorkloadContext context(w.adjacency);
+  (void)context.reverse_graph();  // pre-warm, as search_mappings does
+  std::vector<std::uint64_t> cached_cycles;
+  const SweepTiming cached =
+      time_sweep(candidates, &cached_cycles,
+                 [&](const DataflowDescriptor& df) {
+                   return omega.run(w, layer, df, context);
+                 });
+
+  // Parity: the cached results on the baseline indices must be bit-identical
+  // to the uncached ones (schedule_cache_test checks every result field;
+  // this guards end-to-end cycles).
+  std::vector<std::uint64_t> cached_on_baseline;
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    cached_on_baseline.push_back(cached_cycles[stride_sample_index(
+        i, candidates.size(), baseline.size())]);
+  }
+  const bool identical = uncached_cycles == cached_on_baseline;
+  const double speedup = uncached.candidates_per_sec > 0.0
+                             ? cached.candidates_per_sec /
+                                   uncached.candidates_per_sec
+                             : 0.0;
+  std::cout << "uncached: " << fixed(uncached.candidates_per_sec, 1)
+            << " candidates/sec (" << baseline.size() << " in "
+            << fixed(uncached.seconds, 3) << " s)\n"
+            << "cached:   " << fixed(cached.candidates_per_sec, 1)
+            << " candidates/sec (" << candidates.size() << " in "
+            << fixed(cached.seconds, 3) << " s; "
+            << context.phase_cache_size() << " phase sims, "
+            << context.schedule_cache_size() << " schedules)\n"
+            << "speedup:  " << fixed(speedup, 2) << "x\n"
+            << "parity:   " << (identical ? "bit-identical" : "MISMATCH")
+            << "\n";
+
+  std::ofstream json(json_path);
+  if (json) {
+    json << "{\n"
+         << "  \"bench\": \"dse_sweep\",\n"
+         << "  \"graph\": {\"generator\": \"rmat\", \"scale\": " << scale
+         << ", \"vertices\": " << w.num_vertices()
+         << ", \"edges\": " << w.num_edges() << "},\n"
+         << "  \"population\": " << population << ",\n"
+         << "  \"candidates\": " << candidates.size() << ",\n"
+         << "  \"baseline_candidates\": " << baseline.size() << ",\n"
+         << "  \"phase_sims\": " << context.phase_cache_size() << ",\n"
+         << "  \"threads\": " << default_thread_count() << ",\n"
+         << "  \"uncached\": {\"seconds\": " << uncached.seconds
+         << ", \"candidates_per_sec\": " << uncached.candidates_per_sec
+         << "},\n"
+         << "  \"cached\": {\"seconds\": " << cached.seconds
+         << ", \"candidates_per_sec\": " << cached.candidates_per_sec
+         << "},\n"
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"parity\": \"" << (identical ? "bit-identical" : "mismatch")
+         << "\"\n"
+         << "}\n";
+    std::cout << "(json: " << json_path << ")\n";
+  }
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool dse_only = false;
+  bool dse_skip = false;  // micro benches only (fast iteration)
+  const auto consume_flag = [&](const char* flag, bool* value) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], flag) == 0) {
+        *value = true;
+        for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+        --argc;
+        return;
+      }
+    }
+  };
+  consume_flag("--dse-only", &dse_only);
+  consume_flag("--dse-skip", &dse_skip);
+  int rc = 0;
+  if (!dse_skip) {
+    try {
+      rc = run_dse_sweep();
+    } catch (const std::exception& e) {
+      std::cerr << "dse sweep failed: " << e.what() << "\n";
+      rc = 1;
+    }
+  }
+  if (rc != 0 || dse_only) return rc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

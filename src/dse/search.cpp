@@ -140,12 +140,8 @@ double score_of(Objective obj, std::uint64_t cycles, double pj) {
 
 }  // namespace
 
-SearchResult search_mappings(const Omega& omega, const GnnWorkload& workload,
-                             const LayerSpec& layer,
-                             const SearchOptions& options) {
-  const WorkloadDims dims = dims_of(workload, layer);
-  const std::size_t pes = omega.config().num_pes;
-
+std::vector<DataflowDescriptor> enumerate_search_candidates(
+    const SearchOptions& options, const WorkloadDims& dims, std::size_t pes) {
   std::vector<DataflowDescriptor> candidates;
   std::vector<PhaseOrder> orders{PhaseOrder::kAC};
   if (options.include_ca) orders.push_back(PhaseOrder::kCA);
@@ -185,39 +181,62 @@ SearchResult search_mappings(const Omega& omega, const GnnWorkload& workload,
       }
     }
   }
+  return candidates;
+}
+
+SearchResult search_mappings(const Omega& omega, const GnnWorkload& workload,
+                             const LayerSpec& layer,
+                             const SearchOptions& options) {
+  const WorkloadDims dims = dims_of(workload, layer);
+  const std::size_t pes = omega.config().num_pes;
+  const std::vector<DataflowDescriptor> candidates =
+      enumerate_search_candidates(options, dims, pes);
 
   SearchResult result;
   result.generated = candidates.size();
 
-  // Deterministic stride subsampling under a candidate cap.
-  if (options.max_candidates > 0 &&
-      candidates.size() > options.max_candidates) {
-    std::vector<DataflowDescriptor> sampled;
-    sampled.reserve(options.max_candidates);
-    const double stride = static_cast<double>(candidates.size()) /
-                          static_cast<double>(options.max_candidates);
-    for (std::size_t i = 0; i < options.max_candidates; ++i) {
-      sampled.push_back(candidates[static_cast<std::size_t>(
-          static_cast<double>(i) * stride)]);
+  // Deterministic stride subsampling under a candidate cap — by index, so
+  // no DataflowDescriptor is copied to build the sample.
+  const bool capped = options.max_candidates > 0 &&
+                      candidates.size() > options.max_candidates;
+  const std::size_t selected =
+      capped ? options.max_candidates : candidates.size();
+  const auto candidate_at = [&](std::size_t i) -> const DataflowDescriptor& {
+    return candidates[capped ? stride_sample_index(i, candidates.size(),
+                                                   selected)
+                             : i];
+  };
+
+  // Per-workload evaluation-reuse memo: one transpose, one lane schedule per
+  // (walk, lanes, lane_width) across every candidate. Pre-warm the reverse
+  // adjacency so sweep threads do not race to build it on first touch.
+  const WorkloadContext context(workload.adjacency);
+  for (std::size_t i = 0; i < selected; ++i) {
+    const LoopOrder& order = candidate_at(i).agg.order;
+    if (order.depth_of(Dim::kV) > order.depth_of(Dim::kN)) {  // scatter
+      (void)context.reverse_graph();
+      break;
     }
-    candidates = std::move(sampled);
   }
 
-  std::vector<Candidate> evaluated(candidates.size());
-  std::vector<char> ok(candidates.size(), 0);
-  parallel_for(
-      candidates.size(),
-      [&](std::size_t i) {
-        try {
-          const RunResult r = omega.run(workload, layer, candidates[i]);
-          evaluated[i].dataflow = candidates[i];
-          evaluated[i].cycles = r.cycles;
-          evaluated[i].on_chip_pj = r.energy.on_chip_pj();
-          evaluated[i].score =
-              score_of(options.objective, r.cycles, r.energy.on_chip_pj());
-          ok[i] = 1;
-        } catch (const Error&) {
-          ok[i] = 0;  // infeasible under this substrate; skip
+  std::vector<Candidate> evaluated(selected);
+  std::vector<char> ok(selected, 0);
+  parallel_blocks(
+      selected,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            const DataflowDescriptor& df = candidate_at(i);
+            const RunResult r = omega.run(workload, layer, df, context);
+            evaluated[i].dataflow = df;
+            evaluated[i].cycles = r.cycles;
+            evaluated[i].on_chip_pj = r.energy.on_chip_pj();
+            evaluated[i].score =
+                score_of(options.objective, r.cycles, r.energy.on_chip_pj());
+            ok[i] = 1;
+          } catch (const Error&) {
+            ok[i] = 0;  // infeasible under this substrate; skip
+          }
         }
       },
       options.threads);

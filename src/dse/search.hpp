@@ -58,6 +58,22 @@ struct SearchResult {
                                            const LayerSpec& layer,
                                            const SearchOptions& options = {});
 
+/// The candidate generator behind search_mappings: every valid descriptor
+/// for the enabled inter-phase strategies / phase orders / tilings, before
+/// subsampling. Exposed so benchmarks and tests can sweep the exact
+/// candidate population through their own evaluation harness.
+[[nodiscard]] std::vector<DataflowDescriptor> enumerate_search_candidates(
+    const SearchOptions& options, const WorkloadDims& dims, std::size_t pes);
+
+/// Index of sample i in the deterministic stride subsample of `population`
+/// candidates down to `selected` (i < selected <= population). The single
+/// definition search_mappings and the sweep benchmarks share, so their
+/// sampled populations stay identical.
+[[nodiscard]] constexpr std::size_t stride_sample_index(
+    std::size_t i, std::size_t population, std::size_t selected) {
+  return selected == 0 ? 0 : i * population / selected;
+}
+
 /// All power-of-two tile triples (a, b, c) with a*b*c <= budget,
 /// a <= cap_a etc., and a*b*c >= min_util * budget. Exposed for tests.
 [[nodiscard]] std::vector<std::array<std::size_t, 3>> enumerate_tile_triples(

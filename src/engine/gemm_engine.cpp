@@ -4,12 +4,57 @@
 #include <array>
 #include <bit>
 #include <cmath>
+#include <string>
 
+#include "engine/schedule_cache.hpp"
 #include "util/error.hpp"
 
 namespace omega {
 
 namespace {
+
+/// Everything that determines the PhaseResult; see
+/// WorkloadContext::phase_result.
+std::string memo_key(const GemmPhaseConfig& cfg) {
+  std::string k;
+  k.reserve(160);
+  k += "gemm|";
+  k += cfg.order.letters();
+  const auto add = [&k](std::uint64_t v) {
+    k += '|';
+    k += std::to_string(v);
+  };
+  add(cfg.rows);
+  add(cfg.inner);
+  add(cfg.cols);
+  add(cfg.tiles.v);
+  add(cfg.tiles.f);
+  add(cfg.tiles.g);
+  add(cfg.pes);
+  add(cfg.bw_dist);
+  add(cfg.bw_red);
+  add(cfg.rf_elements);
+  add(cfg.a_stream_bw);
+  add(cfg.out_drain_bw);
+  add(static_cast<std::uint64_t>(cfg.a_from_rf) << 5 |
+      static_cast<std::uint64_t>(cfg.out_to_rf) << 4 |
+      static_cast<std::uint64_t>(cfg.a_in_dram) << 3 |
+      static_cast<std::uint64_t>(cfg.out_in_dram) << 2 |
+      static_cast<std::uint64_t>(cfg.a_via_partition) << 1 |
+      static_cast<std::uint64_t>(cfg.out_via_partition));
+  add(static_cast<std::uint64_t>(cfg.a_category));
+  add(static_cast<std::uint64_t>(cfg.b_category));
+  add(static_cast<std::uint64_t>(cfg.out_category));
+  add(static_cast<std::uint64_t>(cfg.chunk_target));
+  add(cfg.chunks.rows);
+  add(cfg.chunks.cols);
+  add(cfg.chunks.row_block);
+  add(cfg.chunks.col_block);
+  add(static_cast<std::uint64_t>(cfg.chunks.major));
+  return k;
+}
+
+PhaseResult run_gemm_phase_impl(const GemmPhaseConfig& cfg);
 
 struct LoopInfo {
   Dim dim;
@@ -51,6 +96,19 @@ void GemmPhaseConfig::validate() const {
 }
 
 PhaseResult run_gemm_phase(const GemmPhaseConfig& cfg) {
+  const bool memoizable =
+      cfg.chunk_target == ChunkTarget::kNone ||
+      cfg.chunks.num_chunks() <= kPhaseMemoMaxChunks;
+  if (cfg.context != nullptr && memoizable) {
+    return *cfg.context->phase_result(memo_key(cfg),
+                                      [&] { return run_gemm_phase_impl(cfg); });
+  }
+  return run_gemm_phase_impl(cfg);
+}
+
+namespace {
+
+PhaseResult run_gemm_phase_impl(const GemmPhaseConfig& cfg) {
   cfg.validate();
 
   // Clamp tiles to extents so degenerate dims do not inflate the footprint.
@@ -131,7 +189,6 @@ PhaseResult run_gemm_phase(const GemmPhaseConfig& cfg) {
   std::size_t prev_ig = std::numeric_limits<std::size_t>::max();
   std::size_t prev_out_elems = 0;
   bool prev_out_final = false;
-  std::size_t current_chunk = 0;
 
   auto flush_out_visit = [&](std::uint64_t* sink_cycles) {
     // Called when the (iv, ig) output tile changes or the nest ends; charges
@@ -166,22 +223,82 @@ PhaseResult run_gemm_phase(const GemmPhaseConfig& cfg) {
   const std::size_t c1 = loops[1].count;
   const std::size_t c2 = loops[2].count;
 
-  for (std::size_t i0 = 0; i0 < c0; ++i0) {
-    for (std::size_t i1 = 0; i1 < c1; ++i1) {
-      for (std::size_t i2 = 0; i2 < c2; ++i2) {
-        const std::array<std::size_t, 3> idx{i0, i1, i2};
-        // Current actual tile sizes by dim.
-        std::size_t av = 1, af = 1, ag = 1;
-        std::size_t v_base = 0, f_idx = 0, g_base = 0;
-        for (std::size_t d = 0; d < 3; ++d) {
-          const std::size_t a = actual_tile(loops[d], idx[d]);
-          switch (loops[d].dim) {
-            case Dim::kV: av = a; v_base = idx[d] * loops[d].tile; break;
-            case Dim::kF: af = a; f_idx = idx[d]; break;
-            case Dim::kG: ag = a; g_base = idx[d] * loops[d].tile; break;
-            case Dim::kN: break;
-          }
-        }
+  // ---- Hot-nest precomputation -------------------------------------------
+  // This loop runs V*F*G / (tv*tf*tg) iterations per candidate — the hottest
+  // loop of a design-space sweep — so everything that only changes at tile
+  // boundaries is hoisted: actual tile sizes take two values per dim (full,
+  // last remainder), streaming costs take at most four values per operand,
+  // and the pipeline chunk index decomposes into precomputed per-dim
+  // contributions (no division inside the nest).
+  const std::size_t lv = cfg.order.depth_of(Dim::kV);
+  const std::size_t lg = cfg.order.depth_of(Dim::kG);
+  const std::size_t cv_cnt = loops[lv].count;
+  const std::size_t cg_cnt = loops[lg].count;
+  const std::size_t av_full = loops[lv].tile;
+  const std::size_t af_full = loops[f_depth].tile;
+  const std::size_t ag_full = loops[lg].tile;
+  const std::size_t av_last = actual_tile(loops[lv], cv_cnt - 1);
+  const std::size_t af_last = actual_tile(loops[f_depth], c_f - 1);
+  const std::size_t ag_last = actual_tile(loops[lg], cg_cnt - 1);
+
+  // Streaming-operand step costs, indexed [last f tile][last partner tile].
+  const bool a_streams = la == 2;
+  const bool b_streams = lb == 2;
+  std::uint64_t acost[2][2] = {{0, 0}, {0, 0}};  // [iv last][f last]
+  std::uint64_t bcost[2][2] = {{0, 0}, {0, 0}};  // [f last][ig last]
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      const std::uint64_t av_x = x ? av_last : av_full;
+      const std::uint64_t af_y = y ? af_last : af_full;
+      const std::uint64_t ag_y = y ? ag_last : ag_full;
+      const std::uint64_t af_x = x ? af_last : af_full;
+      if (a_streams) acost[x][y] = ceil_div(av_x * af_y, a_bw);
+      if (b_streams) bcost[x][y] = ceil_div(af_x * ag_y, cfg.bw_dist);
+    }
+  }
+
+  // Chunk index = row contribution (by V index) + column contribution (by F
+  // index for kMatrixA, by G index for kMatrixOut); identical to
+  // ChunkSpec::chunk_of with the divisions done once per extent.
+  std::vector<std::size_t> chunk_rowc;
+  std::vector<std::size_t> chunk_colc;
+  if (cfg.chunk_target != ChunkTarget::kNone) {
+    const std::size_t rb = std::min(cfg.chunks.row_block, cfg.chunks.rows);
+    const std::size_t cb = std::min(cfg.chunks.col_block, cfg.chunks.cols);
+    const bool row_major = cfg.chunks.major == TraversalMajor::kRowMajor;
+    const std::size_t row_stride =
+        row_major ? cfg.chunks.col_blocks() : std::size_t{1};
+    const std::size_t col_stride =
+        row_major ? std::size_t{1} : cfg.chunks.row_blocks();
+    chunk_rowc.resize(cv_cnt);
+    for (std::size_t i = 0; i < cv_cnt; ++i) {
+      chunk_rowc[i] = (rb == 0 ? 0 : i * av_full / rb) * row_stride;
+    }
+    const bool col_by_f = cfg.chunk_target == ChunkTarget::kMatrixA;
+    const std::size_t col_cnt = col_by_f ? c_f : cg_cnt;
+    const std::size_t col_tile = col_by_f ? af_full : ag_full;
+    chunk_colc.resize(col_cnt);
+    for (std::size_t i = 0; i < col_cnt; ++i) {
+      chunk_colc[i] = (cb == 0 ? 0 : i * col_tile / cb) * col_stride;
+    }
+  }
+
+  // Per-level roles: which loop counter feeds V / F / G.
+  std::size_t cur_idx[3] = {0, 0, 0};
+
+  const auto exec_step = [&](std::size_t i0, std::size_t i1, std::size_t i2) {
+        cur_idx[0] = i0;
+        cur_idx[1] = i1;
+        cur_idx[2] = i2;
+        const std::size_t iv = cur_idx[lv];
+        const std::size_t f_idx = cur_idx[f_depth];
+        const std::size_t ig = cur_idx[lg];
+        const bool v_at_last = iv + 1 == cv_cnt;
+        const bool f_at_last = f_idx + 1 == c_f;
+        const bool g_at_last = ig + 1 == cg_cnt;
+        const std::size_t av = v_at_last ? av_last : av_full;
+        const std::size_t af = f_at_last ? af_last : af_full;
+        const std::size_t ag = g_at_last ? ag_last : ag_full;
         const std::uint64_t a_elems = static_cast<std::uint64_t>(av) * af;
         const std::uint64_t b_elems = static_cast<std::uint64_t>(af) * ag;
         const std::uint64_t out_elems = static_cast<std::uint64_t>(av) * ag;
@@ -200,11 +317,7 @@ PhaseResult run_gemm_phase(const GemmPhaseConfig& cfg) {
         auto handle_operand = [&](int level, std::uint64_t elems, bool is_a) {
           const bool fresh =
               changed == -1 || (level >= 0 && changed <= level && level < 2);
-          if (level == 2) {
-            // Streams every step.
-            if (is_a) stream_a += elems; else stream_b += elems;
-            if (is_a) charge_a_read(elems); else charge_b_read(elems);
-          } else if (level >= 0 ? fresh : changed == -1) {
+          if (level >= 0 ? fresh : changed == -1) {
             // Re-loaded at each entry of its binding level (or once if -1).
             if (is_a) {
               if (!cfg.a_from_rf) {
@@ -219,12 +332,20 @@ PhaseResult run_gemm_phase(const GemmPhaseConfig& cfg) {
             }
           }
         };
-        handle_operand(la, a_elems, true);
-        handle_operand(lb, b_elems, false);
+        if (a_streams) {
+          stream_a = acost[v_at_last][f_at_last];
+          charge_a_read(a_elems);
+        } else {
+          handle_operand(la, a_elems, true);
+        }
+        if (b_streams) {
+          stream_b = bcost[f_at_last][g_at_last];
+          charge_b_read(b_elems);
+        } else {
+          handle_operand(lb, b_elems, false);
+        }
 
         // Output tile bookkeeping.
-        const std::size_t iv = idx[cfg.order.depth_of(Dim::kV)];
-        const std::size_t ig = idx[cfg.order.depth_of(Dim::kG)];
         if (iv != prev_iv || ig != prev_ig) {
           flush_out_visit(&serial);
           if (f_idx > 0 && !psums_fit_in_rf) {
@@ -239,12 +360,13 @@ PhaseResult run_gemm_phase(const GemmPhaseConfig& cfg) {
           prev_ig = ig;
         }
         prev_out_elems = out_elems;
-        prev_out_final = (f_idx == c_f - 1);
+        prev_out_final = f_at_last;
 
-        // Step cost: MAC issue vs distribution of streaming operands.
+        // Step cost: MAC issue vs distribution of streaming operands
+        // (stream_a/b already hold the per-step distribution cost).
         std::uint64_t step = 1;
-        if (stream_a > 0) step = std::max(step, ceil_div(stream_a, a_bw));
-        if (stream_b > 0) step = std::max(step, ceil_div(stream_b, cfg.bw_dist));
+        if (stream_a > 0) step = std::max(step, stream_a);
+        if (stream_b > 0) step = std::max(step, stream_b);
         if (step > 1) r.stall_cycles += step - 1;
 
         // RF accounting: operand reads per MAC plus accumulator RMW per
@@ -260,13 +382,10 @@ PhaseResult run_gemm_phase(const GemmPhaseConfig& cfg) {
         r.cycles += total_step;
 
         if (cfg.chunk_target != ChunkTarget::kNone) {
-          std::size_t chunk = 0;
-          if (cfg.chunk_target == ChunkTarget::kMatrixA) {
-            chunk = cfg.chunks.chunk_of(v_base, f_idx * loops[f_depth].tile);
-          } else {
-            chunk = cfg.chunks.chunk_of(v_base, g_base);
-          }
-          current_chunk = chunk;
+          const std::size_t chunk =
+              chunk_rowc[iv] +
+              chunk_colc[cfg.chunk_target == ChunkTarget::kMatrixA ? f_idx
+                                                                   : ig];
           r.chunk_cycles[chunk] += total_step;
           r.chunk_completion[chunk] = r.cycles;  // last contribution wins
           last_chunk_touched = chunk;
@@ -275,6 +394,128 @@ PhaseResult run_gemm_phase(const GemmPhaseConfig& cfg) {
           r.chunk_completion[0] = r.cycles;
           last_chunk_touched = 0;
         }
+  };
+
+  // Uniform-walk collapse. Along the deepest loop level whose inner levels
+  // are all trivial (count 1), every "middle" step — neither the fresh
+  // entry at index 0 nor the possibly-partial last tile — is exactly
+  // uniform: full tiles, the same `changed` level (hence the same
+  // stationary reloads), and identical flush/psum charges. Execute one
+  // representative middle step through the normal path, then replay its
+  // accumulator deltas arithmetically; the collapse is exact by
+  // construction and turns the V*F*G/PE-size nest into
+  // O(outer counts * chunk-runs). Only the pipeline chunk binning needs
+  // per-run attention: the walked dim's chunk contribution advances in
+  // plateaus of the precomputed arrays.
+  const auto walk_with_collapse = [&](std::size_t walk_level, std::size_t cw,
+                                      auto&& exec_at) {
+    exec_at(0);
+    if (cw >= 3) {
+      const std::uint64_t s_cycles = r.cycles;
+      const std::uint64_t s_issue = r.issue_steps;
+      const std::uint64_t s_load = r.load_cycles;
+      const std::uint64_t s_stall = r.stall_cycles;
+      const std::uint64_t s_psum = r.psum_cycles;
+      const std::uint64_t s_macs = r.macs;
+      const std::uint64_t s_active = r.active_pe_cycles;
+      const TrafficCounters s_traffic = r.traffic;
+
+      exec_at(1);  // representative middle step
+
+      const std::size_t mid_end = cw - 2;      // last middle index
+      const std::uint64_t reps = mid_end - 1;  // walked steps 2 .. mid_end
+      if (reps > 0) {
+        const std::uint64_t step_cycles = r.cycles - s_cycles;
+        const Dim walk_dim = loops[walk_level].dim;
+
+        // Chunk binning for the replayed steps.
+        const std::uint64_t base_cycles = r.cycles;  // after walked step 1
+        if (cfg.chunk_target != ChunkTarget::kNone) {
+          const bool col_by_f = cfg.chunk_target == ChunkTarget::kMatrixA;
+          const std::size_t col_idx =
+              col_by_f ? cur_idx[f_depth] : cur_idx[lg];
+          const std::size_t* varying = nullptr;
+          std::size_t fixed_contrib = 0;
+          if (walk_dim == Dim::kV) {
+            varying = chunk_rowc.data();
+            fixed_contrib = chunk_colc[col_idx];
+          } else if (col_by_f ? walk_dim == Dim::kF : walk_dim == Dim::kG) {
+            varying = chunk_colc.data();
+            fixed_contrib = chunk_rowc[cur_idx[lv]];
+          } else {
+            fixed_contrib = chunk_rowc[cur_idx[lv]] + chunk_colc[col_idx];
+          }
+          if (varying == nullptr) {
+            r.chunk_cycles[fixed_contrib] += reps * step_cycles;
+            r.chunk_completion[fixed_contrib] =
+                base_cycles + reps * step_cycles;
+            last_chunk_touched = fixed_contrib;
+          } else {
+            std::size_t s = 2;
+            while (s <= mid_end) {
+              const std::size_t contrib = varying[s];
+              std::size_t e = s;
+              while (e + 1 <= mid_end && varying[e + 1] == contrib) ++e;
+              const std::size_t chunk = fixed_contrib + contrib;
+              r.chunk_cycles[chunk] +=
+                  static_cast<std::uint64_t>(e - s + 1) * step_cycles;
+              r.chunk_completion[chunk] =
+                  base_cycles +
+                  static_cast<std::uint64_t>(e - 1) * step_cycles;
+              last_chunk_touched = chunk;
+              s = e + 1;
+            }
+          }
+        } else {
+          r.chunk_cycles[0] += reps * step_cycles;
+          r.chunk_completion[0] = base_cycles + reps * step_cycles;
+          last_chunk_touched = 0;
+        }
+
+        // Replay the scalar deltas of the representative step.
+        r.cycles += reps * step_cycles;
+        r.issue_steps += reps * (r.issue_steps - s_issue);
+        r.load_cycles += reps * (r.load_cycles - s_load);
+        r.stall_cycles += reps * (r.stall_cycles - s_stall);
+        r.psum_cycles += reps * (r.psum_cycles - s_psum);
+        r.macs += reps * (r.macs - s_macs);
+        r.active_pe_cycles += reps * (r.active_pe_cycles - s_active);
+        const auto replay = [reps](AccessCounts& cur,
+                                   const AccessCounts& before) {
+          cur.reads += reps * (cur.reads - before.reads);
+          cur.writes += reps * (cur.writes - before.writes);
+        };
+        for (std::size_t c = 0; c < kNumTrafficCategories; ++c) {
+          replay(r.traffic.gb[c], s_traffic.gb[c]);
+        }
+        replay(r.traffic.rf, s_traffic.rf);
+        replay(r.traffic.dram, s_traffic.dram);
+        replay(r.traffic.intermediate_partition,
+               s_traffic.intermediate_partition);
+
+        // Output-visit state as if the walk stood at mid_end: only the
+        // walked dim's coordinate moved (the visit size and finality are
+        // middle-uniform).
+        if (walk_dim == Dim::kV) prev_iv = mid_end;
+        if (walk_dim == Dim::kG) prev_ig = mid_end;
+      }
+    }
+    if (cw >= 2) exec_at(cw - 1);
+  };
+
+  if (c1 == 1 && c2 == 1) {
+    walk_with_collapse(0, c0,
+                       [&](std::size_t j) { exec_step(j, 0, 0); });
+  } else if (c2 == 1) {
+    for (std::size_t i0 = 0; i0 < c0; ++i0) {
+      walk_with_collapse(1, c1,
+                         [&](std::size_t j) { exec_step(i0, j, 0); });
+    }
+  } else {
+    for (std::size_t i0 = 0; i0 < c0; ++i0) {
+      for (std::size_t i1 = 0; i1 < c1; ++i1) {
+        walk_with_collapse(2, c2,
+                           [&](std::size_t j) { exec_step(i0, i1, j); });
       }
     }
   }
@@ -298,5 +539,7 @@ PhaseResult run_gemm_phase(const GemmPhaseConfig& cfg) {
   }
   return r;
 }
+
+}  // namespace
 
 }  // namespace omega

@@ -15,6 +15,8 @@
 
 namespace omega {
 
+class WorkloadContext;  // engine/schedule_cache.hpp
+
 /// Which matrix the pipeline chunk grid tracks.
 enum class ChunkTarget : std::uint8_t {
   kNone = 0,
@@ -30,6 +32,12 @@ struct GemmPhaseConfig {
 
   LoopOrder order;  // permutation of {V, F, G}
   TileSizes tiles;  // t_n ignored
+
+  /// Optional per-workload memo (engine/schedule_cache.hpp): identical
+  /// configs skip the tile-step simulation and return the memoized
+  /// PhaseResult. The search's agg x cmb cross product makes such repeats
+  /// the common case. Null simulates fresh (identical results).
+  const WorkloadContext* context = nullptr;
 
   // Hardware binding.
   std::size_t pes = 512;

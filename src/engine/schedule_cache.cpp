@@ -1,0 +1,90 @@
+#include "engine/schedule_cache.hpp"
+
+#include <algorithm>
+
+#include "engine/gemm_engine.hpp"  // ceil_div
+#include "util/error.hpp"
+
+namespace omega {
+
+LaneSchedule build_lane_schedule(const CSRGraph& walk, std::size_t lanes,
+                                 std::size_t lane_width) {
+  const std::size_t rows = walk.num_vertices();
+  lanes = std::max<std::size_t>(lanes, 1);
+  lane_width = std::max<std::size_t>(lane_width, 1);
+  LaneSchedule s;
+  s.row_finish.resize(rows);
+  s.row_finish_prefix.resize(rows);
+  std::vector<std::uint64_t> lane_cum(lanes, 0);
+  std::uint64_t prefix = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t deg = walk.degree(static_cast<VertexId>(r));
+    const std::uint64_t trips =
+        std::max<std::uint64_t>(1, ceil_div(deg, lane_width));
+    auto& cum = lane_cum[r % lanes];
+    cum += trips;
+    s.row_finish[r] = cum;
+    prefix = std::max(prefix, cum);
+    s.row_finish_prefix[r] = prefix;
+    s.total_steps += trips;
+  }
+  for (const std::uint64_t c : lane_cum) {
+    s.critical_path = std::max(s.critical_path, c);
+  }
+  return s;
+}
+
+WorkloadContext::WorkloadContext(const CSRGraph& adjacency)
+    : adjacency_(&adjacency) {}
+
+const CSRGraph& WorkloadContext::reverse_graph() const {
+  // Pin the shared transpose for the context's lifetime so repeated lookups
+  // are a pointer read even if the source graph's cache is later invalidated.
+  std::call_once(reverse_once_,
+                 [&] { reverse_ = adjacency_->shared_transposed(); });
+  return *reverse_;
+}
+
+std::shared_ptr<const LaneSchedule> WorkloadContext::lane_schedule(
+    bool gather, std::size_t lanes, std::size_t lane_width) const {
+  const Key key{gather, lanes, lane_width};
+  std::shared_ptr<Entry> entry;
+  {
+    const std::scoped_lock lock(mutex_);
+    auto& slot = schedules_[key];
+    if (!slot) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+  std::call_once(entry->once, [&] {
+    const CSRGraph& walk = gather ? graph() : reverse_graph();
+    entry->schedule = std::make_shared<const LaneSchedule>(
+        build_lane_schedule(walk, lanes, lane_width));
+  });
+  return entry->schedule;
+}
+
+std::size_t WorkloadContext::schedule_cache_size() const {
+  const std::scoped_lock lock(mutex_);
+  return schedules_.size();
+}
+
+std::shared_ptr<const PhaseResult> WorkloadContext::phase_result(
+    const std::string& key, const std::function<PhaseResult()>& build) const {
+  std::shared_ptr<PhaseEntry> entry;
+  {
+    const std::scoped_lock lock(mutex_);
+    auto& slot = phase_results_[key];
+    if (!slot) slot = std::make_shared<PhaseEntry>();
+    entry = slot;
+  }
+  std::call_once(entry->once,
+                 [&] { entry->result = std::make_shared<const PhaseResult>(build()); });
+  return entry->result;
+}
+
+std::size_t WorkloadContext::phase_cache_size() const {
+  const std::scoped_lock lock(mutex_);
+  return phase_results_.size();
+}
+
+}  // namespace omega

@@ -1,0 +1,142 @@
+// Evaluation-reuse layer for design-space sweeps.
+//
+// Every `search_mappings` candidate used to pay O(V) or O(E) work that is
+// identical across thousands of candidates: scatter-order candidates
+// re-transposed the CSR adjacency, and every candidate rebuilt the lane
+// schedule from the degree profile. A WorkloadContext memoizes both per
+// workload so a sweep pays them once:
+//
+//  * the reverse adjacency comes from CSRGraph::shared_transposed(), cached
+//    inside the graph itself and shared by every scatter candidate;
+//  * lane schedules are keyed by (walk direction, lanes, lane_width) only —
+//    the feature-tile multiplier c_f scales every schedule quantity
+//    linearly, so all F-tilings of one (V, N) tiling hit one cache entry
+//    (see LaneSchedule);
+//  * each schedule stores the prefix max of per-row finish steps, so the
+//    row-major pipeline chunk timeline reads one value per row block
+//    instead of rescanning all V rows per candidate;
+//  * complete PhaseResults are memoized by the engine config signature —
+//    the search's agg x cmb tiling cross product re-simulates the same
+//    phase config once per partner tiling, so a sweep of C candidates runs
+//    far fewer than 2C phase simulations.
+//
+// All methods are const and thread-safe; one context is shared by every
+// thread of a sweep. See DESIGN.md "WorkloadContext caching contract".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/phase_result.hpp"
+#include "graph/csr.hpp"
+
+namespace omega {
+
+/// Phase results with chunk grids beyond this size are evaluated without
+/// the memo (see WorkloadContext::phase_result).
+inline constexpr std::size_t kPhaseMemoMaxChunks = 2048;
+
+/// Round-robin lane schedule over the walked rows. Spatially mapped rows do
+/// NOT advance in lockstep: each lane walks its own rows asynchronously and
+/// the phase finishes when the slowest lane drains. A row whose length
+/// exceeds its lane's fair share serializes that lane — the paper's "evil
+/// row" effect, which is what punishes extremely high T_V on skewed graphs
+/// while leaving moderate T_V efficient (Section V-B1).
+///
+/// Stored for a feature-tile multiplier of 1: a row's work is
+/// trips * c_f, and lane cumulative sums are linear in it, so the engine
+/// scales critical_path / total_steps / row finishes by c_f at use sites.
+/// This is exact (not an approximation): multiplying every summand of a
+/// cumulative sum by c_f multiplies every partial sum by c_f.
+struct LaneSchedule {
+  std::uint64_t critical_path = 0;          // max lane work, in steps
+  std::uint64_t total_steps = 0;            // sum of all row steps
+  std::vector<std::uint64_t> row_finish;    // per-row completion step
+  std::vector<std::uint64_t> row_finish_prefix;  // prefix max of row_finish
+};
+
+/// Builds the schedule for `lanes` round-robin lanes of width `lane_width`
+/// over the rows of `walk` (forward adjacency for gather orders, reverse
+/// adjacency for scatter orders).
+[[nodiscard]] LaneSchedule build_lane_schedule(const CSRGraph& walk,
+                                               std::size_t lanes,
+                                               std::size_t lane_width);
+
+/// Per-workload memo shared by all candidates of a sweep. Construct once per
+/// (graph, sweep) and pass to Omega::run; candidates that share a walk
+/// direction and (lanes, lane_width) reuse one schedule, and all scatter
+/// candidates share one transpose.
+class WorkloadContext {
+ public:
+  explicit WorkloadContext(const CSRGraph& adjacency);
+
+  [[nodiscard]] const CSRGraph& graph() const noexcept { return *adjacency_; }
+
+  /// Reverse adjacency (lazily computed, cached in the graph itself).
+  [[nodiscard]] const CSRGraph& reverse_graph() const;
+
+  /// Memoized schedule for the given walk. `gather` selects the forward
+  /// (true) or reverse (false) adjacency.
+  [[nodiscard]] std::shared_ptr<const LaneSchedule> lane_schedule(
+      bool gather, std::size_t lanes, std::size_t lane_width) const;
+
+  /// Number of distinct schedules built so far (observability / tests).
+  [[nodiscard]] std::size_t schedule_cache_size() const;
+
+  /// Memoized full phase simulation. `key` is the engine's config signature
+  /// (everything that determines the PhaseResult except the graph, which is
+  /// this context's); `build` runs at most once per key. Concurrent misses
+  /// on different keys build in parallel; a throwing build caches nothing,
+  /// so infeasible configs throw on every call exactly like the uncached
+  /// path. Callers must bypass the memo for results whose chunk grid
+  /// exceeds kPhaseMemoMaxChunks: giant grids are near-unique across
+  /// candidates, and caching their multi-megabyte timelines trades memory
+  /// (gigabytes over a long sweep) for hits that never come.
+  [[nodiscard]] std::shared_ptr<const PhaseResult> phase_result(
+      const std::string& key, const std::function<PhaseResult()>& build) const;
+
+  /// Number of distinct phase simulations run so far.
+  [[nodiscard]] std::size_t phase_cache_size() const;
+
+ private:
+  struct Key {
+    bool gather;
+    std::size_t lanes;
+    std::size_t lane_width;
+    [[nodiscard]] bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const noexcept {
+      std::size_t h = k.gather ? 0x9e3779b97f4a7c15ull : 0x2545f4914f6cdd1dull;
+      h ^= k.lanes + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h ^= k.lane_width + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+  /// Map values are once-entries so a cache miss builds outside the map
+  /// lock: concurrent misses on different keys proceed in parallel, and
+  /// concurrent misses on the same key build exactly once.
+  struct Entry {
+    std::once_flag once;
+    std::shared_ptr<const LaneSchedule> schedule;
+  };
+  struct PhaseEntry {
+    std::once_flag once;
+    std::shared_ptr<const PhaseResult> result;
+  };
+
+  const CSRGraph* adjacency_;
+  mutable std::shared_ptr<const CSRGraph> reverse_;  // pinned on first use
+  mutable std::once_flag reverse_once_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> schedules_;
+  mutable std::unordered_map<std::string, std::shared_ptr<PhaseEntry>>
+      phase_results_;
+};
+
+}  // namespace omega

@@ -10,42 +10,11 @@ namespace omega {
 
 namespace {
 
-/// Round-robin lane schedule over the walked rows. Spatially mapped rows do
-/// NOT advance in lockstep: each lane walks its own rows asynchronously and
-/// the phase finishes when the slowest lane drains. A row whose length
-/// exceeds its lane's fair share serializes that lane — the paper's "evil
-/// row" effect, which is what punishes extremely high T_V on skewed graphs
-/// while leaving moderate T_V efficient (Section V-B1).
-struct LaneSchedule {
-  std::uint64_t critical_path = 0;         // max lane work, in steps
-  std::uint64_t total_steps = 0;           // sum of all row steps
-  std::vector<std::uint64_t> row_finish;   // per-row completion step
-};
-
-LaneSchedule schedule_lanes(const CSRGraph& walk, std::size_t lanes,
-                            std::size_t lane_width, std::uint64_t f_factor) {
-  const std::size_t rows = walk.num_vertices();
-  LaneSchedule s;
-  s.row_finish.resize(rows);
-  std::vector<std::uint64_t> lane_cum(std::max<std::size_t>(lanes, 1), 0);
-  for (std::size_t r = 0; r < rows; ++r) {
-    const std::size_t deg = walk.degree(static_cast<VertexId>(r));
-    const std::uint64_t trips =
-        std::max<std::uint64_t>(1, ceil_div(deg, lane_width));
-    const std::uint64_t work = trips * f_factor;
-    auto& cum = lane_cum[r % std::max<std::size_t>(lanes, 1)];
-    cum += work;
-    s.row_finish[r] = cum;
-    s.total_steps += work;
-  }
-  for (const std::uint64_t c : lane_cum) {
-    s.critical_path = std::max(s.critical_path, c);
-  }
-  return s;
-}
-
 /// Splits `total_cycles` across `chunks` so that partial sums follow the
 /// cumulative step profile `cum_steps` (monotone, last == critical path).
+/// Exact integer proportioning (128-bit multiply, then divide): chunk
+/// timelines are bit-identical across platforms and never drop cycles to
+/// floating-point rounding; the final chunk absorbs the division remainder.
 std::vector<std::uint64_t> scale_chunks(
     const std::vector<std::uint64_t>& cum_steps, std::uint64_t critical_path,
     std::uint64_t total_cycles) {
@@ -56,9 +25,8 @@ std::vector<std::uint64_t> scale_chunks(
         critical_path == 0
             ? total_cycles
             : static_cast<std::uint64_t>(
-                  static_cast<double>(cum_steps[i]) /
-                  static_cast<double>(critical_path) *
-                  static_cast<double>(total_cycles));
+                  static_cast<unsigned __int128>(cum_steps[i]) * total_cycles /
+                  critical_path);
     const std::uint64_t clamped = std::min(cum, total_cycles);
     out[i] = clamped - prev;
     prev = clamped;
@@ -68,6 +36,66 @@ std::vector<std::uint64_t> scale_chunks(
 }
 
 }  // namespace
+
+namespace {
+
+/// Everything that determines the PhaseResult besides the graph (which is
+/// the context's own); see WorkloadContext::phase_result.
+std::string memo_key(const SpmmPhaseConfig& cfg) {
+  std::string k;
+  k.reserve(160);
+  k += "spmm|";
+  k += cfg.order.letters();
+  const auto add = [&k](std::uint64_t v) {
+    k += '|';
+    k += std::to_string(v);
+  };
+  add(cfg.feat);
+  add(cfg.tiles.v);
+  add(cfg.tiles.n);
+  add(cfg.tiles.f);
+  add(cfg.pes);
+  add(cfg.bw_dist);
+  add(cfg.bw_red);
+  add(cfg.rf_elements);
+  add(cfg.b_stream_bw);
+  add(cfg.out_drain_bw);
+  add(static_cast<std::uint64_t>(cfg.out_to_rf) << 5 |
+      static_cast<std::uint64_t>(cfg.b_from_rf) << 4 |
+      static_cast<std::uint64_t>(cfg.b_in_dram) << 3 |
+      static_cast<std::uint64_t>(cfg.out_in_dram) << 2 |
+      static_cast<std::uint64_t>(cfg.b_via_partition) << 1 |
+      static_cast<std::uint64_t>(cfg.out_via_partition));
+  add(static_cast<std::uint64_t>(cfg.b_category));
+  add(static_cast<std::uint64_t>(cfg.out_category));
+  add(static_cast<std::uint64_t>(cfg.chunk_target));
+  add(cfg.chunks.rows);
+  add(cfg.chunks.cols);
+  add(cfg.chunks.row_block);
+  add(cfg.chunks.col_block);
+  add(static_cast<std::uint64_t>(cfg.chunks.major));
+  return k;
+}
+
+PhaseResult run_spmm_phase_impl(const SpmmPhaseConfig& cfg);
+
+}  // namespace
+
+PhaseResult run_spmm_phase(const SpmmPhaseConfig& cfg) {
+  // Checked before the memo lookup: the key carries no graph identity, so a
+  // mis-bound context must fail loudly rather than return another graph's
+  // cached result.
+  OMEGA_CHECK(cfg.context == nullptr || &cfg.context->graph() == cfg.graph,
+              "WorkloadContext is bound to a different graph");
+  const bool memoizable =
+      cfg.chunk_target == ChunkTarget::kNone ||
+      cfg.chunks.num_chunks() <= kPhaseMemoMaxChunks;
+  if (cfg.context != nullptr && memoizable) {
+    return *cfg.context->phase_result(memo_key(cfg),
+                                      [&] { return run_spmm_phase_impl(cfg); });
+  }
+  return run_spmm_phase_impl(cfg);
+}
 
 void SpmmPhaseConfig::validate() const {
   OMEGA_CHECK(graph != nullptr, "SpMM phase needs a graph");
@@ -82,7 +110,9 @@ void SpmmPhaseConfig::validate() const {
               "spatial tile footprint exceeds the PEs allocated to the phase");
 }
 
-PhaseResult run_spmm_phase(const SpmmPhaseConfig& cfg) {
+namespace {
+
+PhaseResult run_spmm_phase_impl(const SpmmPhaseConfig& cfg) {
   cfg.validate();
   const CSRGraph& g = *cfg.graph;
   const std::size_t v_extent = g.num_vertices();
@@ -108,10 +138,28 @@ PhaseResult run_spmm_phase(const SpmmPhaseConfig& cfg) {
   const std::size_t tf = std::min(std::max<std::size_t>(cfg.tiles.f, 1), cfg.feat);
   const std::uint64_t c_f = ceil_div(cfg.feat, tf);
 
-  const CSRGraph transpose = gather ? CSRGraph{} : g.transposed();
-  const CSRGraph& walk = gather ? g : transpose;
-
-  const LaneSchedule sched = schedule_lanes(walk, lanes, lane_width, c_f);
+  // Resolve the walked adjacency and its base (c_f == 1) lane schedule —
+  // through the per-workload memo when a context is attached, fresh
+  // otherwise. Schedule quantities are scaled by c_f at their use sites;
+  // the scaling is exact, so both paths produce identical results.
+  LaneSchedule local_sched;
+  std::shared_ptr<const LaneSchedule> cached_sched;
+  std::shared_ptr<const CSRGraph> local_transpose;
+  const LaneSchedule* base = nullptr;
+  if (cfg.context != nullptr) {
+    cached_sched = cfg.context->lane_schedule(gather, lanes, lane_width);
+    base = cached_sched.get();
+  } else {
+    const CSRGraph* walk = &g;
+    if (!gather) {
+      local_transpose = std::make_shared<const CSRGraph>(g.transposed());
+      walk = local_transpose.get();
+    }
+    local_sched = build_lane_schedule(*walk, lanes, lane_width);
+    base = &local_sched;
+  }
+  const std::uint64_t critical_path = base->critical_path * c_f;
+  const std::uint64_t base_total_steps = base->total_steps;  // c_f == 1
 
   const bool weighted = g.has_values();
   const std::uint64_t id_words = weighted ? 2 : 1;
@@ -123,7 +171,7 @@ PhaseResult run_spmm_phase(const SpmmPhaseConfig& cfg) {
   PhaseResult r;
   const std::size_t tree_in = gather && lane_width > 1 ? lane_width : 1;
   r.fill_cycles = 2 + static_cast<std::uint64_t>(std::bit_width(tree_in) - 1);
-  r.issue_steps = sched.critical_path;
+  r.issue_steps = critical_path;
   r.macs = edges * cfg.feat;
   r.active_pe_cycles = r.macs;
 
@@ -135,7 +183,7 @@ PhaseResult run_spmm_phase(const SpmmPhaseConfig& cfg) {
   if (gather) {
     b_elems = edges * cfg.feat;
   } else {
-    b_elems = (sched.total_steps / c_f) * cfg.feat;  // sum of trips * Feat
+    b_elems = base_total_steps * cfg.feat;  // sum of trips * Feat
   }
   if (cfg.b_from_rf) {
     r.traffic.rf.reads += b_elems;
@@ -173,9 +221,8 @@ PhaseResult run_spmm_phase(const SpmmPhaseConfig& cfg) {
         live_per_pe <= std::max<std::size_t>(cfg.rf_elements / 2, 1);
     if (!f_outside_lanes && !psums_fit) {
       // One spill+reload per non-final neighbor chunk per feature element.
-      psum_pairs = (sched.total_steps / c_f -
-                    static_cast<std::uint64_t>(v_extent)) *
-                   cfg.feat;
+      psum_pairs =
+          (base_total_steps - static_cast<std::uint64_t>(v_extent)) * cfg.feat;
       r.traffic.gb_for(TrafficCategory::kPsum).writes += psum_pairs;
       r.traffic.gb_for(TrafficCategory::kPsum).reads += psum_pairs;
       r.traffic.rf.reads += psum_pairs;
@@ -215,7 +262,7 @@ PhaseResult run_spmm_phase(const SpmmPhaseConfig& cfg) {
   if (!gather) red_volume += out_total;
   std::uint64_t drain_volume = gather && !cfg.out_to_rf ? out_total : 0;
 
-  std::uint64_t cycles = sched.critical_path;
+  std::uint64_t cycles = critical_path;
   cycles = std::max(cycles, ceil_div(gb_stream, cfg.bw_dist));
   if (cfg.b_in_dram) cycles = std::max(cycles, ceil_div(b_elems, b_bw));
   cycles = std::max(cycles, ceil_div(red_volume, cfg.bw_red));
@@ -223,7 +270,7 @@ PhaseResult run_spmm_phase(const SpmmPhaseConfig& cfg) {
     cycles = std::max(
         cycles, ceil_div(drain_volume, cfg.out_in_dram ? out_bw : cfg.bw_red));
   }
-  r.stall_cycles = cycles - sched.critical_path;
+  r.stall_cycles = cycles - critical_path;
 
   // Partial-sum spills serialize on top of the streaming steady state.
   r.psum_cycles =
@@ -259,39 +306,44 @@ PhaseResult run_spmm_phase(const SpmmPhaseConfig& cfg) {
     // covers the same rows; durations are uniform.
     std::vector<std::uint64_t> cum(num_chunks);
     for (std::size_t i = 0; i < num_chunks; ++i) {
-      cum[i] = sched.critical_path * (i + 1) / num_chunks;
+      cum[i] = critical_path * (i + 1) / num_chunks;
     }
-    r.chunk_cycles = scale_chunks(cum, sched.critical_path, r.cycles);
+    r.chunk_cycles = scale_chunks(cum, critical_path, r.cycles);
     return finish();
   }
 
   // Row-major chunks: completion of a row block is the slowest lane's
-  // finish over its rows; element granularity splits each row block evenly
-  // across its column chunks.
+  // finish over its rows — the schedule's prefix max at the block's last
+  // row, O(row_blocks) instead of a rescan of all V rows per candidate.
+  // Element granularity splits each row block evenly across its column
+  // chunks. Blocks past the last row complete with their predecessor (the
+  // prefix max is monotone, so the clamp covers them).
   const std::size_t row_block =
       std::min(cfg.chunks.row_block, std::max<std::size_t>(v_extent, 1));
   std::vector<std::uint64_t> block_cum(row_blocks, 0);
-  std::uint64_t running = 0;
-  for (std::size_t rix = 0; rix < v_extent; ++rix) {
-    running = std::max(running, sched.row_finish[rix]);
-    block_cum[std::min(rix / row_block, row_blocks - 1)] = running;
-  }
-  // Fill any empty trailing blocks.
-  for (std::size_t i = 1; i < row_blocks; ++i) {
-    block_cum[i] = std::max(block_cum[i], block_cum[i - 1]);
+  for (std::size_t b = 0; b < row_blocks && v_extent > 0; ++b) {
+    const std::size_t last =
+        std::min((b + 1) * row_block, std::size_t{v_extent}) - 1;
+    block_cum[b] = base->row_finish_prefix[b + 1 == row_blocks ? v_extent - 1
+                                                               : last] *
+                   c_f;
   }
   const std::vector<std::uint64_t> block_cycles =
-      scale_chunks(block_cum, sched.critical_path, r.cycles);
+      scale_chunks(block_cum, critical_path, r.cycles);
+  // Split each row block's cycles evenly over its column chunks: the first
+  // col_blocks - r chunks get q, the rest q + 1 (q, r = divmod), which is
+  // exactly the successive floor(rem / remaining) distribution.
   r.chunk_cycles.assign(num_chunks, 0);
   for (std::size_t b = 0; b < row_blocks; ++b) {
-    std::uint64_t rem = block_cycles[b];
+    const std::uint64_t q = block_cycles[b] / col_blocks;
+    const std::size_t rmd = static_cast<std::size_t>(block_cycles[b] % col_blocks);
     for (std::size_t c = 0; c < col_blocks; ++c) {
-      const std::uint64_t share = rem / (col_blocks - c);
-      r.chunk_cycles[b * col_blocks + c] = share;
-      rem -= share;
+      r.chunk_cycles[b * col_blocks + c] = q + (c >= col_blocks - rmd ? 1 : 0);
     }
   }
   return finish();
 }
+
+}  // namespace
 
 }  // namespace omega

@@ -18,6 +18,7 @@
 #include "dataflow/intra.hpp"
 #include "engine/gemm_engine.hpp"  // ChunkTarget, ceil_div
 #include "engine/phase_result.hpp"
+#include "engine/schedule_cache.hpp"
 #include "graph/csr.hpp"
 
 namespace omega {
@@ -25,6 +26,12 @@ namespace omega {
 struct SpmmPhaseConfig {
   const CSRGraph* graph = nullptr;  // adjacency (rows = output vertices)
   std::size_t feat = 1;             // feature width: F for AC, G for CA
+
+  /// Optional per-workload memo (see schedule_cache.hpp): reuses the cached
+  /// adjacency transpose and lane schedules across candidates of a sweep.
+  /// Must be bound to `graph`; null recomputes both fresh (identical
+  /// results, just slower — the parity is covered by schedule_cache_test).
+  const WorkloadContext* context = nullptr;
 
   LoopOrder order;  // permutation of {V, N, F}
   TileSizes tiles;  // t_g ignored

@@ -8,6 +8,40 @@
 
 namespace omega {
 
+CSRGraph::CSRGraph(const CSRGraph& other)
+    : vertex_array_(other.vertex_array_),
+      edge_array_(other.edge_array_),
+      values_(other.values_) {}
+
+CSRGraph& CSRGraph::operator=(const CSRGraph& other) {
+  if (this != &other) {
+    vertex_array_ = other.vertex_array_;
+    edge_array_ = other.edge_array_;
+    values_ = other.values_;
+    transpose_cache_.store(nullptr, std::memory_order_release);
+  }
+  return *this;
+}
+
+CSRGraph::CSRGraph(CSRGraph&& other) noexcept
+    : vertex_array_(std::move(other.vertex_array_)),
+      edge_array_(std::move(other.edge_array_)),
+      values_(std::move(other.values_)) {
+  transpose_cache_.store(other.transpose_cache_.exchange(nullptr),
+                         std::memory_order_release);
+}
+
+CSRGraph& CSRGraph::operator=(CSRGraph&& other) noexcept {
+  if (this != &other) {
+    vertex_array_ = std::move(other.vertex_array_);
+    edge_array_ = std::move(other.edge_array_);
+    values_ = std::move(other.values_);
+    transpose_cache_.store(other.transpose_cache_.exchange(nullptr),
+                           std::memory_order_release);
+  }
+  return *this;
+}
+
 CSRGraph CSRGraph::from_coo(std::size_t num_vertices,
                             std::vector<std::pair<VertexId, VertexId>> edges,
                             bool dedup) {
@@ -146,10 +180,24 @@ CSRGraph CSRGraph::transposed() const {
   return t;
 }
 
+std::shared_ptr<const CSRGraph> CSRGraph::shared_transposed() const {
+  auto cached = transpose_cache_.load(std::memory_order_acquire);
+  if (cached) return cached;
+  auto fresh = std::make_shared<const CSRGraph>(transposed());
+  std::shared_ptr<const CSRGraph> expected;
+  if (transpose_cache_.compare_exchange_strong(expected, fresh,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+    return fresh;
+  }
+  return expected;  // another thread won the race; use its result
+}
+
 void CSRGraph::set_values(std::vector<float> values) {
   OMEGA_CHECK(values.empty() || values.size() == edge_array_.size(),
               "edge values must align with edge array");
   values_ = std::move(values);
+  transpose_cache_.store(nullptr, std::memory_order_release);
 }
 
 void CSRGraph::validate() const {

@@ -7,7 +7,9 @@
 // edge weight is 1, matching plain sum-aggregation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -23,6 +25,13 @@ using VertexId = std::uint32_t;
 class CSRGraph {
  public:
   CSRGraph() = default;
+  // The cached transpose never survives a copy (normalization helpers copy
+  // then rewrite edge values, which would leave a copied cache stale); moves
+  // carry it along since the source relinquishes the arrays.
+  CSRGraph(const CSRGraph& other);
+  CSRGraph& operator=(const CSRGraph& other);
+  CSRGraph(CSRGraph&& other) noexcept;
+  CSRGraph& operator=(CSRGraph&& other) noexcept;
 
   /// Builds from an edge list of (dst, src) pairs: row v of A lists the
   /// neighbors whose features vertex v aggregates. Neighbors are sorted and
@@ -92,6 +101,14 @@ class CSRGraph {
   /// reverse adjacency, which is the transpose's forward adjacency.
   [[nodiscard]] CSRGraph transposed() const;
 
+  /// Like transposed(), but computed at most once per graph and shared:
+  /// repeated calls return the same immutable instance, so the thousands of
+  /// scatter-order candidates of a design-space sweep pay the O(E) transpose
+  /// a single time. Thread-safe (concurrent first calls may race to build;
+  /// one result wins and the rest are discarded). Invalidated by
+  /// set_values(), since edge values follow their edges into the transpose.
+  [[nodiscard]] std::shared_ptr<const CSRGraph> shared_transposed() const;
+
   /// Attaches per-edge values (aligned with edge_array order); size must be
   /// exactly nnz. Pass an empty vector to drop values.
   void set_values(std::vector<float> values);
@@ -104,6 +121,8 @@ class CSRGraph {
   std::vector<std::uint64_t> vertex_array_;  // size V+1
   std::vector<VertexId> edge_array_;         // size nnz
   std::vector<float> values_;                // empty, or size nnz
+  /// Lazily built by shared_transposed(); null until first use.
+  mutable std::atomic<std::shared_ptr<const CSRGraph>> transpose_cache_{};
 };
 
 /// Concatenates graphs into one block-diagonal adjacency — the paper batches

@@ -58,6 +58,39 @@ CSRGraph erdos_renyi(std::size_t num_vertices, std::size_t num_edges, Rng& rng,
                             std::vector<Edge>(chosen.begin(), chosen.end()));
 }
 
+CSRGraph rmat(std::size_t scale, std::size_t num_edges, Rng& rng, double a,
+              double b, double c, bool undirected) {
+  OMEGA_CHECK(scale >= 1 && scale < 31, "rmat scale must be in [1, 30]");
+  OMEGA_CHECK(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0,
+              "rmat quadrant probabilities must be positive and sum below 1");
+  const std::size_t num_vertices = std::size_t{1} << scale;
+  std::vector<Edge> edges;
+  edges.reserve(num_edges * (undirected ? 2 : 1));
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    VertexId dst = 0;
+    VertexId src = 0;
+    for (std::size_t level = 0; level < scale; ++level) {
+      const double p = rng.uniform();
+      dst <<= 1;
+      src <<= 1;
+      if (p < a) {
+        // top-left: neither bit set
+      } else if (p < a + b) {
+        src |= 1;
+      } else if (p < a + b + c) {
+        dst |= 1;
+      } else {
+        dst |= 1;
+        src |= 1;
+      }
+    }
+    if (dst == src) continue;  // self-loops are added by the workload builder
+    edges.emplace_back(dst, src);
+    if (undirected) edges.emplace_back(src, dst);
+  }
+  return CSRGraph::from_coo(num_vertices, std::move(edges), /*dedup=*/true);
+}
+
 CSRGraph lognormal_chung_lu(std::size_t num_vertices, std::size_t num_edges,
                             double sigma, Rng& rng, bool undirected) {
   OMEGA_CHECK(num_vertices >= 2, "need at least two vertices");

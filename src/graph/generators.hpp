@@ -24,6 +24,17 @@ namespace omega {
                                    std::size_t num_edges, Rng& rng,
                                    bool undirected = true);
 
+/// Recursive-matrix (R-MAT / Graph500-style) generator: each edge picks its
+/// (dst, src) cell by descending `scale` levels of a 2x2 partition with
+/// probabilities (a, b, c, d), a+b+c+d == 1. Skewed corners (a >> d)
+/// produce the power-law degree tails large-scale DSE sweeps stress.
+/// Vertices = 2^scale; duplicate edges are dropped, so the delivered edge
+/// count is slightly below `num_edges` on dense corners. Self-loops
+/// excluded.
+[[nodiscard]] CSRGraph rmat(std::size_t scale, std::size_t num_edges, Rng& rng,
+                            double a = 0.57, double b = 0.19, double c = 0.19,
+                            bool undirected = false);
+
 /// Chung-Lu style graph with lognormal expected degrees: heavy-tailed degree
 /// distribution controlled by `sigma` (sigma ≈ 1.5 reproduces citation-network
 /// skew: max degree ~50-100x the mean). Edge count approaches `num_edges` in

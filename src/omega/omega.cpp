@@ -55,6 +55,18 @@ EnergyBreakdown compute_energy(const TrafficCounters& traffic,
 
 RunResult Omega::run(const GnnWorkload& workload, const LayerSpec& layer,
                      const DataflowDescriptor& df) const {
+  return run_impl(workload, layer, df, nullptr);
+}
+
+RunResult Omega::run(const GnnWorkload& workload, const LayerSpec& layer,
+                     const DataflowDescriptor& df,
+                     const WorkloadContext& context) const {
+  return run_impl(workload, layer, df, &context);
+}
+
+RunResult Omega::run_impl(const GnnWorkload& workload, const LayerSpec& layer,
+                          const DataflowDescriptor& df,
+                          const WorkloadContext* context) const {
   df.validate();
   const HardwareRequirements req = hardware_requirements(df);
   if (req.needs_spatial_reduction && !hw_.supports_spatial_reduction) {
@@ -146,6 +158,7 @@ RunResult Omega::run(const GnnWorkload& workload, const LayerSpec& layer,
   // Bind the two engines according to phase order.
   SpmmPhaseConfig agg_cfg;
   agg_cfg.graph = &workload.adjacency;
+  agg_cfg.context = context;
   agg_cfg.order = df.agg.order;
   agg_cfg.tiles = df.agg.tiles;
   agg_cfg.pes = result.pes_agg;
@@ -154,6 +167,7 @@ RunResult Omega::run(const GnnWorkload& workload, const LayerSpec& layer,
   agg_cfg.rf_elements = hw_.rf_elements_per_pe();
 
   GemmPhaseConfig cmb_cfg;
+  cmb_cfg.context = context;
   cmb_cfg.rows = v;
   cmb_cfg.inner = f;
   cmb_cfg.cols = g;

@@ -77,6 +77,16 @@ class Omega {
                               const LayerSpec& layer,
                               const DataflowDescriptor& df) const;
 
+  /// Same evaluation through a per-workload memo (engine/schedule_cache.hpp):
+  /// the adjacency transpose and lane schedules shared across candidates are
+  /// computed once and reused, which is what makes exhaustive sweeps fast.
+  /// `context` must be constructed over `workload.adjacency`. Results are
+  /// bit-identical to the context-free overload.
+  [[nodiscard]] RunResult run(const GnnWorkload& workload,
+                              const LayerSpec& layer,
+                              const DataflowDescriptor& df,
+                              const WorkloadContext& context) const;
+
   /// Binds a pattern's tile sizes (omega/tiler.hpp) and evaluates it.
   [[nodiscard]] RunResult run_pattern(const GnnWorkload& workload,
                                       const LayerSpec& layer,
@@ -86,6 +96,11 @@ class Omega {
   [[nodiscard]] const EnergyModel& energy_model() const { return energy_; }
 
  private:
+  [[nodiscard]] RunResult run_impl(const GnnWorkload& workload,
+                                   const LayerSpec& layer,
+                                   const DataflowDescriptor& df,
+                                   const WorkloadContext* context) const;
+
   AcceleratorConfig hw_;
   EnergyModel energy_;
 };

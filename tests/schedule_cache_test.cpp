@@ -1,0 +1,227 @@
+// Evaluation-reuse layer tests: cached (WorkloadContext) and uncached
+// Omega::run must be bit-identical across gather/scatter orders, all four
+// inter-phase strategies and skewed graphs; the caches themselves must
+// dedupe transposes and lane schedules.
+#include <gtest/gtest.h>
+
+#include "dse/search.hpp"
+#include "engine/schedule_cache.hpp"
+#include "graph/generators.hpp"
+#include "omega/omega.hpp"
+
+namespace omega {
+namespace {
+
+GnnWorkload make_workload(CSRGraph g, std::size_t f, const char* name) {
+  GnnWorkload w;
+  w.name = name;
+  w.adjacency = std::move(g).with_self_loops().gcn_normalized();
+  w.in_features = f;
+  return w;
+}
+
+GnnWorkload uniform_workload() {
+  Rng rng(11);
+  return make_workload(erdos_renyi(128, 700, rng), 32, "uniform");
+}
+
+GnnWorkload skewed_workload() {
+  Rng rng(13);
+  // Power-law tail: the "evil row" path that stresses the lane schedule.
+  return make_workload(lognormal_chung_lu(160, 1200, 1.5, rng), 24, "skewed");
+}
+
+GnnWorkload rmat_workload() {
+  Rng rng(17);
+  return make_workload(rmat(8, 1500, rng), 16, "rmat");
+}
+
+AcceleratorConfig small_hw() {
+  AcceleratorConfig hw;
+  hw.num_pes = 64;
+  return hw;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.pipeline_chunks, b.pipeline_chunks);
+  EXPECT_EQ(a.pipeline_elements, b.pipeline_elements);
+  EXPECT_EQ(a.intermediate_buffer_elements, b.intermediate_buffer_elements);
+  EXPECT_EQ(a.intermediate_spilled, b.intermediate_spilled);
+
+  const auto expect_phase = [](const PhaseResult& x, const PhaseResult& y) {
+    EXPECT_EQ(x.cycles, y.cycles);
+    EXPECT_EQ(x.issue_steps, y.issue_steps);
+    EXPECT_EQ(x.load_cycles, y.load_cycles);
+    EXPECT_EQ(x.stall_cycles, y.stall_cycles);
+    EXPECT_EQ(x.psum_cycles, y.psum_cycles);
+    EXPECT_EQ(x.fill_cycles, y.fill_cycles);
+    EXPECT_EQ(x.macs, y.macs);
+    EXPECT_EQ(x.active_pe_cycles, y.active_pe_cycles);
+    EXPECT_EQ(x.chunk_cycles, y.chunk_cycles);
+    EXPECT_EQ(x.chunk_completion, y.chunk_completion);
+    for (std::size_t c = 0; c < kNumTrafficCategories; ++c) {
+      EXPECT_EQ(x.traffic.gb[c].reads, y.traffic.gb[c].reads);
+      EXPECT_EQ(x.traffic.gb[c].writes, y.traffic.gb[c].writes);
+    }
+    EXPECT_EQ(x.traffic.rf.reads, y.traffic.rf.reads);
+    EXPECT_EQ(x.traffic.rf.writes, y.traffic.rf.writes);
+    EXPECT_EQ(x.traffic.dram.reads, y.traffic.dram.reads);
+    EXPECT_EQ(x.traffic.dram.writes, y.traffic.dram.writes);
+    EXPECT_EQ(x.traffic.intermediate_partition.reads,
+              y.traffic.intermediate_partition.reads);
+    EXPECT_EQ(x.traffic.intermediate_partition.writes,
+              y.traffic.intermediate_partition.writes);
+  };
+  expect_phase(a.agg, b.agg);
+  expect_phase(a.cmb, b.cmb);
+  // pJ values are pure functions of the (identical) traffic counters.
+  EXPECT_EQ(a.energy.total_pj(), b.energy.total_pj());
+}
+
+/// Sweeps the full candidate generator (every inter-phase mode, gather and
+/// scatter orders, both phase orders) and checks cached == uncached.
+void check_parity_over_search_space(const GnnWorkload& w) {
+  const Omega omega(small_hw());
+  const LayerSpec layer{16};
+  SearchOptions opt;
+  opt.include_ca = true;  // CA adds the scatter-heavy half of the space
+  const auto candidates = enumerate_search_candidates(
+      opt, dims_of(w, layer), omega.config().num_pes);
+  ASSERT_GT(candidates.size(), 100u);
+
+  const WorkloadContext context(w.adjacency);
+  std::array<bool, 4> mode_seen{};
+  std::size_t compared = 0;
+  for (std::size_t i = 0; i < candidates.size(); i += 7) {  // sample broadly
+    const DataflowDescriptor& df = candidates[i];
+    RunResult uncached;
+    try {
+      uncached = omega.run(w, layer, df);
+    } catch (const Error&) {
+      continue;  // infeasible on this substrate either way
+    }
+    const RunResult cached = omega.run(w, layer, df, context);
+    expect_identical(cached, uncached, w.name + ": " + df.to_string());
+    mode_seen[static_cast<std::size_t>(df.inter)] = true;
+    ++compared;
+  }
+  EXPECT_GE(compared, 20u);
+  EXPECT_TRUE(mode_seen[static_cast<std::size_t>(InterPhase::kSequential)]);
+  EXPECT_TRUE(mode_seen[static_cast<std::size_t>(InterPhase::kSPGeneric)]);
+  EXPECT_TRUE(mode_seen[static_cast<std::size_t>(InterPhase::kSPOptimized)]);
+  EXPECT_TRUE(
+      mode_seen[static_cast<std::size_t>(InterPhase::kParallelPipeline)]);
+  // The whole sweep shares one transpose and a handful of schedules.
+  EXPECT_LT(context.schedule_cache_size(), compared);
+}
+
+TEST(ScheduleCacheParityTest, UniformGraph) {
+  check_parity_over_search_space(uniform_workload());
+}
+
+TEST(ScheduleCacheParityTest, SkewedGraph) {
+  check_parity_over_search_space(skewed_workload());
+}
+
+TEST(ScheduleCacheParityTest, RmatGraph) {
+  check_parity_over_search_space(rmat_workload());
+}
+
+TEST(ScheduleCacheParityTest, GatherAndScatterSeqDescriptors) {
+  // Explicit named descriptors on the skewed graph: a gather order (V
+  // outside N) and a scatter order (N outside V) under Seq.
+  const GnnWorkload w = skewed_workload();
+  const Omega omega(small_hw());
+  const LayerSpec layer{16};
+  const WorkloadContext context(w.adjacency);
+  for (const char* text :
+       {"Seq_AC(VsFsNt, VsGsFt)", "Seq_AC(NtVsFs, VsGsFt)"}) {
+    auto df = DataflowDescriptor::parse(text);
+    df.agg.tiles = {.v = 8, .n = 1, .f = 8, .g = 1};
+    df.cmb.tiles = {.v = 8, .n = 1, .f = 1, .g = 8};
+    if (df.agg.order.depth_of(Dim::kV) > df.agg.order.depth_of(Dim::kN)) {
+      df.agg.tiles = {.v = 1, .n = 8, .f = 8, .g = 1};
+    }
+    expect_identical(omega.run(w, layer, df, context), omega.run(w, layer, df),
+                     text);
+  }
+}
+
+TEST(SharedTransposeTest, CachedAndShared) {
+  Rng rng(3);
+  const CSRGraph g = erdos_renyi(64, 256, rng);
+  const auto t1 = g.shared_transposed();
+  const auto t2 = g.shared_transposed();
+  EXPECT_EQ(t1.get(), t2.get());  // one instance, shared
+
+  // Same structure as an eager transpose.
+  const CSRGraph eager = g.transposed();
+  EXPECT_EQ(t1->vertex_array(), eager.vertex_array());
+  EXPECT_EQ(t1->edge_array(), eager.edge_array());
+}
+
+TEST(SharedTransposeTest, CopyDropsCacheAndMutationInvalidates) {
+  Rng rng(4);
+  CSRGraph g = erdos_renyi(48, 200, rng);
+  const auto before = g.shared_transposed();
+
+  CSRGraph copy = g;  // copies must not alias a possibly-stale cache
+  std::vector<float> vals(copy.num_edges(), 2.5f);
+  copy.set_values(std::move(vals));
+  const auto after = copy.shared_transposed();
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_TRUE(after->has_values());
+  EXPECT_FALSE(before->has_values());
+
+  // set_values on the original invalidates its cache too.
+  g.set_values(std::vector<float>(g.num_edges(), 1.5f));
+  const auto rebuilt = g.shared_transposed();
+  EXPECT_NE(before.get(), rebuilt.get());
+  EXPECT_FLOAT_EQ(rebuilt->values().front(), 1.5f);
+}
+
+TEST(LaneScheduleTest, PrefixMaxMatchesRowFinish) {
+  Rng rng(5);
+  const CSRGraph g = lognormal_chung_lu(96, 700, 1.5, rng);
+  const LaneSchedule s = build_lane_schedule(g, 8, 2);
+  ASSERT_EQ(s.row_finish.size(), g.num_vertices());
+  ASSERT_EQ(s.row_finish_prefix.size(), g.num_vertices());
+  std::uint64_t running = 0;
+  for (std::size_t r = 0; r < s.row_finish.size(); ++r) {
+    running = std::max(running, s.row_finish[r]);
+    EXPECT_EQ(s.row_finish_prefix[r], running);
+  }
+  EXPECT_EQ(s.row_finish_prefix.back(), s.critical_path);
+}
+
+TEST(WorkloadContextTest, SchedulesAreMemoized) {
+  const GnnWorkload w = uniform_workload();
+  const WorkloadContext context(w.adjacency);
+  const auto a = context.lane_schedule(true, 8, 2);
+  const auto b = context.lane_schedule(true, 8, 2);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(context.schedule_cache_size(), 1u);
+  const auto c = context.lane_schedule(false, 8, 2);  // reverse walk differs
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(context.schedule_cache_size(), 2u);
+}
+
+TEST(RmatGeneratorTest, DeterministicAndSkewed) {
+  Rng rng1(21), rng2(21);
+  const CSRGraph a = rmat(10, 8000, rng1);
+  const CSRGraph b = rmat(10, 8000, rng2);
+  EXPECT_EQ(a.edge_array(), b.edge_array());
+  EXPECT_EQ(a.num_vertices(), 1024u);
+  a.validate();
+  // Dedup drops some duplicates but the bulk must arrive...
+  EXPECT_GT(a.num_edges(), 6000u);
+  // ...and the default quadrant skew concentrates degree mass well above a
+  // uniform graph's tail (avg degree ~8, uniform max is far below 8x).
+  EXPECT_GT(a.max_degree(), static_cast<std::size_t>(4.0 * a.avg_degree()));
+}
+
+}  // namespace
+}  // namespace omega

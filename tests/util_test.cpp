@@ -173,6 +173,65 @@ TEST(ParallelTest, ZeroAndOneElement) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(ParallelTest, ParallelBlocksCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1013);
+  parallel_blocks(
+      hits.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) hits[i]++;
+      },
+      4, /*grain=*/7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// The single-core CI path runs the global pool inline, so exercise the
+// worker threads with an explicitly sized pool.
+TEST(ThreadPoolTest, ExplicitWorkersCoverAllIndices) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  std::vector<std::atomic<int>> hits(4099);
+  auto body = [&hits](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  };
+  using Body = decltype(body);
+  pool.run_blocks(
+      hits.size(),
+      [](void* ctx, std::size_t b, std::size_t e) {
+        (*static_cast<Body*>(ctx))(b, e);
+      },
+      &body, 0, 16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusedAcrossManyJobs) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.run_blocks(
+        100,
+        [](void* ctx, std::size_t b, std::size_t e) {
+          static_cast<std::atomic<std::uint64_t>*>(ctx)->fetch_add(e - b);
+        },
+        &total, 0, 3);
+  }
+  EXPECT_EQ(total.load(), 20000u);
+}
+
+TEST(ThreadPoolTest, WorkerExceptionPropagates) {
+  ThreadPool pool(3);
+  auto body = [](std::size_t begin, std::size_t) {
+    if (begin >= 500) throw InvalidArgumentError("boom from worker");
+  };
+  using Body = decltype(body);
+  EXPECT_THROW(pool.run_blocks(
+                   1000,
+                   [](void* ctx, std::size_t b, std::size_t e) {
+                     (*static_cast<Body*>(ctx))(b, e);
+                   },
+                   &body, 0, 10),
+               Error);
+}
+
 TEST(ErrorTest, CheckMacroThrowsWithContext) {
   try {
     OMEGA_CHECK(1 == 2, "custom detail");
