@@ -13,8 +13,18 @@
 //        OMEGA_DSE_CANDIDATES (sweep size, default 16384),
 //        OMEGA_DSE_BASELINE (uncached-baseline sample size, default 1024),
 //        OMEGA_DSE_JSON (output path, default BENCH_dse.json),
-//        --dse-only (skip the google-benchmark micro benches),
-//        --dse-skip (micro benches only; skip the sweep).
+//        --dse-only (DSE + model sweeps only; skip the micro benches),
+//        --dse-skip (micro benches only; skip both sweeps).
+//
+// The model sweep (run_model_sweep) measures model-level DSE: a multi-layer
+// GCN searched with a per-layer mapping (one shared WorkloadContext,
+// ideal-MAC pruning) against the best single fixed Table V pattern replayed
+// over all layers, reporting candidates/sec, the pruning win, and the
+// heterogeneous-vs-fixed cycle speedup. Knobs: OMEGA_MODEL_DATASET
+// (default Citeseer), OMEGA_MODEL_SCALE_PCT (workload scale in percent,
+// default 25), OMEGA_MODEL_WIDTHS (hidden widths, default "128,32,8"),
+// OMEGA_MODEL_CANDIDATES (per-layer cap, default 4096), OMEGA_MODEL_JSON
+// (default BENCH_model_dse.json), --model-only / --model-skip.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -23,8 +33,10 @@
 
 #include "bench_common.hpp"
 #include "dataflow/enumerate.hpp"
+#include "dse/model_search.hpp"
 #include "dse/search.hpp"
 #include "graph/generators.hpp"
+#include "util/format.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -247,11 +259,139 @@ int run_dse_sweep() {
   return identical ? 0 : 1;
 }
 
+// ---- Model sweep: per-layer heterogeneous mappings vs best fixed pattern ----
+
+std::string env_or_str(const char* name, const char* fallback) {
+  const char* s = std::getenv(name);
+  return s != nullptr && *s != '\0' ? s : fallback;
+}
+
+int run_model_sweep() {
+  const std::string dataset = env_or_str("OMEGA_MODEL_DATASET", "Citeseer");
+  const double scale =
+      static_cast<double>(env_or("OMEGA_MODEL_SCALE_PCT", 25)) / 100.0;
+  const std::string widths_csv = env_or_str("OMEGA_MODEL_WIDTHS", "128,32,8");
+  const std::size_t per_layer_cap = env_or("OMEGA_MODEL_CANDIDATES", 4096);
+  const std::string json_path =
+      env_or_str("OMEGA_MODEL_JSON", "BENCH_model_dse.json");
+
+  std::cout << "\n== model sweep: per-layer mapping search ==\n";
+  SynthesisOptions so;
+  so.scale = scale;
+  const GnnWorkload w = synthesize_workload(dataset_by_name(dataset), so);
+  GnnModelSpec spec;
+  spec.model = GnnModel::kGCN;
+  spec.feature_widths.push_back(w.in_features);
+  for (const auto& part : split(widths_csv, ',')) {
+    spec.feature_widths.push_back(
+        static_cast<std::size_t>(std::atoll(part.c_str())));
+  }
+  std::cout << "workload: " << w.name << " (V=" << w.num_vertices()
+            << ", E=" << w.num_edges() << "), " << spec.num_layers()
+            << "-layer GCN, widths";
+  for (const std::size_t width : spec.feature_widths) {
+    std::cout << " " << width;
+  }
+  std::cout << ", per-layer cap " << per_layer_cap << "\n";
+
+  const Omega omega(default_accelerator());
+  ModelSearchOptions opt;
+  opt.layer.max_candidates = per_layer_cap;
+  opt.prune = false;
+
+  const auto timed = [&](const ModelSearchOptions& o) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ModelSearchResult r = search_model_mappings(omega, w, spec, o);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::pair<ModelSearchResult, double>(
+        std::move(r), std::chrono::duration<double>(t1 - t0).count());
+  };
+
+  const auto [full, full_s] = timed(opt);
+  opt.prune = true;
+  const auto [pruned, pruned_s] = timed(opt);
+
+  const bool same_best = full.best().to_string() == pruned.best().to_string() &&
+                         full.best().total_cycles == pruned.best().total_cycles;
+  const double full_rate =
+      full_s > 0.0 ? static_cast<double>(full.evaluated) / full_s : 0.0;
+  // The pruned rate counts every *decided* candidate (evaluated or culled):
+  // that is the sweep's useful throughput.
+  const double pruned_rate =
+      pruned_s > 0.0
+          ? static_cast<double>(pruned.evaluated + pruned.pruned) / pruned_s
+          : 0.0;
+
+  std::cout << "unpruned: " << fixed(full_rate, 1) << " candidates/sec ("
+            << full.evaluated << " evaluated in " << fixed(full_s, 3)
+            << " s)\n"
+            << "pruned:   " << fixed(pruned_rate, 1) << " candidates/sec ("
+            << pruned.evaluated << " evaluated + " << pruned.pruned
+            << " culled in " << fixed(pruned_s, 3) << " s; "
+            << fixed(pruned_s > 0.0 ? full_s / pruned_s : 0.0, 2)
+            << "x sweep speedup)\n"
+            << "best:     " << (same_best ? "bit-identical" : "MISMATCH")
+            << " across prune on/off\n";
+
+  for (std::size_t l = 0; l < pruned.layers.size(); ++l) {
+    const Candidate& c = pruned.layers[l].search.best();
+    std::cout << "  layer " << l << " (" << pruned.layers[l].spec.in_features
+              << "->" << pruned.layers[l].spec.out_features
+              << "): " << c.dataflow.to_string() << ", "
+              << with_commas(c.cycles) << " cycles\n";
+  }
+
+  const auto fixed_run = best_fixed_pattern(omega, w, spec);
+  double speedup = 0.0;
+  if (fixed_run) {
+    speedup = static_cast<double>(fixed_run->result.total_cycles) /
+              static_cast<double>(
+                  std::max<std::uint64_t>(pruned.best().total_cycles, 1));
+    std::cout << "heterogeneous " << with_commas(pruned.best().total_cycles)
+              << " cycles vs best fixed (" << fixed_run->name << ") "
+              << with_commas(fixed_run->result.total_cycles) << " -> "
+              << fixed(speedup, 3) << "x\n";
+  }
+
+  std::ofstream json(json_path);
+  if (json) {
+    json << "{\n"
+         << "  \"bench\": \"model_dse_sweep\",\n"
+         << "  \"workload\": \"" << w.name << "\",\n"
+         << "  \"vertices\": " << w.num_vertices() << ",\n"
+         << "  \"edges\": " << w.num_edges() << ",\n"
+         << "  \"layers\": " << spec.num_layers() << ",\n"
+         << "  \"per_layer_cap\": " << per_layer_cap << ",\n"
+         << "  \"unpruned\": {\"seconds\": " << full_s
+         << ", \"evaluated\": " << full.evaluated
+         << ", \"candidates_per_sec\": " << full_rate << "},\n"
+         << "  \"pruned\": {\"seconds\": " << pruned_s
+         << ", \"evaluated\": " << pruned.evaluated
+         << ", \"culled\": " << pruned.pruned
+         << ", \"candidates_per_sec\": " << pruned_rate << "},\n"
+         << "  \"prune_sweep_speedup\": "
+         << (pruned_s > 0.0 ? full_s / pruned_s : 0.0) << ",\n"
+         << "  \"best_parity\": \""
+         << (same_best ? "bit-identical" : "mismatch") << "\",\n"
+         << "  \"heterogeneous_cycles\": " << pruned.best().total_cycles;
+    if (fixed_run) {
+      json << ",\n  \"best_fixed\": {\"name\": \"" << fixed_run->name
+           << "\", \"cycles\": " << fixed_run->result.total_cycles
+           << "},\n  \"speedup_vs_fixed\": " << speedup;
+    }
+    json << "\n}\n";
+    std::cout << "(json: " << json_path << ")\n";
+  }
+  return same_best ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool dse_only = false;
-  bool dse_skip = false;  // micro benches only (fast iteration)
+  bool dse_skip = false;    // micro benches only (fast iteration)
+  bool model_only = false;  // model sweep only
+  bool model_skip = false;
   const auto consume_flag = [&](const char* flag, bool* value) {
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], flag) == 0) {
@@ -264,8 +404,10 @@ int main(int argc, char** argv) {
   };
   consume_flag("--dse-only", &dse_only);
   consume_flag("--dse-skip", &dse_skip);
+  consume_flag("--model-only", &model_only);
+  consume_flag("--model-skip", &model_skip);
   int rc = 0;
-  if (!dse_skip) {
+  if (!dse_skip && !model_only) {
     try {
       rc = run_dse_sweep();
     } catch (const std::exception& e) {
@@ -273,7 +415,15 @@ int main(int argc, char** argv) {
       rc = 1;
     }
   }
-  if (rc != 0 || dse_only) return rc;
+  if (rc == 0 && !dse_skip && !model_skip) {
+    try {
+      rc = run_model_sweep();
+    } catch (const std::exception& e) {
+      std::cerr << "model sweep failed: " << e.what() << "\n";
+      rc = 1;
+    }
+  }
+  if (rc != 0 || dse_only || model_only) return rc;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

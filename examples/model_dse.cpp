@@ -1,0 +1,78 @@
+// Model-level mapping study (Fig. 10 evaluates whole multi-layer models):
+// for each workload, search a dataflow per layer of a 2-layer GCN and
+// compare the heterogeneous per-layer mapping against every fixed Table V
+// configuration replayed over all layers — the per-layer flexibility
+// argument of VersaGNN / Dynasparse in OMEGA's cost model.
+//
+// Usage: model_dse [max_candidates_per_layer] [scale] [json_path]
+#include <fstream>
+#include <iostream>
+
+#include "dse/model_search.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace omega;
+
+  const std::size_t budget =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 2000;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+  const std::string json_path = argc > 3 ? argv[3] : "MODEL_DSE.json";
+
+  const Omega omega(default_accelerator());
+  const std::vector<std::string> datasets{"Cora", "Citeseer", "Collab"};
+
+  std::cout << "per-layer mapping search, 2-layer GCN (hidden 16), scale "
+            << fixed(scale, 2) << ", per-layer budget " << budget << "\n\n";
+
+  TextTable t({"workload", "layer-0 dataflow", "layer-1 dataflow",
+               "hetero cycles", "best fixed", "fixed cycles", "speedup"});
+  std::ofstream json(json_path);
+  json << "[\n";
+  bool first = true;
+  for (const auto& name : datasets) {
+    SynthesisOptions so;
+    so.scale = scale;
+    const GnnWorkload w = synthesize_workload(dataset_by_name(name), so);
+    const GnnModelSpec spec = gcn_two_layer(w.in_features, 16, 8);
+
+    ModelSearchOptions opt;
+    opt.layer.max_candidates = budget;
+    opt.prune = true;
+    const ModelSearchResult r = search_model_mappings(omega, w, spec, opt);
+    const ModelCandidate& best = r.best();
+    const auto fixed_run = best_fixed_pattern(omega, w, spec);
+    const double speedup =
+        fixed_run ? static_cast<double>(fixed_run->result.total_cycles) /
+                        static_cast<double>(best.total_cycles)
+                  : 0.0;
+
+    t.add_row({w.name, best.per_layer[0].to_string(),
+               best.per_layer[1].to_string(), with_commas(best.total_cycles),
+               fixed_run ? fixed_run->name : "-",
+               fixed_run ? with_commas(fixed_run->result.total_cycles) : "-",
+               fixed(speedup, 3) + "x"});
+
+    json << (first ? "" : ",\n") << "  {\"workload\": \"" << w.name
+         << "\", \"heterogeneous_cycles\": " << best.total_cycles
+         << ", \"heterogeneous_on_chip_pj\": " << best.total_on_chip_pj
+         << ", \"evaluated\": " << r.evaluated
+         << ", \"pruned\": " << r.pruned;
+    if (fixed_run) {
+      json << ", \"best_fixed\": \"" << fixed_run->name
+           << "\", \"best_fixed_cycles\": " << fixed_run->result.total_cycles
+           << ", \"speedup\": " << speedup;
+    }
+    json << ", \"per_layer\": [";
+    for (std::size_t l = 0; l < best.per_layer.size(); ++l) {
+      json << (l ? ", " : "") << "\"" << best.per_layer[l].to_string()
+           << "\"";
+    }
+    json << "]}";
+    first = false;
+  }
+  json << "\n]\n";
+  std::cout << t << "\n(json: " << json_path << ")\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Model-level design-space search (Fig. 10 runs whole multi-layer GCN/GIN
+// models): searches a — possibly different — dataflow for every layer of a
+// GnnModelSpec instead of replaying one fixed pattern, the per-layer
+// flexibility argument of VersaGNN / Dynasparse. One WorkloadContext is
+// shared across all layers and candidates (the adjacency transpose and lane
+// schedules are layer-invariant), so each extra layer costs only the engine
+// math, and an ideal-MAC lower bound culls candidates that cannot beat the
+// incumbent before they reach a full Omega::run.
+#pragma once
+
+#include <optional>
+
+#include "dse/search.hpp"
+#include "gnn/inference.hpp"
+
+namespace omega {
+
+struct ModelSearchOptions {
+  /// Per-layer search knobs (objective, strategy filters, max_candidates,
+  /// threads, top_k). `layer.prune` is overridden by `prune` below;
+  /// `layer.include_ca` is additionally masked per layer by the model's
+  /// allowed phase orders (GraphSAGE pins AC).
+  SearchOptions layer;
+  /// Ideal-MAC lower-bound pruning inside every layer sweep (runtime
+  /// objective only; lossless for the best candidate — see SearchOptions).
+  bool prune = true;
+  /// Model-wide cap on fully evaluated candidates, split evenly over the
+  /// remaining layers as the sweep proceeds (0 = unlimited). Every layer is
+  /// guaranteed at least `fallback_candidates` so it always has a winner.
+  std::size_t max_total_candidates = 0;
+  /// Soft wall-clock budget; checked before each layer's sweep (never
+  /// mid-sweep, so results under a generous budget stay deterministic).
+  /// Layers starting past the deadline fall back to `fallback_candidates`.
+  double time_budget_ms = 0.0;
+  /// Per-layer candidate floor once a budget trips.
+  std::size_t fallback_candidates = 64;
+  /// Seed every layer's sweep with the Table V pattern bindings (as
+  /// always-evaluated extra candidates), so a budgeted heterogeneous search
+  /// is >= the best fixed pattern by construction.
+  bool seed_table5 = true;
+  /// Length of the model-level ranked list.
+  std::size_t top_k = 16;
+};
+
+/// One layer's sweep output.
+struct LayerSearchResult {
+  GnnLayerSpec spec;
+  SearchResult search;  // per-layer ranked list / Pareto / counters
+};
+
+/// A complete per-layer mapping assignment for the model.
+struct ModelCandidate {
+  std::vector<DataflowDescriptor> per_layer;  // one descriptor per layer
+  std::uint64_t total_cycles = 0;
+  double total_on_chip_pj = 0.0;
+  double score = 0.0;  // model-level objective on the totals
+
+  /// Concatenated per-layer descriptor notation, e.g.
+  /// "Seq_AC(...) | PP_AC(...)".
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ModelSearchResult {
+  std::vector<LayerSearchResult> layers;  // layer order
+  std::vector<ModelCandidate> ranked;     // best first, top_k entries
+  std::vector<ModelCandidate> pareto;     // cycles/energy frontier
+  std::size_t generated = 0;              // sum over layers
+  std::size_t evaluated = 0;              // candidates fully run
+  std::size_t pruned = 0;                 // culled by the lower bound
+  bool budget_exhausted = false;          // a candidate/time budget tripped
+
+  [[nodiscard]] const ModelCandidate& best() const;
+};
+
+/// Searches a dataflow per layer of `spec` on `workload`'s graph. The layer
+/// cost model is independent across layers and total cycles/energy are sums,
+/// so the per-layer winners compose into the model-level winner for the
+/// additive objectives (runtime, energy); the ranked list is built by
+/// best-first combination of the per-layer ranked lists, and the Pareto
+/// frontier is taken over the enumerated combinations.
+/// `workload.in_features` must equal `spec.feature_widths.front()`.
+[[nodiscard]] ModelSearchResult search_model_mappings(
+    const Omega& omega, const GnnWorkload& workload, const GnnModelSpec& spec,
+    const ModelSearchOptions& options = {});
+
+/// The strongest homogeneous baseline: every Table V pattern replayed over
+/// all layers through run_model, keeping the lowest total cycles. Infeasible
+/// patterns are skipped; nullopt if none fits the substrate.
+struct FixedPatternRun {
+  std::string name;  // Table V config name
+  ModelRunResult result;
+};
+[[nodiscard]] std::optional<FixedPatternRun> best_fixed_pattern(
+    const Omega& omega, const GnnWorkload& workload, const GnnModelSpec& spec);
+
+}  // namespace omega

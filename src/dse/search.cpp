@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <limits>
+#include <numeric>
+#include <optional>
 
 #include "dataflow/enumerate.hpp"
 #include "util/error.hpp"
@@ -77,6 +80,11 @@ void generate_for_pair(const SearchOptions& opt, const WorkloadDims& dims,
     if (!df.validation_error()) out.push_back(df);
   };
 
+  // PP splits the PE array between the phases, which needs at least one PE
+  // on each side; on a single-PE accelerator the clamp below would be
+  // clamp(x, 1, 0) — undefined behavior — so PP generation is skipped.
+  if (inter == InterPhase::kParallelPipeline && pes < 2) return;
+
   const std::vector<double> fractions =
       inter == InterPhase::kParallelPipeline ? opt.pp_fractions
                                              : std::vector<double>{1.0};
@@ -138,7 +146,40 @@ double score_of(Objective obj, std::uint64_t cycles, double pj) {
   return static_cast<double>(cycles);
 }
 
+std::uint64_t ceil_div_u64(std::uint64_t a, std::uint64_t b) {
+  return b == 0 ? a : (a + b - 1) / b;
+}
+
 }  // namespace
+
+bool candidate_order(const Candidate& a, const Candidate& b) {
+  if (a.score != b.score) return a.score < b.score;
+  if (a.cycles != b.cycles) return a.cycles < b.cycles;
+  if (a.on_chip_pj != b.on_chip_pj) return a.on_chip_pj < b.on_chip_pj;
+  return a.dataflow.to_string() < b.dataflow.to_string();
+}
+
+std::uint64_t ideal_mac_cycle_bound(const DataflowDescriptor& df,
+                                    std::size_t pes, std::uint64_t edges,
+                                    const WorkloadDims& dims) {
+  const bool ac = df.phase_order == PhaseOrder::kAC;
+  const std::uint64_t agg_macs =
+      edges * static_cast<std::uint64_t>(ac ? dims.in_features
+                                            : dims.out_features);
+  const std::uint64_t cmb_macs = static_cast<std::uint64_t>(dims.vertices) *
+                                 dims.in_features * dims.out_features;
+  if (df.inter == InterPhase::kParallelPipeline && pes >= 2) {
+    // Same PE split Omega::run_impl performs.
+    const std::size_t pes_agg = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::llround(static_cast<double>(pes) *
+                                              df.pp_agg_pe_fraction)),
+        1, pes - 1);
+    const std::size_t pes_cmb = pes - pes_agg;
+    return std::max(ceil_div_u64(agg_macs, pes_agg),
+                    ceil_div_u64(cmb_macs, pes_cmb));
+  }
+  return ceil_div_u64(agg_macs, pes) + ceil_div_u64(cmb_macs, pes);
+}
 
 std::vector<DataflowDescriptor> enumerate_search_candidates(
     const SearchOptions& options, const WorkloadDims& dims, std::size_t pes) {
@@ -186,31 +227,41 @@ std::vector<DataflowDescriptor> enumerate_search_candidates(
 
 SearchResult search_mappings(const Omega& omega, const GnnWorkload& workload,
                              const LayerSpec& layer,
-                             const SearchOptions& options) {
+                             const SearchOptions& options,
+                             const WorkloadContext* shared_context) {
   const WorkloadDims dims = dims_of(workload, layer);
   const std::size_t pes = omega.config().num_pes;
   const std::vector<DataflowDescriptor> candidates =
       enumerate_search_candidates(options, dims, pes);
 
   SearchResult result;
-  result.generated = candidates.size();
+  result.generated = candidates.size() + options.extra_candidates.size();
 
   // Deterministic stride subsampling under a candidate cap — by index, so
-  // no DataflowDescriptor is copied to build the sample.
+  // no DataflowDescriptor is copied to build the sample. Caller-provided
+  // extra candidates ride along after the sample, outside the cap.
   const bool capped = options.max_candidates > 0 &&
                       candidates.size() > options.max_candidates;
-  const std::size_t selected =
+  const std::size_t sampled =
       capped ? options.max_candidates : candidates.size();
+  const std::size_t selected = sampled + options.extra_candidates.size();
   const auto candidate_at = [&](std::size_t i) -> const DataflowDescriptor& {
+    if (i >= sampled) return options.extra_candidates[i - sampled];
     return candidates[capped ? stride_sample_index(i, candidates.size(),
-                                                   selected)
+                                                   sampled)
                              : i];
   };
 
   // Per-workload evaluation-reuse memo: one transpose, one lane schedule per
   // (walk, lanes, lane_width) across every candidate. Pre-warm the reverse
   // adjacency so sweep threads do not race to build it on first touch.
-  const WorkloadContext context(workload.adjacency);
+  // Model-level search hands in one context shared across every layer.
+  std::optional<WorkloadContext> own_context;
+  if (shared_context == nullptr) {
+    own_context.emplace(workload.adjacency);
+  }
+  const WorkloadContext& context =
+      shared_context != nullptr ? *shared_context : *own_context;
   for (std::size_t i = 0; i < selected; ++i) {
     const LoopOrder& order = candidate_at(i).agg.order;
     if (order.depth_of(Dim::kV) > order.depth_of(Dim::kN)) {  // scatter
@@ -219,27 +270,82 @@ SearchResult search_mappings(const Omega& omega, const GnnWorkload& workload,
     }
   }
 
+  // Evaluation order: identity without pruning; with pruning, ascending
+  // ideal-MAC bound with index tie-break, so the seed pass sees the most
+  // promising candidates first and the incumbent is tight. Both orders are
+  // deterministic functions of the candidate population alone.
+  const bool prune =
+      options.prune && options.objective == Objective::kRuntime && selected > 0;
+  std::vector<std::size_t> eval_order(selected);
+  std::iota(eval_order.begin(), eval_order.end(), std::size_t{0});
+  std::vector<std::uint64_t> bounds;
+  if (prune) {
+    const std::uint64_t edges = workload.num_edges();
+    bounds.resize(selected);
+    for (std::size_t i = 0; i < selected; ++i) {
+      // Extra candidates carry a zero bound: they sort to the front of the
+      // evaluation order and the cull condition (bound <= incumbent) can
+      // never drop them, honoring their "always evaluated" contract.
+      bounds[i] = i >= sampled
+                      ? 0
+                      : ideal_mac_cycle_bound(candidate_at(i), pes, edges,
+                                              dims);
+    }
+    std::sort(eval_order.begin(), eval_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (bounds[a] != bounds[b]) return bounds[a] < bounds[b];
+                return a < b;
+              });
+  }
+
   std::vector<Candidate> evaluated(selected);
   std::vector<char> ok(selected, 0);
-  parallel_blocks(
-      selected,
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          try {
-            const DataflowDescriptor& df = candidate_at(i);
-            const RunResult r = omega.run(workload, layer, df, context);
-            evaluated[i].dataflow = df;
-            evaluated[i].cycles = r.cycles;
-            evaluated[i].on_chip_pj = r.energy.on_chip_pj();
-            evaluated[i].score =
-                score_of(options.objective, r.cycles, r.energy.on_chip_pj());
-            ok[i] = 1;
-          } catch (const Error&) {
-            ok[i] = 0;  // infeasible under this substrate; skip
+  const auto evaluate_range = [&](std::size_t from, std::size_t to) {
+    parallel_blocks(
+        to - from,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t j = begin; j < end; ++j) {
+            const std::size_t i = eval_order[from + j];
+            try {
+              const DataflowDescriptor& df = candidate_at(i);
+              const RunResult r = omega.run(workload, layer, df, context);
+              evaluated[i].dataflow = df;
+              evaluated[i].cycles = r.cycles;
+              evaluated[i].on_chip_pj = r.energy.on_chip_pj();
+              evaluated[i].score =
+                  score_of(options.objective, r.cycles, r.energy.on_chip_pj());
+              ok[i] = 1;
+            } catch (const Error&) {
+              ok[i] = 0;  // infeasible under this substrate; skip
+            }
           }
-        }
-      },
-      options.threads);
+        },
+        options.threads);
+  };
+
+  if (!prune) {
+    evaluate_range(0, selected);
+  } else {
+    // Seed pass: the prune_seed candidates with the smallest bounds, fully
+    // evaluated. The incumbent is reduced after the barrier, in index order,
+    // so it does not depend on thread scheduling.
+    const std::size_t seed =
+        std::min(std::max<std::size_t>(options.prune_seed, 1), selected);
+    evaluate_range(0, seed);
+    std::uint64_t incumbent = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t j = 0; j < seed; ++j) {
+      const std::size_t i = eval_order[j];
+      if (ok[i]) incumbent = std::min(incumbent, evaluated[i].cycles);
+    }
+    // Cull pass: a candidate whose *lower bound* already exceeds the
+    // incumbent's achieved cycles cannot beat the best (ties survive, so
+    // tie-breaking stays identical to the unpruned search). eval_order is
+    // bound-ascending, so survivors are a prefix.
+    std::size_t keep = seed;
+    while (keep < selected && bounds[eval_order[keep]] <= incumbent) ++keep;
+    result.pruned = selected - keep;
+    evaluate_range(seed, keep);
+  }
 
   std::vector<Candidate> valid;
   valid.reserve(evaluated.size());
@@ -248,17 +354,29 @@ SearchResult search_mappings(const Omega& omega, const GnnWorkload& workload,
   }
   result.evaluated = valid.size();
 
-  std::sort(valid.begin(), valid.end(),
-            [](const Candidate& a, const Candidate& b) {
-              return a.score < b.score;
-            });
+  std::sort(valid.begin(), valid.end(), candidate_order);
+  // An extra candidate may duplicate a sampled one; identical descriptors
+  // produce identical metrics and sort adjacent, so one unique pass drops
+  // the copies from the ranked list and the frontier.
+  valid.erase(std::unique(valid.begin(), valid.end(),
+                          [](const Candidate& a, const Candidate& b) {
+                            return a.cycles == b.cycles &&
+                                   a.on_chip_pj == b.on_chip_pj &&
+                                   a.dataflow.to_string() ==
+                                       b.dataflow.to_string();
+                          }),
+              valid.end());
 
-  // Pareto frontier over (cycles, energy).
+  // Pareto frontier over (cycles, energy). The candidate_order tail keeps
+  // the frontier's representative for tied (cycles, energy) points
+  // deterministic across platforms.
   std::vector<Candidate> by_cycles = valid;
   std::sort(by_cycles.begin(), by_cycles.end(),
             [](const Candidate& a, const Candidate& b) {
               if (a.cycles != b.cycles) return a.cycles < b.cycles;
-              return a.on_chip_pj < b.on_chip_pj;
+              if (a.on_chip_pj != b.on_chip_pj)
+                return a.on_chip_pj < b.on_chip_pj;
+              return a.dataflow.to_string() < b.dataflow.to_string();
             });
   double best_energy = std::numeric_limits<double>::infinity();
   for (const auto& c : by_cycles) {

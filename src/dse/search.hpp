@@ -35,7 +35,32 @@ struct SearchOptions {
   std::size_t threads = 0;  // 0 = hardware concurrency
   /// Keep at most this many ranked results (best first).
   std::size_t top_k = 16;
+  /// Lower-bound pruning (runtime objective only; ignored otherwise):
+  /// a deterministic seed of `prune_seed` candidates — the ones with the
+  /// smallest ideal-MAC cycle bounds — is evaluated first, and every
+  /// remaining candidate whose bound exceeds the seed incumbent's score is
+  /// culled without a full Omega::run. The bound is a true lower bound, so
+  /// the pruned search returns a bit-identical best candidate (including
+  /// all score ties); ranked entries strictly worse than the seed incumbent
+  /// may be dropped. The survivor set depends only on the bounds and the
+  /// seed scores, so results are identical across thread counts.
+  bool prune = false;
+  std::size_t prune_seed = 64;
+  /// Fully bound descriptors appended to the candidate population and
+  /// always evaluated: they bypass the max_candidates subsample and are
+  /// exempt from the lower-bound cull (their bound is treated as zero).
+  /// Model-level search seeds these with the Table V pattern bindings so a
+  /// budgeted sweep can never lose to a fixed pattern it did not sample.
+  std::vector<DataflowDescriptor> extra_candidates;
 };
+
+struct Candidate;
+
+/// Total order used to rank candidates: (score, cycles, on_chip_pj,
+/// descriptor key). The descriptor-key tail makes ranking deterministic
+/// across platforms and thread counts even for exact score/cycles/energy
+/// ties (distinct dataflows can genuinely tie on all three metrics).
+[[nodiscard]] bool candidate_order(const Candidate& a, const Candidate& b);
 
 struct Candidate {
   DataflowDescriptor dataflow;
@@ -49,14 +74,32 @@ struct SearchResult {
   std::vector<Candidate> pareto;  // runtime/energy frontier, cycles ascending
   std::size_t generated = 0;      // candidates produced by the generator
   std::size_t evaluated = 0;      // candidates actually run
+  std::size_t pruned = 0;         // culled by the lower bound, never run
 
   [[nodiscard]] const Candidate& best() const;
 };
 
-[[nodiscard]] SearchResult search_mappings(const Omega& omega,
-                                           const GnnWorkload& workload,
-                                           const LayerSpec& layer,
-                                           const SearchOptions& options = {});
+/// `shared_context`, when non-null, must be a WorkloadContext over
+/// `workload.adjacency`; the search then reuses its transpose / schedule /
+/// phase memos instead of building a fresh context. Model-level search
+/// passes one context across every layer's sweep (the memo is keyed on
+/// quantities that are layer-invariant or layer-tagged), so per-layer
+/// sweeps after the first pay only the engine math.
+[[nodiscard]] SearchResult search_mappings(
+    const Omega& omega, const GnnWorkload& workload, const LayerSpec& layer,
+    const SearchOptions& options = {},
+    const WorkloadContext* shared_context = nullptr);
+
+/// Ideal-MAC cycle lower bound for a candidate on a workload: each phase
+/// needs at least ceil(phase MACs / phase PEs) cycles, phases compose by sum
+/// (Seq / SP) or max (PP, which splits the PE array). Every engine cycle
+/// count is >= this bound for candidates whose spatial tile footprint fits
+/// the phase's PE budget (all generated candidates do), which is what makes
+/// bound-based pruning lossless. `edges` is workload.num_edges().
+[[nodiscard]] std::uint64_t ideal_mac_cycle_bound(const DataflowDescriptor& df,
+                                                  std::size_t pes,
+                                                  std::uint64_t edges,
+                                                  const WorkloadDims& dims);
 
 /// The candidate generator behind search_mappings: every valid descriptor
 /// for the enabled inter-phase strategies / phase orders / tilings, before

@@ -51,13 +51,15 @@ const DatasetSpec& dataset_by_name(const std::string& name) {
   throw InvalidArgumentError("unknown dataset: " + name);
 }
 
-namespace {
-
-/// Clamp helper keeping generated graphs legal (enough vertices for edges).
 std::size_t clamp_edges(std::size_t vertices, std::size_t edges) {
+  // vertices * (vertices - 1) wraps to SIZE_MAX for vertices == 0, turning
+  // the cap into "unlimited"; 0- and 1-vertex graphs admit no edges.
+  if (vertices < 2) return 0;
   const std::size_t cap = vertices * (vertices - 1);
   return std::min(edges, cap);
 }
+
+namespace {
 
 CSRGraph synthesize_one_graph(const DatasetSpec& spec, double scale, Rng& rng) {
   if (spec.node_classification) {

@@ -54,6 +54,11 @@ struct GnnWorkload {
   [[nodiscard]] std::size_t num_edges() const { return adjacency.num_edges(); }
 };
 
+/// Caps an edge budget at what a simple directed graph on `vertices`
+/// vertices can hold (0 for 0/1-vertex graphs, which admit no edges).
+/// Used by the synthesizers to keep generated graphs legal.
+[[nodiscard]] std::size_t clamp_edges(std::size_t vertices, std::size_t edges);
+
 /// Options controlling synthesis.
 struct SynthesisOptions {
   std::uint64_t seed = 7;

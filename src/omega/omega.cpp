@@ -102,6 +102,13 @@ RunResult Omega::run_impl(const GnnWorkload& workload, const LayerSpec& layer,
   std::size_t bw_red_agg = hw_.reduction_bandwidth;
   std::size_t bw_red_cmb = hw_.reduction_bandwidth;
   if (pp) {
+    // Splitting the array needs a PE on each side; clamp(x, 1, 0) below
+    // would be UB on a single-PE substrate.
+    if (hw_.num_pes < 2) {
+      throw ResourceError(df.to_string() +
+                          ": parallel pipeline needs >= 2 PEs to split the "
+                          "array between the phases");
+    }
     result.pes_agg = std::clamp<std::size_t>(
         static_cast<std::size_t>(std::llround(
             static_cast<double>(hw_.num_pes) * df.pp_agg_pe_fraction)),

@@ -34,6 +34,17 @@ TEST(DatasetSpecTest, Categories) {
   EXPECT_THROW(dataset_by_name("pubmed"), Error);
 }
 
+TEST(ClampEdgesTest, DegenerateVertexCountsAdmitNoEdges) {
+  // Regression: vertices * (vertices - 1) wrapped to SIZE_MAX for
+  // vertices == 0, turning the edge cap into "unlimited".
+  EXPECT_EQ(clamp_edges(0, 0), 0u);
+  EXPECT_EQ(clamp_edges(0, 100), 0u);
+  EXPECT_EQ(clamp_edges(1, 100), 0u);
+  EXPECT_EQ(clamp_edges(2, 100), 2u);   // a 2-cycle at most
+  EXPECT_EQ(clamp_edges(10, 42), 42u);  // under the cap: untouched
+  EXPECT_EQ(clamp_edges(10, 1000), 90u);
+}
+
 TEST(SynthesisTest, BatchSizesMatchPaper) {
   SynthesisOptions opt;
   opt.scale = 1.0;

@@ -104,6 +104,151 @@ TEST(SearchTest, StrategyFiltersApply) {
   }
 }
 
+TEST(SearchTest, SinglePeAcceleratorSearchIsSafe) {
+  // Regression: generate_for_pair used to hit clamp(x, 1, pes - 1) with
+  // pes == 1 when PP generation was enabled — UB (hi < lo). A 1-PE search
+  // must run clean (PP candidates skipped), and the winner is purely
+  // temporal by construction.
+  AcceleratorConfig hw;
+  hw.num_pes = 1;
+  const Omega omega(hw);
+  SearchOptions opt;  // include_pp defaults to true — the regression trigger
+  opt.max_candidates = 200;
+  const SearchResult r =
+      search_mappings(omega, toy_workload(), LayerSpec{8}, opt);
+  ASSERT_FALSE(r.ranked.empty());
+  for (const auto& c : r.ranked) {
+    EXPECT_NE(c.dataflow.inter, InterPhase::kParallelPipeline);
+  }
+}
+
+TEST(SearchTest, SinglePeRejectsParallelPipelineDescriptors) {
+  // Omega::run on a hand-built PP descriptor must throw (not UB) on a
+  // single-PE substrate.
+  AcceleratorConfig hw;
+  hw.num_pes = 1;
+  const Omega omega(hw);
+  AcceleratorConfig hw64;
+  hw64.num_pes = 64;
+  const Omega omega64(hw64);
+  const GnnWorkload w = toy_workload();
+  SearchOptions opt;
+  opt.include_seq = false;
+  opt.include_sp_generic = false;
+  opt.include_sp_optimized = false;
+  opt.max_candidates = 10;
+  const auto pp =
+      search_mappings(omega64, w, LayerSpec{8}, opt).best().dataflow;
+  EXPECT_THROW((void)omega.run(w, LayerSpec{8}, pp), ResourceError);
+}
+
+TEST(SearchTest, RankedOutputIdenticalAcrossThreadCounts) {
+  // Ranking breaks ties on (score, cycles, on_chip_pj, descriptor key), so
+  // the ranked list is a pure function of the candidate population — not of
+  // evaluation order or thread count.
+  AcceleratorConfig hw;
+  hw.num_pes = 64;
+  const Omega omega(hw);
+  const GnnWorkload w = toy_workload();
+  SearchOptions opt;
+  opt.max_candidates = 400;
+  opt.top_k = 32;
+  opt.threads = 1;
+  const SearchResult serial = search_mappings(omega, w, LayerSpec{8}, opt);
+  opt.threads = 8;
+  const SearchResult parallel = search_mappings(omega, w, LayerSpec{8}, opt);
+  ASSERT_EQ(serial.ranked.size(), parallel.ranked.size());
+  for (std::size_t i = 0; i < serial.ranked.size(); ++i) {
+    EXPECT_EQ(serial.ranked[i].dataflow.to_string(),
+              parallel.ranked[i].dataflow.to_string());
+    EXPECT_EQ(serial.ranked[i].cycles, parallel.ranked[i].cycles);
+    EXPECT_EQ(serial.ranked[i].on_chip_pj, parallel.ranked[i].on_chip_pj);
+  }
+  ASSERT_EQ(serial.pareto.size(), parallel.pareto.size());
+  for (std::size_t i = 0; i < serial.pareto.size(); ++i) {
+    EXPECT_EQ(serial.pareto[i].dataflow.to_string(),
+              parallel.pareto[i].dataflow.to_string());
+  }
+}
+
+TEST(SearchTest, IdealMacBoundIsALowerBound) {
+  // Soundness of the pruning bound: no evaluated candidate finishes in
+  // fewer cycles than its ideal-MAC bound.
+  AcceleratorConfig hw;
+  hw.num_pes = 64;
+  const Omega omega(hw);
+  const GnnWorkload w = toy_workload();
+  const LayerSpec layer{8};
+  const WorkloadDims dims = dims_of(w, layer);
+  SearchOptions opt;
+  opt.include_ca = true;
+  const auto candidates =
+      enumerate_search_candidates(opt, dims, hw.num_pes);
+  ASSERT_FALSE(candidates.empty());
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < candidates.size(); i += 7) {
+    const auto& df = candidates[i];
+    try {
+      const RunResult r = omega.run(w, layer, df);
+      EXPECT_GE(r.cycles, ideal_mac_cycle_bound(df, hw.num_pes, w.num_edges(),
+                                                dims))
+          << df.to_string();
+      ++checked;
+    } catch (const Error&) {
+      // infeasible on the default substrate; irrelevant to the bound
+    }
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+TEST(SearchTest, PrunedSearchReturnsBitIdenticalBest) {
+  AcceleratorConfig hw;
+  hw.num_pes = 64;
+  const Omega omega(hw);
+  const GnnWorkload w = toy_workload();
+  SearchOptions opt;
+  opt.max_candidates = 600;
+  const SearchResult full = search_mappings(omega, w, LayerSpec{8}, opt);
+  opt.prune = true;
+  opt.prune_seed = 16;
+  const SearchResult pruned = search_mappings(omega, w, LayerSpec{8}, opt);
+  EXPECT_GT(pruned.pruned, 0u);  // the bound actually culls on this workload
+  EXPECT_LE(pruned.evaluated, full.evaluated);
+  EXPECT_EQ(full.best().dataflow.to_string(),
+            pruned.best().dataflow.to_string());
+  EXPECT_EQ(full.best().cycles, pruned.best().cycles);
+  EXPECT_EQ(full.best().on_chip_pj, pruned.best().on_chip_pj);
+}
+
+TEST(SearchTest, ExtraCandidatesSurvivePruning) {
+  // extra_candidates are contractually always evaluated — even when their
+  // ideal-MAC bound would otherwise let the prune pass cull them.
+  AcceleratorConfig hw;
+  hw.num_pes = 64;
+  const Omega omega(hw);
+  const GnnWorkload w = toy_workload();
+  SearchOptions opt;
+  opt.max_candidates = 300;
+  opt.top_k = 100000;  // keep everything evaluated in the ranked list
+  const SearchResult full = search_mappings(omega, w, LayerSpec{8}, opt);
+  ASSERT_GT(full.ranked.size(), 1u);
+  const DataflowDescriptor worst = full.ranked.back().dataflow;
+
+  SearchOptions popt;
+  popt.max_candidates = 100;
+  popt.top_k = 100000;
+  popt.prune = true;
+  popt.prune_seed = 8;
+  popt.extra_candidates = {worst};
+  const SearchResult pruned = search_mappings(omega, w, LayerSpec{8}, popt);
+  const std::string key = worst.to_string();
+  bool found = false;
+  for (const auto& c : pruned.ranked) {
+    if (c.dataflow.to_string() == key) found = true;
+  }
+  EXPECT_TRUE(found) << "seeded candidate " << key << " was culled";
+}
+
 TEST(SearchTest, OptimizerMatchesOrBeatsTableVConfigs) {
   // The future-work pitch of Section VI: a search over the taxonomy should
   // never lose to the nine hand-picked configurations.

@@ -1,0 +1,203 @@
+// Model-level mapping search: per-layer winners against independent
+// single-layer searches, lossless pruning, budget handling, and the
+// run_model totals contract the combination math relies on.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "dse/model_search.hpp"
+#include "graph/generators.hpp"
+
+namespace omega {
+namespace {
+
+GnnWorkload toy_workload() {
+  Rng rng(42);
+  GnnWorkload w;
+  w.name = "model-dse-toy";
+  w.adjacency = erdos_renyi(80, 400, rng).with_self_loops().gcn_normalized();
+  w.in_features = 24;
+  return w;
+}
+
+Omega toy_omega() {
+  AcceleratorConfig hw;
+  hw.num_pes = 64;
+  return Omega(hw);
+}
+
+ModelSearchOptions base_options() {
+  ModelSearchOptions opt;
+  opt.layer.max_candidates = 300;
+  opt.layer.top_k = 8;
+  opt.prune = false;
+  // Off for the bit-parity tests: a standalone search_mappings call has no
+  // Table V seed candidates to compare against.
+  opt.seed_table5 = false;
+  return opt;
+}
+
+TEST(ModelSearchTest, PerLayerWinnersMatchIndependentSearch) {
+  // With pruning and budgets off, every layer's sweep must be bit-identical
+  // to a standalone search_mappings over the same layer dims (the shared
+  // WorkloadContext is an optimization, not a semantic change).
+  const Omega omega = toy_omega();
+  const GnnWorkload w = toy_workload();
+  const GnnModelSpec spec = gcn_two_layer(24, 16, 8);
+  const ModelSearchOptions opt = base_options();
+  const ModelSearchResult model = search_model_mappings(omega, w, spec, opt);
+  ASSERT_EQ(model.layers.size(), 2u);
+
+  GnnWorkload lw = w;
+  for (std::size_t l = 0; l < spec.num_layers(); ++l) {
+    const GnnLayerSpec layer = spec.layer_spec(l);
+    lw.in_features = layer.in_features;
+    const SearchResult solo = search_mappings(
+        omega, lw, LayerSpec{layer.out_features}, opt.layer);
+    ASSERT_FALSE(model.layers[l].search.ranked.empty());
+    EXPECT_EQ(solo.best().dataflow.to_string(),
+              model.layers[l].search.best().dataflow.to_string());
+    EXPECT_EQ(solo.best().cycles, model.layers[l].search.best().cycles);
+    EXPECT_EQ(solo.best().on_chip_pj,
+              model.layers[l].search.best().on_chip_pj);
+    EXPECT_EQ(solo.evaluated, model.layers[l].search.evaluated);
+  }
+}
+
+TEST(ModelSearchTest, BestComboSumsPerLayerWinners) {
+  // Runtime is additive across layers, so the model-level best is exactly
+  // the per-layer winners stitched together.
+  const ModelSearchResult r = search_model_mappings(
+      toy_omega(), toy_workload(), gcn_two_layer(24, 16, 8), base_options());
+  const ModelCandidate& best = r.best();
+  ASSERT_EQ(best.per_layer.size(), 2u);
+  std::uint64_t cycles = 0;
+  for (std::size_t l = 0; l < 2; ++l) {
+    EXPECT_EQ(best.per_layer[l].to_string(),
+              r.layers[l].search.best().dataflow.to_string());
+    cycles += r.layers[l].search.best().cycles;
+  }
+  EXPECT_EQ(best.total_cycles, cycles);
+  // Ranked list is sorted and bounded.
+  EXPECT_LE(r.ranked.size(), 16u);
+  for (std::size_t i = 1; i < r.ranked.size(); ++i) {
+    EXPECT_LE(r.ranked[i - 1].score, r.ranked[i].score);
+  }
+  // Pareto frontier is monotone.
+  for (std::size_t i = 1; i < r.pareto.size(); ++i) {
+    EXPECT_GE(r.pareto[i].total_cycles, r.pareto[i - 1].total_cycles);
+    EXPECT_LT(r.pareto[i].total_on_chip_pj, r.pareto[i - 1].total_on_chip_pj);
+  }
+}
+
+TEST(ModelSearchTest, PruningReturnsSameBestCandidate) {
+  const Omega omega = toy_omega();
+  const GnnWorkload w = toy_workload();
+  const GnnModelSpec spec = gcn_two_layer(24, 16, 8);
+  ModelSearchOptions opt = base_options();
+  const ModelSearchResult full = search_model_mappings(omega, w, spec, opt);
+  opt.prune = true;
+  opt.layer.prune_seed = 16;
+  const ModelSearchResult pruned = search_model_mappings(omega, w, spec, opt);
+  EXPECT_GT(pruned.pruned, 0u);
+  EXPECT_LE(pruned.evaluated, full.evaluated);
+  EXPECT_EQ(full.best().to_string(), pruned.best().to_string());
+  EXPECT_EQ(full.best().total_cycles, pruned.best().total_cycles);
+  EXPECT_EQ(full.best().total_on_chip_pj, pruned.best().total_on_chip_pj);
+}
+
+TEST(ModelSearchTest, HeterogeneousMatchesOrBeatsBestFixedPattern) {
+  // With Table V seeding on, every layer's sweep contains each fixed
+  // pattern's exact binding, so the heterogeneous winner can never lose to
+  // the homogeneous baseline — even under a tiny candidate budget that
+  // would subsample those bindings away.
+  const Omega omega = toy_omega();
+  const GnnWorkload w = toy_workload();
+  const GnnModelSpec spec = gcn_two_layer(24, 16, 8);
+  ModelSearchOptions opt = base_options();
+  opt.seed_table5 = true;
+  opt.layer.max_candidates = 40;  // aggressively budgeted
+  const ModelSearchResult r = search_model_mappings(omega, w, spec, opt);
+  const auto fixed = best_fixed_pattern(omega, w, spec);
+  ASSERT_TRUE(fixed.has_value());
+  EXPECT_LE(r.best().total_cycles, fixed->result.total_cycles)
+      << "heterogeneous search lost to " << fixed->name;
+}
+
+TEST(ModelSearchTest, CandidateBudgetCapsEvaluationAcrossLayers) {
+  ModelSearchOptions opt = base_options();
+  opt.layer.max_candidates = 0;  // only the model budget applies
+  opt.max_total_candidates = 120;
+  opt.fallback_candidates = 16;
+  const ModelSearchResult r = search_model_mappings(
+      toy_omega(), toy_workload(), gcn_two_layer(24, 16, 8), opt);
+  ASSERT_FALSE(r.ranked.empty());
+  // Each layer gets its even share (or the floor), so the total stays near
+  // the budget instead of sweeping the full population.
+  EXPECT_LE(r.evaluated, 120u + 2 * 16u);
+  EXPECT_LT(r.evaluated, r.generated);
+}
+
+TEST(ModelSearchTest, ZeroFallbackFloorStillCapsExhaustedBudget) {
+  // Regression: fallback_candidates == 0 used to produce a per-layer share
+  // of 0, which search_mappings reads as "unlimited" — an exhausted budget
+  // then swept the full population. The floor clamps to >= 1 instead.
+  ModelSearchOptions opt = base_options();
+  opt.layer.max_candidates = 0;
+  opt.max_total_candidates = 40;
+  opt.fallback_candidates = 0;
+  const ModelSearchResult r = search_model_mappings(
+      toy_omega(), toy_workload(), gcn_two_layer(24, 16, 8), opt);
+  ASSERT_FALSE(r.ranked.empty());
+  EXPECT_LE(r.evaluated, 60u);
+  EXPECT_LT(r.evaluated, r.generated);
+}
+
+TEST(ModelSearchTest, RankedOutputIdenticalAcrossThreadCounts) {
+  const Omega omega = toy_omega();
+  const GnnWorkload w = toy_workload();
+  const GnnModelSpec spec = gcn_two_layer(24, 16, 8);
+  ModelSearchOptions opt = base_options();
+  opt.prune = true;  // pruning decisions must also be thread-invariant
+  opt.layer.threads = 1;
+  const ModelSearchResult serial = search_model_mappings(omega, w, spec, opt);
+  opt.layer.threads = 8;
+  const ModelSearchResult parallel =
+      search_model_mappings(omega, w, spec, opt);
+  ASSERT_EQ(serial.ranked.size(), parallel.ranked.size());
+  for (std::size_t i = 0; i < serial.ranked.size(); ++i) {
+    EXPECT_EQ(serial.ranked[i].to_string(), parallel.ranked[i].to_string());
+    EXPECT_EQ(serial.ranked[i].total_cycles, parallel.ranked[i].total_cycles);
+  }
+  EXPECT_EQ(serial.pruned, parallel.pruned);
+}
+
+TEST(ModelSearchTest, ModelRunResultTotalsEqualLayerSums) {
+  const Omega omega = toy_omega();
+  const GnnWorkload w = toy_workload();
+  const GnnModelSpec spec = gcn_two_layer(24, 16, 8);
+  const ModelRunResult r =
+      run_model(omega, w, spec, table5_patterns().front());
+  ASSERT_EQ(r.layers.size(), 2u);
+  std::uint64_t cycles = 0, macs = 0;
+  double on_chip = 0.0, total = 0.0;
+  for (const auto& layer : r.layers) {
+    cycles += layer.cycles;
+    on_chip += layer.energy.on_chip_pj();
+    total += layer.energy.total_pj();
+    macs += layer.agg.macs + layer.cmb.macs;
+  }
+  EXPECT_EQ(r.total_cycles, cycles);
+  EXPECT_DOUBLE_EQ(r.total_on_chip_pj, on_chip);
+  EXPECT_DOUBLE_EQ(r.total_pj, total);
+  EXPECT_EQ(r.total_macs, macs);
+}
+
+TEST(ModelSearchTest, RejectsMismatchedFeatureWidth) {
+  EXPECT_THROW((void)search_model_mappings(toy_omega(), toy_workload(),
+                                           gcn_two_layer(999, 16, 8), {}),
+               Error);
+}
+
+}  // namespace
+}  // namespace omega

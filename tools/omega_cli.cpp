@@ -6,15 +6,22 @@
 //                  [--g N] [--frac X] [--bw N] [--scale X]
 //   omega_cli list                     # datasets and Table V configs
 //   omega_cli pattern <dataset> <name> [--pes N] [--g N] [--scale X]
+//   omega_cli search-model <dataset> [--widths 16,8] [--model gcn|sage|gin]
+//                  [--pes N] [--scale X] [--budget N] [--total-budget N]
+//                  [--objective runtime|energy|edp] [--no-prune]
+//                  [--json PATH]
 //
 // Examples:
 //   omega_cli run Citeseer "PP_AC(VtFsNt, VsGsFt)" --tiles 1,1,256,16,16,1
 //   omega_cli pattern Collab SP2
+//   omega_cli search-model Cora --widths 16,7 --budget 2000 --json model.json
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "dse/model_search.hpp"
 #include "graph/datasets.hpp"
 #include "graph/stats.hpp"
 #include "omega/omega.hpp"
@@ -135,6 +142,149 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+int cmd_search_model(int argc, char** argv) {
+  if (argc < 3) throw InvalidArgumentError("search-model needs <dataset>");
+  std::vector<std::size_t> widths{16, 8};
+  GnnModel model = GnnModel::kGCN;
+  ModelSearchOptions mso;
+  mso.layer.max_candidates = 2000;
+  std::size_t pes = 512;
+  double scale = 1.0;
+  std::string json_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw InvalidArgumentError("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--widths") {
+      widths.clear();
+      for (const auto& part : split(next(), ',')) {
+        widths.push_back(static_cast<std::size_t>(std::stoul(part)));
+      }
+      if (widths.empty()) {
+        throw InvalidArgumentError("--widths wants e.g. 16,8");
+      }
+    } else if (a == "--model") {
+      const std::string m = to_lower(next());
+      if (m == "gcn") model = GnnModel::kGCN;
+      else if (m == "sage" || m == "graphsage") model = GnnModel::kGraphSAGE;
+      else if (m == "gin") model = GnnModel::kGIN;
+      else throw InvalidArgumentError("unknown model: " + m);
+    } else if (a == "--objective") {
+      const std::string o = to_lower(next());
+      if (o == "runtime") mso.layer.objective = Objective::kRuntime;
+      else if (o == "energy") mso.layer.objective = Objective::kEnergy;
+      else if (o == "edp") mso.layer.objective = Objective::kEnergyDelayProduct;
+      else throw InvalidArgumentError("unknown objective: " + o);
+    } else if (a == "--pes") {
+      pes = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--scale") {
+      scale = std::stod(next());
+    } else if (a == "--budget") {
+      mso.layer.max_candidates = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--total-budget") {
+      mso.max_total_candidates = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--no-prune") {
+      mso.prune = false;
+    } else if (a == "--json") {
+      json_path = next();
+    } else {
+      throw InvalidArgumentError("unknown flag: " + a);
+    }
+  }
+
+  SynthesisOptions so;
+  so.scale = scale;
+  const GnnWorkload w = synthesize_workload(dataset_by_name(argv[2]), so);
+  GnnModelSpec spec;
+  spec.model = model;
+  spec.feature_widths.push_back(w.in_features);
+  spec.feature_widths.insert(spec.feature_widths.end(), widths.begin(),
+                             widths.end());
+  AcceleratorConfig hw;
+  hw.num_pes = pes;
+  const Omega omega(hw);
+
+  std::cout << "model-level mapping search: " << to_string(model) << " on "
+            << w.name << " (V=" << with_commas(w.num_vertices())
+            << ", E=" << with_commas(w.num_edges()) << "), layers:";
+  for (std::size_t i = 0; i + 1 < spec.feature_widths.size(); ++i) {
+    std::cout << " " << spec.feature_widths[i] << "->"
+              << spec.feature_widths[i + 1];
+  }
+  std::cout << ", objective " << to_string(mso.layer.objective)
+            << (mso.prune ? ", pruned" : "") << "\n\n";
+
+  const ModelSearchResult r = search_model_mappings(omega, w, spec, mso);
+
+  TextTable t({"layer", "dims", "best dataflow", "cycles", "energy (uJ)",
+               "evaluated", "pruned"});
+  for (std::size_t l = 0; l < r.layers.size(); ++l) {
+    const auto& lr = r.layers[l];
+    const Candidate& best = lr.search.best();
+    t.add_row({std::to_string(l),
+               std::to_string(lr.spec.in_features) + "->" +
+                   std::to_string(lr.spec.out_features),
+               best.dataflow.to_string(), with_commas(best.cycles),
+               fixed(best.on_chip_pj / 1e6, 3),
+               std::to_string(lr.search.evaluated),
+               std::to_string(lr.search.pruned)});
+  }
+  std::cout << t;
+
+  const ModelCandidate& best = r.best();
+  std::cout << "\nmodel total: " << with_commas(best.total_cycles)
+            << " cycles, " << fixed(best.total_on_chip_pj / 1e6, 3)
+            << " uJ on-chip (" << r.evaluated << " evaluated, " << r.pruned
+            << " pruned of " << r.generated << " generated"
+            << (r.budget_exhausted ? "; budget exhausted" : "") << ")\n";
+
+  const auto fixed_run = best_fixed_pattern(omega, w, spec);
+  double speedup = 0.0;
+  if (fixed_run) {
+    speedup = best.total_cycles > 0
+                  ? static_cast<double>(fixed_run->result.total_cycles) /
+                        static_cast<double>(best.total_cycles)
+                  : 0.0;
+    std::cout << "best fixed pattern: " << fixed_run->name << " at "
+              << with_commas(fixed_run->result.total_cycles)
+              << " cycles -> heterogeneous speedup " << fixed(speedup, 3)
+              << "x\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    json << "{\n  \"workload\": \"" << w.name << "\",\n  \"model\": \""
+         << to_string(model) << "\",\n  \"widths\": [";
+    for (std::size_t i = 0; i < spec.feature_widths.size(); ++i) {
+      json << (i ? ", " : "") << spec.feature_widths[i];
+    }
+    json << "],\n  \"layers\": [\n";
+    for (std::size_t l = 0; l < r.layers.size(); ++l) {
+      const Candidate& c = r.layers[l].search.best();
+      json << "    {\"layer\": " << l << ", \"dataflow\": \""
+           << c.dataflow.to_string() << "\", \"cycles\": " << c.cycles
+           << ", \"on_chip_pj\": " << c.on_chip_pj
+           << ", \"evaluated\": " << r.layers[l].search.evaluated
+           << ", \"pruned\": " << r.layers[l].search.pruned << "}"
+           << (l + 1 < r.layers.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"total_cycles\": " << best.total_cycles
+         << ",\n  \"total_on_chip_pj\": " << best.total_on_chip_pj
+         << ",\n  \"evaluated\": " << r.evaluated << ",\n  \"pruned\": "
+         << r.pruned << ",\n  \"generated\": " << r.generated;
+    if (fixed_run) {
+      json << ",\n  \"best_fixed\": {\"name\": \"" << fixed_run->name
+           << "\", \"cycles\": " << fixed_run->result.total_cycles
+           << "},\n  \"speedup_vs_fixed\": " << speedup;
+    }
+    json << "\n}\n";
+    std::cout << "(json: " << json_path << ")\n";
+  }
+  return 0;
+}
+
 int cmd_pattern(int argc, char** argv) {
   if (argc < 4) throw InvalidArgumentError("pattern needs <dataset> <name>");
   const CliOptions o = parse_flags(argc, argv, 4);
@@ -151,13 +301,14 @@ int cmd_pattern(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     if (argc < 2) {
-      std::cerr << "usage: omega_cli {run|pattern|list} ...\n";
+      std::cerr << "usage: omega_cli {run|pattern|search-model|list} ...\n";
       return 2;
     }
     const std::string cmd = argv[1];
     if (cmd == "list") return cmd_list();
     if (cmd == "run") return cmd_run(argc, argv);
     if (cmd == "pattern") return cmd_pattern(argc, argv);
+    if (cmd == "search-model") return cmd_search_model(argc, argv);
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {
