@@ -28,6 +28,15 @@ inline double bench_scale() {
   return 1.0;
 }
 
+/// Positive-integer environment knob with a fallback (0 or unset = default).
+inline std::size_t env_or(const char* name, std::size_t fallback) {
+  if (const char* s = std::getenv(name)) {
+    const long long v = std::atoll(s);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
 inline std::string out_dir() {
   if (const char* s = std::getenv("OMEGA_BENCH_OUTDIR")) return s;
   return "bench_results";

@@ -37,6 +37,7 @@
 #include "dse/search.hpp"
 #include "graph/generators.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -98,14 +99,6 @@ void BM_MappingSearch(benchmark::State& state) {
 BENCHMARK(BM_MappingSearch)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
 // ---- DSE sweep: cached vs uncached candidates/sec ---------------------------
-
-std::size_t env_or(const char* name, std::size_t fallback) {
-  if (const char* s = std::getenv(name)) {
-    const long long v = std::atoll(s);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
-  return fallback;
-}
 
 struct SweepTiming {
   double seconds = 0.0;
@@ -234,26 +227,34 @@ int run_dse_sweep() {
 
   std::ofstream json(json_path);
   if (json) {
-    json << "{\n"
-         << "  \"bench\": \"dse_sweep\",\n"
-         << "  \"graph\": {\"generator\": \"rmat\", \"scale\": " << scale
-         << ", \"vertices\": " << w.num_vertices()
-         << ", \"edges\": " << w.num_edges() << "},\n"
-         << "  \"population\": " << population << ",\n"
-         << "  \"candidates\": " << candidates.size() << ",\n"
-         << "  \"baseline_candidates\": " << baseline.size() << ",\n"
-         << "  \"phase_sims\": " << context.phase_cache_size() << ",\n"
-         << "  \"threads\": " << default_thread_count() << ",\n"
-         << "  \"uncached\": {\"seconds\": " << uncached.seconds
-         << ", \"candidates_per_sec\": " << uncached.candidates_per_sec
-         << "},\n"
-         << "  \"cached\": {\"seconds\": " << cached.seconds
-         << ", \"candidates_per_sec\": " << cached.candidates_per_sec
-         << "},\n"
-         << "  \"speedup\": " << speedup << ",\n"
-         << "  \"parity\": \"" << (identical ? "bit-identical" : "mismatch")
-         << "\"\n"
-         << "}\n";
+    JsonWriter jw(2);
+    jw.begin_object();
+    jw.member("bench", "dse_sweep");
+    jw.key("graph").begin_object();
+    jw.member("generator", "rmat");
+    jw.member("scale", static_cast<std::uint64_t>(scale));
+    jw.member("vertices", static_cast<std::uint64_t>(w.num_vertices()));
+    jw.member("edges", static_cast<std::uint64_t>(w.num_edges()));
+    jw.end_object();
+    jw.member("population", static_cast<std::uint64_t>(population));
+    jw.member("candidates", static_cast<std::uint64_t>(candidates.size()));
+    jw.member("baseline_candidates",
+              static_cast<std::uint64_t>(baseline.size()));
+    jw.member("phase_sims",
+              static_cast<std::uint64_t>(context.phase_cache_size()));
+    jw.member("threads", static_cast<std::uint64_t>(default_thread_count()));
+    jw.key("uncached").begin_object();
+    jw.member("seconds", uncached.seconds);
+    jw.member("candidates_per_sec", uncached.candidates_per_sec);
+    jw.end_object();
+    jw.key("cached").begin_object();
+    jw.member("seconds", cached.seconds);
+    jw.member("candidates_per_sec", cached.candidates_per_sec);
+    jw.end_object();
+    jw.member("speedup", speedup);
+    jw.member("parity", identical ? "bit-identical" : "mismatch");
+    jw.end_object();
+    json << jw.str() << "\n";
     std::cout << "(json: " << json_path << ")\n";
   }
   return identical ? 0 : 1;
@@ -355,31 +356,37 @@ int run_model_sweep() {
 
   std::ofstream json(json_path);
   if (json) {
-    json << "{\n"
-         << "  \"bench\": \"model_dse_sweep\",\n"
-         << "  \"workload\": \"" << w.name << "\",\n"
-         << "  \"vertices\": " << w.num_vertices() << ",\n"
-         << "  \"edges\": " << w.num_edges() << ",\n"
-         << "  \"layers\": " << spec.num_layers() << ",\n"
-         << "  \"per_layer_cap\": " << per_layer_cap << ",\n"
-         << "  \"unpruned\": {\"seconds\": " << full_s
-         << ", \"evaluated\": " << full.evaluated
-         << ", \"candidates_per_sec\": " << full_rate << "},\n"
-         << "  \"pruned\": {\"seconds\": " << pruned_s
-         << ", \"evaluated\": " << pruned.evaluated
-         << ", \"culled\": " << pruned.pruned
-         << ", \"candidates_per_sec\": " << pruned_rate << "},\n"
-         << "  \"prune_sweep_speedup\": "
-         << (pruned_s > 0.0 ? full_s / pruned_s : 0.0) << ",\n"
-         << "  \"best_parity\": \""
-         << (same_best ? "bit-identical" : "mismatch") << "\",\n"
-         << "  \"heterogeneous_cycles\": " << pruned.best().total_cycles;
+    JsonWriter jw(2);
+    jw.begin_object();
+    jw.member("bench", "model_dse_sweep");
+    jw.member("workload", w.name);
+    jw.member("vertices", static_cast<std::uint64_t>(w.num_vertices()));
+    jw.member("edges", static_cast<std::uint64_t>(w.num_edges()));
+    jw.member("layers", static_cast<std::uint64_t>(spec.num_layers()));
+    jw.member("per_layer_cap", static_cast<std::uint64_t>(per_layer_cap));
+    jw.key("unpruned").begin_object();
+    jw.member("seconds", full_s);
+    jw.member("evaluated", static_cast<std::uint64_t>(full.evaluated));
+    jw.member("candidates_per_sec", full_rate);
+    jw.end_object();
+    jw.key("pruned").begin_object();
+    jw.member("seconds", pruned_s);
+    jw.member("evaluated", static_cast<std::uint64_t>(pruned.evaluated));
+    jw.member("culled", static_cast<std::uint64_t>(pruned.pruned));
+    jw.member("candidates_per_sec", pruned_rate);
+    jw.end_object();
+    jw.member("prune_sweep_speedup", pruned_s > 0.0 ? full_s / pruned_s : 0.0);
+    jw.member("best_parity", same_best ? "bit-identical" : "mismatch");
+    jw.member("heterogeneous_cycles", pruned.best().total_cycles);
     if (fixed_run) {
-      json << ",\n  \"best_fixed\": {\"name\": \"" << fixed_run->name
-           << "\", \"cycles\": " << fixed_run->result.total_cycles
-           << "},\n  \"speedup_vs_fixed\": " << speedup;
+      jw.key("best_fixed").begin_object();
+      jw.member("name", fixed_run->name);
+      jw.member("cycles", fixed_run->result.total_cycles);
+      jw.end_object();
+      jw.member("speedup_vs_fixed", speedup);
     }
-    json << "\n}\n";
+    jw.end_object();
+    json << jw.str() << "\n";
     std::cout << "(json: " << json_path << ")\n";
   }
   return same_best ? 0 : 1;

@@ -92,6 +92,14 @@ std::vector<ModelCandidate> enumerate_combos(
 
 }  // namespace
 
+const char* to_string(BudgetAllocation a) {
+  switch (a) {
+    case BudgetAllocation::kEven: return "even";
+    case BudgetAllocation::kMacWeighted: return "mac";
+  }
+  return "?";
+}
+
 std::string ModelCandidate::to_string() const {
   std::string s;
   for (std::size_t l = 0; l < per_layer.size(); ++l) {
@@ -110,7 +118,8 @@ const ModelCandidate& ModelSearchResult::best() const {
 ModelSearchResult search_model_mappings(const Omega& omega,
                                         const GnnWorkload& workload,
                                         const GnnModelSpec& spec,
-                                        const ModelSearchOptions& options) {
+                                        const ModelSearchOptions& options,
+                                        const WorkloadContext* shared_context) {
   const std::size_t num_layers = spec.num_layers();
   OMEGA_CHECK(num_layers >= 1, "model needs at least one layer");
   OMEGA_CHECK(workload.in_features == spec.feature_widths.front(),
@@ -119,11 +128,27 @@ ModelSearchResult search_model_mappings(const Omega& omega,
   ModelSearchResult out;
   out.layers.reserve(num_layers);
 
-  // One workload copy whose feature width mutates per layer; the adjacency
-  // (and therefore the context's transpose / schedule / phase memos) is
-  // shared by every layer's sweep.
-  GnnWorkload layer_workload = workload;
-  const WorkloadContext context(layer_workload.adjacency);
+  // Per-layer feature widths ride in LayerSpec::in_features, so every
+  // layer's sweep runs against the same workload object — which is what
+  // lets one WorkloadContext (keyed by pointer identity to the adjacency)
+  // serve all layers, whether built here or handed in warm by the caller.
+  std::optional<WorkloadContext> own_context;
+  if (shared_context == nullptr) own_context.emplace(workload.adjacency);
+  const WorkloadContext& context =
+      shared_context != nullptr ? *shared_context : *own_context;
+
+  // MAC-weighted budget split: layer l's ideal MAC count under AC order,
+  // E * F_l (Aggregation) + V * F_l * G_l (Combination). Proportions are
+  // what matters, so the per-PE division of ideal_mac_cycle_bound cancels.
+  std::vector<std::uint64_t> mac_weight(num_layers, 1);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    const GnnLayerSpec layer = spec.layer_spec(l);
+    mac_weight[l] = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(workload.num_edges()) *
+                   layer.in_features +
+               static_cast<std::uint64_t>(workload.num_vertices()) *
+                   layer.in_features * layer.out_features);
+  }
 
   const auto start = std::chrono::steady_clock::now();
   const auto elapsed_ms = [&] {
@@ -135,7 +160,7 @@ ModelSearchResult search_model_mappings(const Omega& omega,
   std::size_t spent = 0;  // fully evaluated candidates so far
   for (std::size_t l = 0; l < num_layers; ++l) {
     const GnnLayerSpec layer = spec.layer_spec(l);
-    layer_workload.in_features = layer.in_features;
+    const LayerSpec layer_shape{layer.out_features, layer.in_features};
 
     SearchOptions so = options.layer;
     so.prune = options.prune;
@@ -144,8 +169,7 @@ ModelSearchResult search_model_mappings(const Omega& omega,
       // A budgeted subsample can miss the exact binding a fixed pattern
       // would use; seeding the nine Table V bindings guarantees the
       // heterogeneous winner never loses to the homogeneous baseline.
-      const WorkloadDims dims =
-          dims_of(layer_workload, LayerSpec{layer.out_features});
+      const WorkloadDims dims = dims_of(workload, layer_shape);
       for (const auto& pattern : table5_patterns()) {
         if (!layer.allows_phase_order(pattern.phase_order)) continue;
         try {
@@ -168,8 +192,23 @@ ModelSearchResult search_model_mappings(const Omega& omega,
               ? options.max_total_candidates - spent
               : 0;
       if (remaining == 0) out.budget_exhausted = true;
-      const std::size_t share =
-          std::max(floor_cap, remaining / (num_layers - l));
+      std::size_t share = remaining / (num_layers - l);
+      if (options.budget_allocation == BudgetAllocation::kMacWeighted) {
+        // Weight by the remaining layers' ideal MACs so the dominant layer
+        // (typically layer 0 of a GCN, whose F is the raw feature width)
+        // gets the search effort its share of the model cost warrants.
+        // The budget arrives untrusted from the service protocol, so the
+        // budget x MACs product runs in 128-bit — a u64 product would wrap
+        // for huge budgets and hand the dominant layer a garbage share.
+        // Recomputed against `remaining` each layer so unused floor slack
+        // flows downstream.
+        std::uint64_t rest = 0;
+        for (std::size_t j = l; j < num_layers; ++j) rest += mac_weight[j];
+        share = static_cast<std::size_t>(
+            static_cast<unsigned __int128>(remaining) * mac_weight[l] /
+            std::max<std::uint64_t>(rest, 1));
+      }
+      share = std::max(floor_cap, share);
       so.max_candidates =
           so.max_candidates > 0 ? std::min(so.max_candidates, share) : share;
     }
@@ -183,8 +222,7 @@ ModelSearchResult search_model_mappings(const Omega& omega,
 
     LayerSearchResult lr;
     lr.spec = layer;
-    lr.search = search_mappings(omega, layer_workload,
-                                LayerSpec{layer.out_features}, so, &context);
+    lr.search = search_mappings(omega, workload, layer_shape, so, &context);
     spent += lr.search.evaluated;
     out.generated += lr.search.generated;
     out.evaluated += lr.search.evaluated;

@@ -15,6 +15,20 @@
 
 namespace omega {
 
+/// How a model-wide candidate budget is split across layers.
+enum class BudgetAllocation : std::uint8_t {
+  /// Even split over the remaining layers (the historical behaviour).
+  kEven = 0,
+  /// Proportional to each remaining layer's ideal MAC count
+  /// (E * F_l + V * F_l * G_l) — layer 0 of a GCN dominates the model cost
+  /// by orders of magnitude, and an even split wastes most of its budget on
+  /// the narrow tail layers (ROADMAP "Smarter model-level budget
+  /// allocation").
+  kMacWeighted = 1,
+};
+
+[[nodiscard]] const char* to_string(BudgetAllocation a);
+
 struct ModelSearchOptions {
   /// Per-layer search knobs (objective, strategy filters, max_candidates,
   /// threads, top_k). `layer.prune` is overridden by `prune` below;
@@ -24,10 +38,12 @@ struct ModelSearchOptions {
   /// Ideal-MAC lower-bound pruning inside every layer sweep (runtime
   /// objective only; lossless for the best candidate — see SearchOptions).
   bool prune = true;
-  /// Model-wide cap on fully evaluated candidates, split evenly over the
-  /// remaining layers as the sweep proceeds (0 = unlimited). Every layer is
-  /// guaranteed at least `fallback_candidates` so it always has a winner.
+  /// Model-wide cap on fully evaluated candidates, split over the remaining
+  /// layers as the sweep proceeds (0 = unlimited). Every layer is guaranteed
+  /// at least `fallback_candidates` so it always has a winner.
   std::size_t max_total_candidates = 0;
+  /// Split policy for `max_total_candidates` (ignored when it is 0).
+  BudgetAllocation budget_allocation = BudgetAllocation::kMacWeighted;
   /// Soft wall-clock budget; checked before each layer's sweep (never
   /// mid-sweep, so results under a generous budget stay deterministic).
   /// Layers starting past the deadline fall back to `fallback_candidates`.
@@ -79,9 +95,15 @@ struct ModelSearchResult {
 /// best-first combination of the per-layer ranked lists, and the Pareto
 /// frontier is taken over the enumerated combinations.
 /// `workload.in_features` must equal `spec.feature_widths.front()`.
+/// `shared_context`, when non-null, must be a WorkloadContext over
+/// `workload.adjacency` (pointer identity — the engines check). The mapping
+/// service passes the registry's warmed context here so repeated
+/// search-model requests skip the transpose/schedule warm-up entirely;
+/// without one, a context is built locally and lives for the call.
 [[nodiscard]] ModelSearchResult search_model_mappings(
     const Omega& omega, const GnnWorkload& workload, const GnnModelSpec& spec,
-    const ModelSearchOptions& options = {});
+    const ModelSearchOptions& options = {},
+    const WorkloadContext* shared_context = nullptr);
 
 /// The strongest homogeneous baseline: every Table V pattern replayed over
 /// all layers through run_model, keeping the lowest total cycles. Infeasible

@@ -73,9 +73,28 @@ std::shared_ptr<const PhaseResult> WorkloadContext::phase_result(
   std::shared_ptr<PhaseEntry> entry;
   {
     const std::scoped_lock lock(mutex_);
-    auto& slot = phase_results_[key];
-    if (!slot) slot = std::make_shared<PhaseEntry>();
-    entry = slot;
+    const auto it = phase_results_.find(key);
+    if (it == phase_results_.end()) {
+      // Entry-count ceiling: a long-lived context (the mapping service
+      // keeps one per resident workload for the daemon's lifetime) serving
+      // requests across many substrates would otherwise accumulate memo
+      // entries without bound. Past the ceiling, new configs evaluate
+      // uncached — identical results, no growth; existing entries keep
+      // hitting.
+      if (phase_results_.size() >= kPhaseMemoMaxEntries) {
+        ++phase_memo_overflow_;
+        entry = nullptr;
+      } else {
+        auto& slot = phase_results_[key];
+        slot = std::make_shared<PhaseEntry>();
+        entry = slot;
+      }
+    } else {
+      entry = it->second;
+    }
+  }
+  if (entry == nullptr) {
+    return std::make_shared<const PhaseResult>(build());
   }
   std::call_once(entry->once,
                  [&] { entry->result = std::make_shared<const PhaseResult>(build()); });
@@ -85,6 +104,11 @@ std::shared_ptr<const PhaseResult> WorkloadContext::phase_result(
 std::size_t WorkloadContext::phase_cache_size() const {
   const std::scoped_lock lock(mutex_);
   return phase_results_.size();
+}
+
+std::size_t WorkloadContext::phase_memo_overflow() const {
+  const std::scoped_lock lock(mutex_);
+  return phase_memo_overflow_;
 }
 
 }  // namespace omega

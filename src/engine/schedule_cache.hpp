@@ -41,6 +41,13 @@ namespace omega {
 /// the memo (see WorkloadContext::phase_result).
 inline constexpr std::size_t kPhaseMemoMaxChunks = 2048;
 
+/// Ceiling on distinct phase-result memo entries per context. A sweep's
+/// working set stays far below this; the ceiling exists for long-lived
+/// contexts (the mapping service pins one per resident workload) that see
+/// requests across many substrates — past it, new configs evaluate
+/// uncached instead of growing the memo without bound.
+inline constexpr std::size_t kPhaseMemoMaxEntries = 65536;
+
 /// Round-robin lane schedule over the walked rows. Spatially mapped rows do
 /// NOT advance in lockstep: each lane walks its own rows asynchronously and
 /// the phase finishes when the slowest lane drains. A row whose length
@@ -100,8 +107,12 @@ class WorkloadContext {
   [[nodiscard]] std::shared_ptr<const PhaseResult> phase_result(
       const std::string& key, const std::function<PhaseResult()>& build) const;
 
-  /// Number of distinct phase simulations run so far.
+  /// Number of distinct phase simulations memoized so far.
   [[nodiscard]] std::size_t phase_cache_size() const;
+
+  /// Builds that bypassed the memo because kPhaseMemoMaxEntries was
+  /// reached (observability for long-lived service contexts).
+  [[nodiscard]] std::size_t phase_memo_overflow() const;
 
  private:
   struct Key {
@@ -137,6 +148,7 @@ class WorkloadContext {
   mutable std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> schedules_;
   mutable std::unordered_map<std::string, std::shared_ptr<PhaseEntry>>
       phase_results_;
+  mutable std::size_t phase_memo_overflow_ = 0;  // guarded by mutex_
 };
 
 }  // namespace omega

@@ -13,15 +13,16 @@ ModelRunResult run_model(const Omega& omega, const GnnWorkload& workload,
               "workload feature width must match the model's first layer");
 
   ModelRunResult out;
-  GnnWorkload layer_workload = workload;  // adjacency shared across layers
   for (std::size_t l = 0; l < spec.num_layers(); ++l) {
     const GnnLayerSpec layer = spec.layer_spec(l);
     OMEGA_CHECK(layer.allows_phase_order(pattern.phase_order),
                 std::string(to_string(spec.model)) +
                     " does not allow phase order " +
                     to_string(pattern.phase_order));
-    layer_workload.in_features = layer.in_features;
-    RunResult r = omega.run_pattern(layer_workload, layer.layer(), pattern);
+    // layer.layer() carries the per-layer F override, so the original
+    // workload (and any context cached against its adjacency) is reused
+    // across every layer without copying the graph.
+    RunResult r = omega.run_pattern(workload, layer.layer(), pattern);
     out.total_cycles += r.cycles;
     out.total_on_chip_pj += r.energy.on_chip_pj();
     out.total_pj += r.energy.total_pj();

@@ -31,7 +31,9 @@ struct GnnLayerSpec {
     return true;
   }
 
-  [[nodiscard]] LayerSpec layer() const { return LayerSpec{out_features}; }
+  [[nodiscard]] LayerSpec layer() const {
+    return LayerSpec{out_features, in_features};
+  }
 };
 
 /// Multi-layer model description (e.g. the classic 2-layer GCN: F -> 16 ->

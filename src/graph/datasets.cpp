@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
 
 #include "graph/generators.hpp"
 #include "util/error.hpp"
@@ -126,6 +129,155 @@ std::vector<GnnWorkload> synthesize_all_workloads(
     out.push_back(synthesize_workload(spec, options));
   }
   return out;
+}
+
+// ---- MatrixMarket loader ----------------------------------------------------
+
+namespace {
+
+[[noreturn]] void mtx_fail(std::size_t line_no, const std::string& why) {
+  throw InvalidArgumentError("MatrixMarket line " + std::to_string(line_no) +
+                             ": " + why);
+}
+
+/// Reads the next line that is neither blank nor a % comment; false at EOF.
+bool next_content_line(std::istream& in, std::string& line,
+                       std::size_t& line_no) {
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '%') continue;
+    line = t;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CSRGraph load_matrix_market(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!std::getline(in, line)) {
+    throw InvalidArgumentError("MatrixMarket: empty input");
+  }
+  ++line_no;
+
+  // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (to_lower(banner) != "%%matrixmarket") {
+    mtx_fail(line_no, "missing %%MatrixMarket banner");
+  }
+  if (to_lower(object) != "matrix") {
+    mtx_fail(line_no, "unsupported object '" + object + "' (want matrix)");
+  }
+  if (to_lower(format) != "coordinate") {
+    mtx_fail(line_no,
+             "unsupported format '" + format + "' (want coordinate)");
+  }
+  field = to_lower(field);
+  const bool has_value = field == "real" || field == "integer";
+  if (!has_value && field != "pattern") {
+    mtx_fail(line_no, "unsupported field '" + field +
+                          "' (want pattern, real or integer)");
+  }
+  symmetry = to_lower(symmetry);
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general") {
+    mtx_fail(line_no, "unsupported symmetry '" + symmetry +
+                          "' (want general or symmetric)");
+  }
+
+  if (!next_content_line(in, line, line_no)) {
+    mtx_fail(line_no, "missing size line");
+  }
+  std::istringstream size_line(line);
+  std::uint64_t rows = 0, cols = 0, nnz = 0;
+  if (!(size_line >> rows >> cols >> nnz)) {
+    mtx_fail(line_no, "bad size line '" + line + "'");
+  }
+  if (rows != cols) {
+    mtx_fail(line_no, "adjacency must be square, got " +
+                          std::to_string(rows) + "x" + std::to_string(cols));
+  }
+  if (rows > static_cast<std::uint64_t>(
+                 std::numeric_limits<VertexId>::max())) {
+    mtx_fail(line_no, "vertex count exceeds the 32-bit id space");
+  }
+
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(symmetric ? 2 * nnz : nnz);
+  for (std::uint64_t k = 0; k < nnz; ++k) {
+    if (!next_content_line(in, line, line_no)) {
+      mtx_fail(line_no, "expected " + std::to_string(nnz) +
+                            " entries, got " + std::to_string(k));
+    }
+    std::istringstream entry(line);
+    std::uint64_t i = 0, j = 0;
+    if (!(entry >> i >> j)) {
+      mtx_fail(line_no, "bad entry '" + line + "'");
+    }
+    if (has_value) {
+      double value = 0.0;
+      if (!(entry >> value)) {
+        mtx_fail(line_no, "entry missing its value: '" + line + "'");
+      }
+    }
+    if (i < 1 || i > rows || j < 1 || j > cols) {
+      mtx_fail(line_no, "index out of range: '" + line + "'");
+    }
+    // Entry A[i][j] != 0: vertex i aggregates from j (row = destination).
+    const auto dst = static_cast<VertexId>(i - 1);
+    const auto src = static_cast<VertexId>(j - 1);
+    edges.emplace_back(dst, src);
+    if (symmetric && dst != src) edges.emplace_back(src, dst);
+  }
+  if (next_content_line(in, line, line_no)) {
+    mtx_fail(line_no, "trailing entries beyond the declared " +
+                          std::to_string(nnz));
+  }
+
+  CSRGraph g = CSRGraph::from_coo(static_cast<std::size_t>(rows),
+                                  std::move(edges));
+  g.validate();
+  return g;
+}
+
+CSRGraph load_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw InvalidArgumentError("cannot open MatrixMarket file: " + path);
+  }
+  return load_matrix_market(in);
+}
+
+GnnWorkload workload_from_matrix_market(const std::string& path,
+                                        std::size_t in_features,
+                                        const SynthesisOptions& options) {
+  OMEGA_CHECK(in_features >= 1, ".mtx workloads need an explicit in_features");
+  CSRGraph adj = load_matrix_market(path);
+  if (options.add_self_loops) adj = adj.with_self_loops();
+  if (options.gcn_normalize) adj = adj.gcn_normalized();
+
+  // Name = file stem ("data/cora.mtx" -> "cora").
+  std::string name = path;
+  if (const auto slash = name.find_last_of("/\\");
+      slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+
+  GnnWorkload w;
+  w.name = name.empty() ? path : name;
+  w.category = WorkloadCategory::kLowEdgesFeatures;
+  w.adjacency = std::move(adj);
+  w.in_features = in_features;
+  w.num_graphs_in_batch = 1;
+  return w;
 }
 
 }  // namespace omega

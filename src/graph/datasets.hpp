@@ -7,6 +7,7 @@
 // with heavy-tailed degree distributions.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,25 @@ struct SynthesisOptions {
 
 /// Synthesizes all Table IV workloads (paper order).
 [[nodiscard]] std::vector<GnnWorkload> synthesize_all_workloads(
+    const SynthesisOptions& options = {});
+
+/// MatrixMarket adjacency loader (ROADMAP "Real dataset loaders"): parses
+/// the NIST `.mtx` coordinate format — header
+/// `%%MatrixMarket matrix coordinate <pattern|real|integer> <general|symmetric>`
+/// — into a CSR adjacency. The matrix must be square (an adjacency);
+/// symmetric files are mirrored, stored values (real/integer) are ignored
+/// (the GNN normalization is recomputed from structure by the caller),
+/// duplicate entries and self-loops are deduplicated. Throws
+/// InvalidArgumentError on malformed input, naming the offending line.
+[[nodiscard]] CSRGraph load_matrix_market(std::istream& in);
+[[nodiscard]] CSRGraph load_matrix_market(const std::string& path);
+
+/// Wraps a MatrixMarket graph into a ready-to-run workload: applies the
+/// self-loop / GCN-normalization options, attaches the feature width, and
+/// names the workload after the file stem. `in_features` must be >= 1
+/// (.mtx carries no feature matrix, so the width is the caller's).
+[[nodiscard]] GnnWorkload workload_from_matrix_market(
+    const std::string& path, std::size_t in_features,
     const SynthesisOptions& options = {});
 
 }  // namespace omega

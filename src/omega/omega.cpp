@@ -81,7 +81,8 @@ RunResult Omega::run_impl(const GnnWorkload& workload, const LayerSpec& layer,
   }
 
   const std::size_t v = workload.num_vertices();
-  const std::size_t f = workload.in_features;
+  const std::size_t f =
+      layer.in_features > 0 ? layer.in_features : workload.in_features;
   const std::size_t g = layer.out_features;
   OMEGA_CHECK(v >= 1 && f >= 1 && g >= 1, "workload dims must be positive");
 

@@ -12,7 +12,7 @@ namespace omega {
 WorkloadDims dims_of(const GnnWorkload& w, const LayerSpec& layer) {
   WorkloadDims d;
   d.vertices = w.num_vertices();
-  d.in_features = w.in_features;
+  d.in_features = layer.in_features > 0 ? layer.in_features : w.in_features;
   d.out_features = layer.out_features;
   d.avg_degree = w.adjacency.avg_degree();
   d.max_degree = w.adjacency.max_degree();

@@ -12,8 +12,13 @@
 namespace omega {
 
 /// GNN layer shape: the workload supplies V/E/F, the layer supplies G.
+/// `in_features` (0 = use the workload's width) lets multi-layer callers
+/// evaluate layer l > 0 against the same GnnWorkload object without copying
+/// it — which is what allows a shared WorkloadContext (keyed by pointer
+/// identity to the adjacency) to serve every layer of a model search.
 struct LayerSpec {
   std::size_t out_features = 16;  // GCN hidden width
+  std::size_t in_features = 0;    // F override; 0 = workload.in_features
 };
 
 /// Dimensions the tiler works against.

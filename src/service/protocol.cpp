@@ -1,0 +1,495 @@
+#include "service/protocol.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace omega::service {
+
+namespace {
+
+/// Field accessors with protocol-grade messages. All throw
+/// InvalidArgumentError so the server maps them to structured errors.
+std::uint64_t u64_field(const JsonValue& v, const char* what) {
+  try {
+    return v.as_u64();
+  } catch (const Error&) {
+    throw InvalidArgumentError(std::string(what) +
+                               " must be an unsigned integer");
+  }
+}
+
+double double_field(const JsonValue& v, const char* what) {
+  if (!v.is_number()) {
+    throw InvalidArgumentError(std::string(what) + " must be a number");
+  }
+  return v.as_double();
+}
+
+bool bool_field(const JsonValue& v, const char* what) {
+  if (!v.is_bool()) {
+    throw InvalidArgumentError(std::string(what) + " must be a boolean");
+  }
+  return v.as_bool();
+}
+
+std::string string_field(const JsonValue& v, const char* what) {
+  if (!v.is_string()) {
+    throw InvalidArgumentError(std::string(what) + " must be a string");
+  }
+  return v.as_string();
+}
+
+WorkloadRef parse_workload(const JsonValue& v) {
+  WorkloadRef w;
+  if (!v.is_object()) {
+    throw InvalidArgumentError("workload must be an object");
+  }
+  bool saw_scale = false;
+  bool saw_seed = false;
+  for (const auto& [key, value] : v.members()) {
+    if (key == "dataset") w.dataset = string_field(value, "workload.dataset");
+    else if (key == "mtx") w.mtx_path = string_field(value, "workload.mtx");
+    else if (key == "scale") {
+      w.scale = double_field(value, "workload.scale");
+      saw_scale = true;
+    } else if (key == "seed") {
+      w.seed = u64_field(value, "workload.seed");
+      saw_seed = true;
+    } else if (key == "in_features") {
+      w.in_features =
+          static_cast<std::size_t>(u64_field(value, "workload.in_features"));
+    } else if (key == "self_loops") {
+      w.add_self_loops = bool_field(value, "workload.self_loops");
+    } else if (key == "normalize") {
+      w.gcn_normalize = bool_field(value, "workload.normalize");
+    } else {
+      throw InvalidArgumentError("unknown workload key: " + key);
+    }
+  }
+  if (w.dataset.empty() == w.mtx_path.empty()) {
+    throw InvalidArgumentError(
+        "workload wants exactly one of \"dataset\" or \"mtx\"");
+  }
+  if (!w.mtx_path.empty()) {
+    if (w.in_features == 0) {
+      throw InvalidArgumentError(
+          "mtx workloads need \"in_features\" (the file carries no features)");
+    }
+    // Synthesis-only knobs would be silently ignored (and would fragment
+    // the registry into duplicate entries for the same file); reject them.
+    if (saw_scale || saw_seed) {
+      throw InvalidArgumentError(
+          "mtx workloads do not take \"scale\"/\"seed\" (the file is loaded "
+          "as-is)");
+    }
+  }
+  if (!(w.scale > 0.0)) {
+    throw InvalidArgumentError("workload.scale must be positive");
+  }
+  return w;
+}
+
+Objective parse_objective(const std::string& s) {
+  const std::string o = to_lower(s);
+  if (o == "runtime") return Objective::kRuntime;
+  if (o == "energy") return Objective::kEnergy;
+  if (o == "edp") return Objective::kEnergyDelayProduct;
+  throw InvalidArgumentError("unknown objective: " + s);
+}
+
+/// Shared knobs of search_mappings and the per-layer half of search_model.
+void parse_search_option(const std::string& key, const JsonValue& value,
+                         SearchOptions& so, bool* known) {
+  *known = true;
+  if (key == "objective") {
+    so.objective = parse_objective(string_field(value, "options.objective"));
+  } else if (key == "max_candidates") {
+    so.max_candidates =
+        static_cast<std::size_t>(u64_field(value, "options.max_candidates"));
+  } else if (key == "top_k") {
+    so.top_k = static_cast<std::size_t>(u64_field(value, "options.top_k"));
+  } else if (key == "prune") {
+    so.prune = bool_field(value, "options.prune");
+  } else if (key == "include_ca") {
+    so.include_ca = bool_field(value, "options.include_ca");
+  } else if (key == "threads") {
+    so.threads = static_cast<std::size_t>(u64_field(value, "options.threads"));
+  } else {
+    *known = false;
+  }
+}
+
+void parse_mapping_options(const JsonValue& v, SearchOptions& so) {
+  if (!v.is_object()) {
+    throw InvalidArgumentError("options must be an object");
+  }
+  for (const auto& [key, value] : v.members()) {
+    bool known = false;
+    parse_search_option(key, value, so, &known);
+    if (!known) throw InvalidArgumentError("unknown options key: " + key);
+  }
+}
+
+void parse_model_options(const JsonValue& v, ModelSearchOptions& mo) {
+  if (!v.is_object()) {
+    throw InvalidArgumentError("options must be an object");
+  }
+  for (const auto& [key, value] : v.members()) {
+    if (key == "prune") {
+      // One switch for the model-level search: ModelSearchOptions::prune
+      // overrides the per-layer flag inside search_model_mappings.
+      mo.prune = bool_field(value, "options.prune");
+      continue;
+    }
+    bool known = false;
+    parse_search_option(key, value, mo.layer, &known);
+    if (known) continue;
+    if (key == "budget") {
+      mo.layer.max_candidates =
+          static_cast<std::size_t>(u64_field(value, "options.budget"));
+    } else if (key == "total_budget") {
+      mo.max_total_candidates =
+          static_cast<std::size_t>(u64_field(value, "options.total_budget"));
+    } else if (key == "allocation") {
+      const std::string a = to_lower(string_field(value, "options.allocation"));
+      if (a == "even") mo.budget_allocation = BudgetAllocation::kEven;
+      else if (a == "mac") mo.budget_allocation = BudgetAllocation::kMacWeighted;
+      else throw InvalidArgumentError("unknown allocation: " + a);
+    } else if (key == "seed_table5") {
+      mo.seed_table5 = bool_field(value, "options.seed_table5");
+    } else {
+      throw InvalidArgumentError("unknown options key: " + key);
+    }
+  }
+}
+
+GnnModel parse_model_arch(const std::string& s) {
+  const std::string m = to_lower(s);
+  if (m == "gcn") return GnnModel::kGCN;
+  if (m == "sage" || m == "graphsage") return GnnModel::kGraphSAGE;
+  if (m == "gin") return GnnModel::kGIN;
+  throw InvalidArgumentError("unknown model arch: " + s);
+}
+
+void write_workload_summary(JsonWriter& w, const GnnWorkload& workload) {
+  w.key("workload").begin_object();
+  w.member("name", workload.name);
+  w.member("vertices", static_cast<std::uint64_t>(workload.num_vertices()));
+  w.member("edges", static_cast<std::uint64_t>(workload.num_edges()));
+  w.member("in_features",
+           static_cast<std::uint64_t>(workload.in_features));
+  w.end_object();
+}
+
+void write_candidate(JsonWriter& w, const Candidate& c) {
+  w.begin_object();
+  w.member("dataflow", c.dataflow.to_string());
+  w.member("cycles", c.cycles);
+  w.member("on_chip_pj", c.on_chip_pj);
+  w.member("score", c.score);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string WorkloadRef::signature() const {
+  // Canonical, collision-free key: field=value pairs in fixed order, with
+  // the double rendered shortest-round-trip so 0.25 and 0.250 coincide only
+  // when they are the same value.
+  std::string s;
+  s += dataset.empty() ? "mtx=" + mtx_path : "dataset=" + to_lower(dataset);
+  s += ";scale=" + json_number(scale);
+  s += ";seed=" + std::to_string(seed);
+  s += ";f=" + std::to_string(in_features);
+  s += ";loops=" + std::string(add_self_loops ? "1" : "0");
+  s += ";norm=" + std::string(gcn_normalize ? "1" : "0");
+  return s;
+}
+
+const char* to_string(RequestKind k) {
+  switch (k) {
+    case RequestKind::kEvaluate: return "evaluate";
+    case RequestKind::kSearchMappings: return "search_mappings";
+    case RequestKind::kSearchModel: return "search_model";
+    case RequestKind::kStats: return "stats";
+  }
+  return "?";
+}
+
+Request parse_request(const std::string& line) {
+  const JsonValue root = JsonValue::parse(line);
+  if (!root.is_object()) {
+    throw InvalidArgumentError("request must be a JSON object");
+  }
+
+  Request r;
+  const JsonValue* kind = root.find("kind");
+  if (kind == nullptr) {
+    throw InvalidArgumentError("request needs a \"kind\"");
+  }
+  const std::string k = string_field(*kind, "kind");
+  if (k == "evaluate") r.kind = RequestKind::kEvaluate;
+  else if (k == "search_mappings") r.kind = RequestKind::kSearchMappings;
+  else if (k == "search_model") r.kind = RequestKind::kSearchModel;
+  else if (k == "stats") r.kind = RequestKind::kStats;
+  else throw InvalidArgumentError("unknown request kind: " + k);
+
+  // Keys irrelevant to the request kind are rejected, not ignored: a field
+  // that cannot affect the response is almost certainly a client mistake.
+  const auto only_for = [&](const char* key, bool allowed) {
+    if (!allowed) {
+      throw InvalidArgumentError(std::string("\"") + key +
+                                 "\" does not apply to " +
+                                 to_string(r.kind) + " requests");
+    }
+  };
+  const bool is_evaluate = r.kind == RequestKind::kEvaluate;
+  const bool is_stats = r.kind == RequestKind::kStats;
+
+  bool saw_workload = false;
+  for (const auto& [key, value] : root.members()) {
+    if (key == "kind") continue;
+    if (key == "id") {
+      r.id = u64_field(value, "id");
+    } else if (key == "workload") {
+      only_for("workload", !is_stats);
+      r.workload = parse_workload(value);
+      saw_workload = true;
+    } else if (key == "pes") {
+      only_for("pes", !is_stats);
+      r.pes = static_cast<std::size_t>(u64_field(value, "pes"));
+      if (r.pes == 0) throw InvalidArgumentError("pes must be >= 1");
+    } else if (key == "bandwidth") {
+      only_for("bandwidth", !is_stats);
+      r.bandwidth = static_cast<std::size_t>(u64_field(value, "bandwidth"));
+    } else if (key == "out_features") {
+      // search_model derives every layer's widths from the model spec.
+      only_for("out_features",
+               is_evaluate || r.kind == RequestKind::kSearchMappings);
+      r.out_features =
+          static_cast<std::size_t>(u64_field(value, "out_features"));
+      if (r.out_features == 0) {
+        throw InvalidArgumentError("out_features must be >= 1");
+      }
+    } else if (key == "dataflow") {
+      only_for("dataflow", is_evaluate);
+      r.dataflow = string_field(value, "dataflow");
+    } else if (key == "pattern") {
+      only_for("pattern", is_evaluate);
+      r.pattern = string_field(value, "pattern");
+    } else if (key == "tiles") {
+      only_for("tiles", is_evaluate);
+      for (const auto& t : value.items()) {
+        r.tiles.push_back(static_cast<std::size_t>(u64_field(t, "tiles[]")));
+      }
+      if (r.tiles.size() != 6) {
+        throw InvalidArgumentError(
+            "tiles wants 6 values: T_VAGG,T_N,T_FAGG,T_VCMB,T_G,T_FCMB");
+      }
+    } else if (key == "pp_fraction") {
+      only_for("pp_fraction", is_evaluate);
+      r.pp_fraction = double_field(value, "pp_fraction");
+    } else if (key == "options") {
+      if (r.kind == RequestKind::kSearchModel) {
+        parse_model_options(value, r.model_options);
+      } else if (r.kind == RequestKind::kSearchMappings) {
+        parse_mapping_options(value, r.search);
+      } else {
+        throw InvalidArgumentError(
+            "options only applies to search_mappings / search_model");
+      }
+    } else if (key == "model") {
+      only_for("model", r.kind == RequestKind::kSearchModel);
+      if (!value.is_object()) {
+        throw InvalidArgumentError("model must be an object");
+      }
+      for (const auto& [mk, mv] : value.members()) {
+        if (mk == "arch") {
+          r.model = parse_model_arch(string_field(mv, "model.arch"));
+        } else if (mk == "widths") {
+          for (const auto& width : mv.items()) {
+            r.widths.push_back(
+                static_cast<std::size_t>(u64_field(width, "model.widths[]")));
+          }
+        } else {
+          throw InvalidArgumentError("unknown model key: " + mk);
+        }
+      }
+    } else {
+      throw InvalidArgumentError("unknown request key: " + key);
+    }
+  }
+
+  if (!is_stats && !saw_workload) {
+    throw InvalidArgumentError(std::string(to_string(r.kind)) +
+                               " needs a \"workload\"");
+  }
+  if (is_evaluate) {
+    if (r.dataflow.empty() == r.pattern.empty()) {
+      throw InvalidArgumentError(
+          "evaluate wants exactly one of \"dataflow\" or \"pattern\"");
+    }
+    // Explicit tiles only bind onto an explicit descriptor; a pattern's
+    // tiles come from bind_tiles and would silently win otherwise.
+    if (!r.pattern.empty() && !r.tiles.empty()) {
+      throw InvalidArgumentError(
+          "\"tiles\" applies to \"dataflow\" requests, not \"pattern\"");
+    }
+  }
+  if (r.kind == RequestKind::kSearchModel && r.widths.empty()) {
+    throw InvalidArgumentError(
+        "search_model needs model.widths (hidden layer widths)");
+  }
+  return r;
+}
+
+bool is_stats_request(const std::string& line) {
+  try {
+    const JsonValue root = JsonValue::parse(line);
+    const JsonValue* kind = root.find("kind");
+    return kind != nullptr && kind->is_string() &&
+           kind->as_string() == "stats";
+  } catch (const Error&) {
+    return false;  // malformed lines get their error response concurrently
+  }
+}
+
+std::uint64_t peek_request_id(const std::string& line) {
+  try {
+    const JsonValue root = JsonValue::parse(line);
+    if (const JsonValue* id = root.find("id");
+        id != nullptr && id->is_number()) {
+      return id->as_u64();
+    }
+  } catch (const Error&) {
+    // Malformed JSON: no id to recover.
+  }
+  return 0;
+}
+
+std::string error_response(std::uint64_t id, const std::string& type,
+                           const std::string& message) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("id", id);
+  w.member("ok", false);
+  w.key("error").begin_object();
+  w.member("type", type);
+  w.member("message", message);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string evaluate_response(std::uint64_t id, const GnnWorkload& workload,
+                              const RunResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("id", id);
+  w.member("ok", true);
+  w.member("kind", "evaluate");
+  write_workload_summary(w, workload);
+  w.key("result").begin_object();
+  w.member("dataflow", result.dataflow.to_string());
+  if (!result.config_name.empty()) w.member("pattern", result.config_name);
+  w.member("cycles", result.cycles);
+  w.member("agg_cycles", result.agg.cycles);
+  w.member("cmb_cycles", result.cmb.cycles);
+  w.member("pes_agg", static_cast<std::uint64_t>(result.pes_agg));
+  w.member("pes_cmb", static_cast<std::uint64_t>(result.pes_cmb));
+  w.member("granularity", to_string(result.granularity));
+  w.member("pipeline_elements",
+           static_cast<std::uint64_t>(result.pipeline_elements));
+  w.member("intermediate_buffer_elements",
+           static_cast<std::uint64_t>(result.intermediate_buffer_elements));
+  w.member("intermediate_spilled", result.intermediate_spilled);
+  w.member("on_chip_pj", result.energy.on_chip_pj());
+  w.member("dram_pj", result.energy.dram_pj);
+  w.member("agg_utilization", result.agg_dynamic_utilization());
+  w.member("cmb_utilization", result.cmb_dynamic_utilization());
+  w.key("traffic_gb").begin_object();
+  for (std::size_t c = 0; c < kNumTrafficCategories; ++c) {
+    const auto& a = result.traffic.gb[c];
+    w.key(to_string(static_cast<TrafficCategory>(c))).begin_object();
+    w.member("reads", a.reads);
+    w.member("writes", a.writes);
+    w.end_object();
+  }
+  w.end_object();  // traffic_gb
+  w.end_object();  // result
+  w.end_object();
+  return w.str();
+}
+
+std::string search_mappings_response(std::uint64_t id,
+                                     const GnnWorkload& workload,
+                                     const SearchResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("id", id);
+  w.member("ok", true);
+  w.member("kind", "search_mappings");
+  write_workload_summary(w, workload);
+  w.member("generated", static_cast<std::uint64_t>(result.generated));
+  w.member("evaluated", static_cast<std::uint64_t>(result.evaluated));
+  w.member("pruned", static_cast<std::uint64_t>(result.pruned));
+  w.key("best");
+  write_candidate(w, result.best());
+  w.key("ranked").begin_array();
+  for (const auto& c : result.ranked) write_candidate(w, c);
+  w.end_array();
+  w.key("pareto").begin_array();
+  for (const auto& c : result.pareto) write_candidate(w, c);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string search_model_response(std::uint64_t id, const GnnWorkload& workload,
+                                  const GnnModelSpec& spec,
+                                  const ModelSearchResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("id", id);
+  w.member("ok", true);
+  w.member("kind", "search_model");
+  write_workload_summary(w, workload);
+  w.key("model").begin_object();
+  w.member("arch", to_string(spec.model));
+  w.key("widths").begin_array();
+  for (const std::size_t width : spec.feature_widths) {
+    w.value(static_cast<std::uint64_t>(width));
+  }
+  w.end_array();
+  w.end_object();
+  w.key("layers").begin_array();
+  for (std::size_t l = 0; l < result.layers.size(); ++l) {
+    const auto& lr = result.layers[l];
+    const Candidate& best = lr.search.best();
+    w.begin_object();
+    w.member("layer", static_cast<std::uint64_t>(l));
+    w.member("in_features", static_cast<std::uint64_t>(lr.spec.in_features));
+    w.member("out_features",
+             static_cast<std::uint64_t>(lr.spec.out_features));
+    w.member("dataflow", best.dataflow.to_string());
+    w.member("cycles", best.cycles);
+    w.member("on_chip_pj", best.on_chip_pj);
+    w.member("evaluated", static_cast<std::uint64_t>(lr.search.evaluated));
+    w.member("pruned", static_cast<std::uint64_t>(lr.search.pruned));
+    w.end_object();
+  }
+  w.end_array();
+  const ModelCandidate& best = result.best();
+  w.member("total_cycles", best.total_cycles);
+  w.member("total_on_chip_pj", best.total_on_chip_pj);
+  w.member("evaluated", static_cast<std::uint64_t>(result.evaluated));
+  w.member("pruned", static_cast<std::uint64_t>(result.pruned));
+  w.member("generated", static_cast<std::uint64_t>(result.generated));
+  w.member("budget_exhausted", result.budget_exhausted);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace omega::service

@@ -1,0 +1,114 @@
+// Wire protocol of the mapping service (see DESIGN.md "Mapping service").
+//
+// Requests and responses are single-line JSON objects (NDJSON). A request
+// names a workload (a Table IV dataset to synthesize, or a MatrixMarket
+// file to load), the hardware substrate, and one of four operations:
+//
+//   {"id":1,"kind":"evaluate","workload":{"dataset":"Cora","scale":0.25},
+//    "out_features":16,"dataflow":"Seq_AC(VtNtFt, VtFtGt)"}
+//   {"id":2,"kind":"search_mappings","workload":{...},"out_features":16,
+//    "options":{"max_candidates":512,"objective":"runtime","top_k":4}}
+//   {"id":3,"kind":"search_model","workload":{...},
+//    "model":{"arch":"gcn","widths":[16,8]},"options":{"budget":400}}
+//   {"id":4,"kind":"stats"}
+//
+// Responses echo the id: {"id":1,"ok":true,"kind":"evaluate","result":{...}}
+// or {"id":1,"ok":false,"error":{"type":"ResourceError","message":"..."}}.
+// Parsing is strict — unknown top-level keys are rejected so client typos
+// surface as structured errors rather than silently-defaulted fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/model_search.hpp"
+#include "graph/datasets.hpp"
+#include "util/json.hpp"
+
+namespace omega::service {
+
+/// Which workload a request runs against. `signature()` is the registry
+/// cache key: two requests with equal signatures share one synthesized
+/// graph and one warmed WorkloadContext.
+struct WorkloadRef {
+  std::string dataset;   // Table IV name (exclusive with mtx_path)
+  std::string mtx_path;  // MatrixMarket adjacency file
+  double scale = 1.0;
+  std::uint64_t seed = 7;
+  std::size_t in_features = 0;  // 0 = dataset default; required for mtx
+  bool add_self_loops = true;
+  bool gcn_normalize = true;
+
+  [[nodiscard]] std::string signature() const;
+};
+
+enum class RequestKind : std::uint8_t {
+  kEvaluate = 0,
+  kSearchMappings = 1,
+  kSearchModel = 2,
+  kStats = 3,
+};
+
+[[nodiscard]] const char* to_string(RequestKind k);
+
+/// A parsed protocol request. Defaults mirror the CLI's.
+struct Request {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kStats;
+  WorkloadRef workload;
+
+  // Substrate.
+  std::size_t pes = 512;
+  std::size_t bandwidth = 0;  // 0 = unbounded distribution/reduction
+
+  // evaluate / search_mappings: the layer's output width G.
+  std::size_t out_features = 16;
+
+  // evaluate: either a fully bound descriptor (with optional explicit
+  // tiles) or a Table V pattern name to auto-bind.
+  std::string dataflow;             // descriptor notation
+  std::string pattern;              // Table V config name
+  std::vector<std::size_t> tiles;   // optional: 6 values, CLI --tiles order
+  double pp_fraction = 0.5;
+
+  // search_mappings / search_model.
+  SearchOptions search;
+
+  // search_model.
+  GnnModel model = GnnModel::kGCN;
+  std::vector<std::size_t> widths;  // hidden widths appended to F
+  ModelSearchOptions model_options;
+};
+
+/// Parses one NDJSON request line. Throws InvalidArgumentError on malformed
+/// JSON, unknown keys, or invalid field values.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// Extracts just the "id" member from a (possibly malformed) request line so
+/// error responses can still be correlated; 0 when unavailable.
+[[nodiscard]] std::uint64_t peek_request_id(const std::string& line);
+
+/// True when the line is a well-formed stats request. The server treats
+/// these as dispatch barriers so their registry counters deterministically
+/// reflect every request preceding them in the batch.
+[[nodiscard]] bool is_stats_request(const std::string& line);
+
+/// Structured error response: {"id":..,"ok":false,"error":{...}}.
+[[nodiscard]] std::string error_response(std::uint64_t id,
+                                         const std::string& type,
+                                         const std::string& message);
+
+/// Response body builders (single-line JSON, deterministic field order).
+[[nodiscard]] std::string evaluate_response(std::uint64_t id,
+                                            const GnnWorkload& workload,
+                                            const RunResult& result);
+[[nodiscard]] std::string search_mappings_response(std::uint64_t id,
+                                                   const GnnWorkload& workload,
+                                                   const SearchResult& result);
+[[nodiscard]] std::string search_model_response(std::uint64_t id,
+                                                const GnnWorkload& workload,
+                                                const GnnModelSpec& spec,
+                                                const ModelSearchResult& result);
+
+}  // namespace omega::service

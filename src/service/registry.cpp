@@ -1,0 +1,92 @@
+#include "service/registry.hpp"
+
+#include "util/error.hpp"
+
+namespace omega::service {
+
+WorkloadRegistry::WorkloadRegistry(std::size_t capacity)
+    : capacity_(capacity) {}
+
+GnnWorkload WorkloadRegistry::build_workload(const WorkloadRef& ref) {
+  SynthesisOptions so;
+  so.seed = ref.seed;
+  so.scale = ref.scale;
+  so.add_self_loops = ref.add_self_loops;
+  so.gcn_normalize = ref.gcn_normalize;
+  if (!ref.mtx_path.empty()) {
+    return workload_from_matrix_market(ref.mtx_path, ref.in_features, so);
+  }
+  GnnWorkload w = synthesize_workload(dataset_by_name(ref.dataset), so);
+  if (ref.in_features > 0) w.in_features = ref.in_features;
+  return w;
+}
+
+std::shared_ptr<const WorkloadEntry> WorkloadRegistry::acquire(
+    const WorkloadRef& ref) {
+  const std::string key = ref.signature();
+
+  if (capacity_ == 0) {
+    // Caching disabled: build fresh, count the miss, cache nothing.
+    {
+      const std::scoped_lock lock(mutex_);
+      ++misses_;
+    }
+    return std::make_shared<const WorkloadEntry>(build_workload(ref));
+  }
+
+  std::shared_ptr<Slot> slot;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (const auto it = entries_.find(key); it != entries_.end()) {
+      ++hits_;
+      recency_.splice(recency_.begin(), recency_, it->second.lru);
+      slot = it->second.slot;
+    } else {
+      ++misses_;
+      recency_.push_front(key);
+      slot = std::make_shared<Slot>();
+      entries_.emplace(key, MapEntry{slot, recency_.begin()});
+      while (entries_.size() > capacity_) {
+        // Evict the least-recently-used signature. In-flight acquires hold
+        // the slot's shared_ptr, so eviction only drops the cache's ref.
+        const std::string victim = recency_.back();
+        recency_.pop_back();
+        entries_.erase(victim);
+        ++evictions_;
+      }
+    }
+  }
+
+  // Build outside the registry lock: concurrent misses on different
+  // signatures synthesize in parallel; same-signature waiters block on the
+  // once_flag and share one build. A throwing build leaves the once_flag
+  // retryable (std::call_once's exceptional semantics) — but the slot must
+  // not linger as a permanently-empty cache entry, so the thrower drops it.
+  try {
+    std::call_once(slot->once, [&] {
+      slot->entry = std::make_shared<const WorkloadEntry>(build_workload(ref));
+    });
+  } catch (...) {
+    const std::scoped_lock lock(mutex_);
+    if (const auto it = entries_.find(key);
+        it != entries_.end() && it->second.slot == slot) {
+      recency_.erase(it->second.lru);
+      entries_.erase(it);
+    }
+    throw;
+  }
+  return slot->entry;
+}
+
+RegistryStats WorkloadRegistry::stats() const {
+  const std::scoped_lock lock(mutex_);
+  RegistryStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.resident = entries_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace omega::service

@@ -1,0 +1,334 @@
+#include "service/server.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/format.hpp"
+#include "util/parallel.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define OMEGA_HAVE_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <cerrno>
+#include <cstring>
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0  // macOS: no flag; EPIPE still surfaces via SIGPIPE
+#endif
+#endif
+
+namespace omega::service {
+
+MappingService::MappingService(ServiceOptions options)
+    : options_(options), registry_(options.registry_capacity) {}
+
+std::string MappingService::handle(const Request& request) {
+  if (request.kind == RequestKind::kStats) {
+    const RegistryStats s = registry_.stats();
+    JsonWriter w;
+    w.begin_object();
+    w.member("id", request.id);
+    w.member("ok", true);
+    w.member("kind", "stats");
+    w.key("registry").begin_object();
+    w.member("hits", s.hits);
+    w.member("misses", s.misses);
+    w.member("evictions", s.evictions);
+    w.member("resident", static_cast<std::uint64_t>(s.resident));
+    w.member("capacity", static_cast<std::uint64_t>(s.capacity));
+    w.end_object();
+    w.end_object();
+    return w.str();
+  }
+
+  const std::shared_ptr<const WorkloadEntry> entry =
+      registry_.acquire(request.workload);
+  const GnnWorkload& workload = entry->workload;
+
+  AcceleratorConfig hw;
+  hw.num_pes = request.pes;
+  if (request.bandwidth > 0) {
+    hw.distribution_bandwidth = request.bandwidth;
+    hw.reduction_bandwidth = request.bandwidth;
+  }
+  const Omega omega(hw);
+
+  switch (request.kind) {
+    case RequestKind::kEvaluate: {
+      const LayerSpec layer{request.out_features};
+      RunResult r;
+      if (!request.pattern.empty()) {
+        DataflowPattern p = pattern_by_name(request.pattern);
+        p.pp_agg_pe_fraction = request.pp_fraction;
+        const DataflowDescriptor df =
+            bind_tiles(p, dims_of(workload, layer), hw);
+        r = omega.run(workload, layer, df, entry->context);
+        r.config_name = p.name;
+      } else {
+        DataflowDescriptor df = DataflowDescriptor::parse(request.dataflow);
+        df.pp_agg_pe_fraction = request.pp_fraction;
+        if (!request.tiles.empty()) {
+          df.agg.tiles = {.v = request.tiles[0],
+                          .n = request.tiles[1],
+                          .f = request.tiles[2],
+                          .g = 1};
+          df.cmb.tiles = {.v = request.tiles[3],
+                          .n = 1,
+                          .f = request.tiles[5],
+                          .g = request.tiles[4]};
+        }
+        r = omega.run(workload, layer, df, entry->context);
+      }
+      return evaluate_response(request.id, workload, r);
+    }
+    case RequestKind::kSearchMappings: {
+      const SearchResult r =
+          search_mappings(omega, workload, LayerSpec{request.out_features},
+                          request.search, &entry->context);
+      return search_mappings_response(request.id, workload, r);
+    }
+    case RequestKind::kSearchModel: {
+      GnnModelSpec spec;
+      spec.model = request.model;
+      spec.feature_widths.push_back(workload.in_features);
+      spec.feature_widths.insert(spec.feature_widths.end(),
+                                 request.widths.begin(), request.widths.end());
+      const ModelSearchResult r = search_model_mappings(
+          omega, workload, spec, request.model_options, &entry->context);
+      return search_model_response(request.id, workload, spec, r);
+    }
+    case RequestKind::kStats: break;  // handled above
+  }
+  return error_response(request.id, "Error", "unreachable request kind");
+}
+
+std::string MappingService::handle_line(const std::string& line) {
+  std::uint64_t id = 0;
+  try {
+    const Request request = parse_request(line);
+    id = request.id;
+    return handle(request);
+  } catch (const InvalidDataflowError& e) {
+    return error_response(id > 0 ? id : peek_request_id(line),
+                          "InvalidDataflowError", e.what());
+  } catch (const ResourceError& e) {
+    return error_response(id > 0 ? id : peek_request_id(line), "ResourceError",
+                          e.what());
+  } catch (const InvalidArgumentError& e) {
+    return error_response(id > 0 ? id : peek_request_id(line),
+                          "InvalidArgumentError", e.what());
+  } catch (const Error& e) {
+    return error_response(id > 0 ? id : peek_request_id(line), "Error",
+                          e.what());
+  } catch (const std::exception& e) {
+    return error_response(id > 0 ? id : peek_request_id(line), "Internal",
+                          e.what());
+  }
+}
+
+std::vector<std::string> MappingService::handle_batch(
+    const std::vector<std::string>& lines) {
+  std::vector<std::string> responses(lines.size());
+  // Concurrent dispatch, ordered emission: each response slot is written by
+  // exactly one participant, and every response is a deterministic function
+  // of its own request, so the emitted bytes do not depend on the thread
+  // count. Requests additionally parallelize internally on the same pool —
+  // the pool tolerates nested dispatch (a nested publication simply recruits
+  // whatever workers are idle).
+  const auto run_segment = [&](std::size_t from, std::size_t to) {
+    if (from >= to) return;
+    parallel_blocks(
+        to - from,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t j = begin; j < end; ++j) {
+            responses[from + j] = handle_line(lines[from + j]);
+          }
+        },
+        options_.threads, /*grain=*/1);
+  };
+  // Stats requests are dispatch barriers: their counters must reflect
+  // exactly the requests that precede them in the batch, which a free-for
+  // -all concurrent dispatch cannot guarantee (the tiny stats handler
+  // would race the workload acquires it is meant to observe).
+  std::size_t segment_start = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!is_stats_request(lines[i])) continue;
+    run_segment(segment_start, i);
+    responses[i] = handle_line(lines[i]);
+    segment_start = i + 1;
+  }
+  run_segment(segment_start, lines.size());
+  return responses;
+}
+
+std::size_t MappingService::serve(std::istream& in, std::ostream& out) {
+  std::size_t served = 0;
+  std::vector<std::string> batch;
+  const auto flush = [&] {
+    if (batch.empty()) return;
+    for (const std::string& response : handle_batch(batch)) {
+      out << response << '\n';
+    }
+    out.flush();
+    served += batch.size();
+    batch.clear();
+  };
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) {
+      flush();  // blank line = batch boundary
+      continue;
+    }
+    batch.push_back(line);
+  }
+  flush();
+  return served;
+}
+
+#if OMEGA_HAVE_UNIX_SOCKETS
+
+namespace {
+
+/// Disarms SIGPIPE for writes on this socket where MSG_NOSIGNAL does not
+/// exist (macOS): without it an early-disconnecting peer would kill the
+/// process instead of surfacing EPIPE to the per-connection handler.
+void disarm_sigpipe(int fd) {
+#ifdef SO_NOSIGPIPE
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;  // linux: write_all's MSG_NOSIGNAL covers it
+#endif
+}
+
+/// Reads everything the peer sends until write-shutdown/close.
+std::string read_all(int fd) {
+  std::string data;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      data.append(buf, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      return data;
+    } else if (errno != EINTR) {
+      throw Error(std::string("socket read failed: ") + std::strerror(errno));
+    }
+  }
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a peer that disconnected before reading must surface
+    // as EPIPE (caught per-connection) — the default SIGPIPE disposition
+    // would kill the whole daemon.
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+    } else if (errno != EINTR) {
+      throw Error(std::string("socket write failed: ") + std::strerror(errno));
+    }
+  }
+}
+
+}  // namespace
+
+int serve_unix_socket(MappingService& service, const std::string& path,
+                      std::size_t max_connections) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw InvalidArgumentError("socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    throw Error(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listener);
+    throw Error("cannot listen on " + path + ": " + why);
+  }
+
+  std::size_t accepted = 0;
+  while (max_connections == 0 || accepted < max_connections) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      ::close(listener);
+      throw Error(std::string("accept() failed: ") + std::strerror(errno));
+    }
+    disarm_sigpipe(conn);
+    ++accepted;
+    try {
+      // One connection = one exchange: the peer sends everything and
+      // half-closes, then the ordered responses are written back in one
+      // piece (see server.hpp for the client contract).
+      std::istringstream in(read_all(conn));
+      std::ostringstream out;
+      service.serve(in, out);
+      write_all(conn, out.str());
+    } catch (const Error&) {
+      // Connection-level failure (peer vanished); the service lives on.
+    }
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+std::string send_to_unix_socket(const std::string& path,
+                                const std::string& requests) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw InvalidArgumentError("socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw Error(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  disarm_sigpipe(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw Error("cannot connect to " + path + ": " + why);
+  }
+  try {
+    write_all(fd, requests);
+    ::shutdown(fd, SHUT_WR);  // signals end-of-batch to the daemon
+    std::string responses = read_all(fd);
+    ::close(fd);
+    return responses;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+#else
+
+int serve_unix_socket(MappingService&, const std::string&, std::size_t) {
+  throw Error("unix sockets are not supported on this platform");
+}
+
+std::string send_to_unix_socket(const std::string&, const std::string&) {
+  throw Error("unix sockets are not supported on this platform");
+}
+
+#endif
+
+}  // namespace omega::service

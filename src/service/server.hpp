@@ -1,0 +1,79 @@
+// Long-lived mapping service: answers batched NDJSON requests from the
+// warmed workload registry (see DESIGN.md "Mapping service").
+//
+// Dispatch model: requests accumulate until a batch boundary (a blank line,
+// or end of input / connection write-shutdown), then the whole batch is
+// dispatched concurrently on the persistent ThreadPool and the responses
+// are emitted strictly in request order. Every individual response is a
+// deterministic function of its request (the underlying searches are
+// thread-count-invariant by construction), so a batch's output bytes are
+// identical across thread counts and across warm/cold registry states.
+//
+// Errors never tear down the service: engine ResourceError, taxonomy
+// violations and malformed requests all map to {"ok":false,"error":{...}}
+// responses carrying the request id.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "service/registry.hpp"
+
+namespace omega::service {
+
+struct ServiceOptions {
+  /// Workloads kept warm; 0 disables caching (cold per-request builds).
+  std::size_t registry_capacity = 8;
+  /// Concurrent in-flight requests per batch (0 = pool default). Each
+  /// request's internal sweep additionally parallelizes on the same pool.
+  std::size_t threads = 0;
+};
+
+class MappingService {
+ public:
+  explicit MappingService(ServiceOptions options = {});
+
+  /// Handles one request line; always returns a single-line JSON response
+  /// (never throws — failures become structured error responses).
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Handles a batch concurrently; responses are in request order.
+  [[nodiscard]] std::vector<std::string> handle_batch(
+      const std::vector<std::string>& lines);
+
+  /// NDJSON loop: reads request lines from `in`, flushes a batch of
+  /// responses at every blank line and at EOF. Returns the number of
+  /// requests served.
+  std::size_t serve(std::istream& in, std::ostream& out);
+
+  [[nodiscard]] const WorkloadRegistry& registry() const { return registry_; }
+
+ private:
+  [[nodiscard]] std::string handle(const Request& request);
+
+  ServiceOptions options_;
+  WorkloadRegistry registry_;
+};
+
+/// Serves NDJSON batches over a Unix domain socket at `path` (created
+/// fresh; an existing socket file is replaced). Each connection is one
+/// exchange: the peer sends its whole request stream (blank lines allowed
+/// as batch separators), half-closes its write side, and then reads every
+/// response back in request order — responses are not interleaved with
+/// reading, so a client must not block on responses before it has
+/// half-closed (that is `send_to_unix_socket`'s shape; for incremental
+/// blank-line streaming use the stdio transport). Connections are served
+/// sequentially; a peer that disconnects early only loses its own
+/// responses. Accepts `max_connections` connections then returns (0 =
+/// loop until the process is killed). Returns 0 on orderly shutdown;
+/// throws Error when the socket cannot be created.
+int serve_unix_socket(MappingService& service, const std::string& path,
+                      std::size_t max_connections = 0);
+
+/// Client half of the socket protocol: connects to a `serve --socket`
+/// daemon, sends `requests` (NDJSON), half-closes the write side, and
+/// returns every response byte the daemon sends back.
+[[nodiscard]] std::string send_to_unix_socket(const std::string& path,
+                                              const std::string& requests);
+
+}  // namespace omega::service

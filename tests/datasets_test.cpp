@@ -2,6 +2,10 @@
 // statistics the dataflow study depends on.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "util/error.hpp"
 
 #include "graph/datasets.hpp"
@@ -122,6 +126,103 @@ TEST(SynthesisTest, AllWorkloadsSynthesizeAndValidate) {
     // Self-loops guarantee no empty rows, matching GCN semantics.
     EXPECT_GE(w.adjacency.avg_degree(), 1.0);
   }
+}
+
+// ---- MatrixMarket loader ----------------------------------------------------
+
+TEST(MatrixMarketTest, LoadsCoordinatePattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% a comment\n"
+      "\n"
+      "4 4 5\n"
+      "1 2\n"
+      "2 1\n"
+      "3 4\n"
+      "4 4\n"
+      "1 2\n");  // duplicate entry, deduplicated
+  const CSRGraph g = load_matrix_market(in);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);  // 5 entries, 1 duplicate
+  ASSERT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);  // A[1][2] -> vertex 0 aggregates from 1
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.neighbors(3)[0], 3u);  // self-loop kept
+}
+
+TEST(MatrixMarketTest, SymmetricEntriesAreMirrored) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "2 1 0.5\n"
+      "3 1 1.5\n"
+      "2 2 2.0\n");  // diagonal entry: mirrored once, not twice
+  const CSRGraph g = load_matrix_market(in);
+  EXPECT_EQ(g.num_edges(), 5u);  // 2 off-diagonal pairs + 1 diagonal
+  EXPECT_EQ(g.degree(0), 2u);    // mirrored (1,2) and (1,3)
+  EXPECT_EQ(g.degree(1), 2u);
+  // Stored values are ignored; adjacency structure only.
+  EXPECT_FALSE(g.has_values());
+}
+
+TEST(MatrixMarketTest, RejectsMalformedInputs) {
+  const auto load = [](const char* text) {
+    std::istringstream in(text);
+    return load_matrix_market(in);
+  };
+  // Wrong banner / object / format / field / symmetry.
+  EXPECT_THROW(load("%%NotMM matrix coordinate pattern general\n1 1 0\n"),
+               InvalidArgumentError);
+  EXPECT_THROW(load("%%MatrixMarket vector coordinate pattern general\n"),
+               InvalidArgumentError);
+  EXPECT_THROW(load("%%MatrixMarket matrix array real general\n2 2\n"),
+               InvalidArgumentError);
+  EXPECT_THROW(load("%%MatrixMarket matrix coordinate complex general\n"),
+               InvalidArgumentError);
+  EXPECT_THROW(
+      load("%%MatrixMarket matrix coordinate pattern hermitian\n2 2 0\n"),
+      InvalidArgumentError);
+  // Non-square, out-of-range ids, truncated entries, missing value.
+  EXPECT_THROW(
+      load("%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 1\n"),
+      InvalidArgumentError);
+  EXPECT_THROW(
+      load("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 5\n"),
+      InvalidArgumentError);
+  EXPECT_THROW(
+      load("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n"),
+      InvalidArgumentError);
+  EXPECT_THROW(
+      load("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n"),
+      InvalidArgumentError);
+  // Trailing entries beyond the declared count.
+  EXPECT_THROW(load("%%MatrixMarket matrix coordinate pattern general\n"
+                    "2 2 1\n1 2\n2 1\n"),
+               InvalidArgumentError);
+  // Missing file.
+  EXPECT_THROW(load_matrix_market(std::string("/nonexistent/x.mtx")),
+               InvalidArgumentError);
+}
+
+TEST(MatrixMarketTest, WorkloadFromFileIsServable) {
+  const std::string path = ::testing::TempDir() + "omega_mtx_test.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        << "5 5 4\n"
+        << "2 1\n3 1\n4 2\n5 3\n";
+  }
+  const GnnWorkload w = workload_from_matrix_market(path, 12);
+  EXPECT_EQ(w.name, "omega_mtx_test");
+  EXPECT_EQ(w.num_vertices(), 5u);
+  EXPECT_EQ(w.in_features, 12u);
+  // Default options add self-loops and GCN normalization, like synthesis.
+  EXPECT_EQ(w.num_edges(), 2 * 4u + 5u);
+  EXPECT_TRUE(w.adjacency.has_values());
+  w.adjacency.validate();
+  EXPECT_THROW((void)workload_from_matrix_market(path, 0),
+               InvalidArgumentError);
+  std::remove(path.c_str());
 }
 
 }  // namespace

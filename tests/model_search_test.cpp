@@ -199,5 +199,59 @@ TEST(ModelSearchTest, RejectsMismatchedFeatureWidth) {
                Error);
 }
 
+TEST(ModelSearchTest, MacWeightedBudgetFavorsTheDominantLayer) {
+  // Layer 0 (24 -> 4) carries ~6x the MACs of layer 1 (4 -> 4) on this
+  // workload; the MAC-weighted split must give it the lion's share of the
+  // model budget, while the even split hands both layers the same cap.
+  ModelSearchOptions opt = base_options();
+  opt.layer.max_candidates = 0;
+  opt.max_total_candidates = 140;
+  opt.fallback_candidates = 8;
+  GnnModelSpec spec;
+  spec.feature_widths = {24, 4, 4};
+
+  opt.budget_allocation = BudgetAllocation::kMacWeighted;
+  const ModelSearchResult mac = search_model_mappings(
+      toy_omega(), toy_workload(), spec, opt);
+  ASSERT_EQ(mac.layers.size(), 2u);
+  EXPECT_GT(mac.layers[0].search.evaluated,
+            3 * mac.layers[1].search.evaluated);
+  EXPECT_LE(mac.evaluated, 140u + 2 * 8u);
+
+  opt.budget_allocation = BudgetAllocation::kEven;
+  const ModelSearchResult even = search_model_mappings(
+      toy_omega(), toy_workload(), spec, opt);
+  EXPECT_EQ(even.layers[0].search.evaluated, 70u);
+  EXPECT_EQ(even.layers[1].search.evaluated, 70u);
+
+  // Same budget spent either way; the weighted split just aims it better.
+  EXPECT_LE(even.evaluated, 140u + 2 * 8u);
+  ASSERT_FALSE(mac.ranked.empty());
+  ASSERT_FALSE(even.ranked.empty());
+}
+
+TEST(ModelSearchTest, SharedContextMatchesOwnContext) {
+  // The service hands search_model_mappings the registry's warmed context;
+  // results must be bit-identical to the self-built-context path.
+  const Omega omega = toy_omega();
+  const GnnWorkload w = toy_workload();
+  const GnnModelSpec spec = gcn_two_layer(24, 16, 8);
+  ModelSearchOptions opt = base_options();
+  opt.prune = true;
+  const ModelSearchResult own = search_model_mappings(omega, w, spec, opt);
+  const WorkloadContext context(w.adjacency);
+  const ModelSearchResult shared =
+      search_model_mappings(omega, w, spec, opt, &context);
+  ASSERT_EQ(own.ranked.size(), shared.ranked.size());
+  for (std::size_t i = 0; i < own.ranked.size(); ++i) {
+    EXPECT_EQ(own.ranked[i].to_string(), shared.ranked[i].to_string());
+    EXPECT_EQ(own.ranked[i].total_cycles, shared.ranked[i].total_cycles);
+    EXPECT_EQ(own.ranked[i].total_on_chip_pj,
+              shared.ranked[i].total_on_chip_pj);
+  }
+  // And the shared context actually absorbed the layers' schedules.
+  EXPECT_GT(context.phase_cache_size() + context.schedule_cache_size(), 0u);
+}
+
 }  // namespace
 }  // namespace omega

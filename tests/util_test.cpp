@@ -6,6 +6,7 @@
 
 #include "util/error.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -239,6 +240,85 @@ TEST(ErrorTest, CheckMacroThrowsWithContext) {
   } catch (const InvalidArgumentError& e) {
     EXPECT_NE(std::string(e.what()).find("custom detail"), std::string::npos);
   }
+}
+
+// ---- JSON writer/reader -----------------------------------------------------
+
+TEST(JsonWriterTest, EscapesStringsEverywhere) {
+  // The bug class the shared writer fixes: names with quotes/backslashes/
+  // control characters used to be interpolated raw into JSON output.
+  JsonWriter w;
+  w.begin_object();
+  w.member("na\"me", "a\\b\n\t\x01" "c");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"na\\\"me\":\"a\\\\b\\n\\t\\u0001c\"}");
+  // And the escaped document parses back to the original bytes.
+  const JsonValue v = JsonValue::parse(w.str());
+  EXPECT_EQ(v.find("na\"me")->as_string(), "a\\b\n\t\x01" "c");
+}
+
+TEST(JsonWriterTest, CompactAndPrettyDocuments) {
+  JsonWriter c;
+  c.begin_object();
+  c.member("a", std::uint64_t{1});
+  c.key("b").begin_array().value(true).null().value(2.5).end_array();
+  c.end_object();
+  EXPECT_EQ(c.str(), "{\"a\":1,\"b\":[true,null,2.5]}");
+  EXPECT_EQ(c.str().find('\n'), std::string::npos);  // NDJSON-safe
+
+  JsonWriter p(2);
+  p.begin_object();
+  p.member("a", std::uint64_t{1});
+  p.end_object();
+  EXPECT_EQ(p.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonWriterTest, NumbersRoundTripExactly) {
+  // Shortest-round-trip doubles and exact u64 (above the 2^53 mantissa).
+  const double tricky = 0.1 + 0.2;
+  JsonWriter w;
+  w.begin_object();
+  w.member("d", tricky);
+  w.member("u", std::uint64_t{18446744073709551615ull});
+  w.end_object();
+  const JsonValue v = JsonValue::parse(w.str());
+  EXPECT_EQ(v.find("d")->as_double(), tricky);
+  EXPECT_EQ(v.find("u")->as_u64(), 18446744073709551615ull);
+  // NaN/Inf are unrepresentable; the writer degrades to null.
+  EXPECT_EQ(json_number(std::nan("")), "null");
+}
+
+TEST(JsonParseTest, MalformedDocumentsThrow) {
+  EXPECT_THROW(JsonValue::parse(""), InvalidArgumentError);
+  EXPECT_THROW(JsonValue::parse("{"), InvalidArgumentError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), InvalidArgumentError);
+  EXPECT_THROW(JsonValue::parse("[1 2]"), InvalidArgumentError);
+  EXPECT_THROW(JsonValue::parse("tru"), InvalidArgumentError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), InvalidArgumentError);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), InvalidArgumentError);
+  EXPECT_THROW(JsonValue::parse("1.5.2"), InvalidArgumentError);
+  // Kind mismatches throw with the expected kind named.
+  const JsonValue v = JsonValue::parse("{\"a\":1}");
+  EXPECT_THROW((void)v.find("a")->as_string(), InvalidArgumentError);
+  EXPECT_THROW((void)v.as_bool(), InvalidArgumentError);
+  // Fractional numbers refuse exact-integer access.
+  EXPECT_THROW((void)JsonValue::parse("1.5").as_u64(), InvalidArgumentError);
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  // BMP escape and a surrogate pair, decoded to UTF-8.
+  const JsonValue v = JsonValue::parse(R"("a\u00e9\ud83d\ude00b")");
+  EXPECT_EQ(v.as_string(), "a\xc3\xa9\xf0\x9f\x98\x80" "b");
+  EXPECT_THROW(JsonValue::parse(R"("\ud83d")"), InvalidArgumentError);
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  const JsonValue v = JsonValue::parse(
+      R"({"list":[{"x":1},{"x":2}],"deep":{"a":{"b":[null,false]}}})");
+  EXPECT_EQ(v.find("list")->items()[1].find("x")->as_u64(), 2u);
+  EXPECT_TRUE(
+      v.find("deep")->find("a")->find("b")->items()[0].is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 // omega_cli — evaluate any dataflow on any Table IV workload from the
-// command line.
+// command line, or serve mapping requests as a long-lived daemon.
 //
 // Usage:
 //   omega_cli run  <dataset> "<dataflow>" [--tiles v,n,f,V,G,F] [--pes N]
@@ -9,15 +9,36 @@
 //   omega_cli search-model <dataset> [--widths 16,8] [--model gcn|sage|gin]
 //                  [--pes N] [--scale X] [--budget N] [--total-budget N]
 //                  [--objective runtime|energy|edp] [--no-prune]
-//                  [--json PATH]
+//                  [--allocation mac|even] [--json PATH]
+//   omega_cli serve [--registry N] [--threads N] [--socket PATH]
+//                  [--max-connections N]
+//       Long-lived mapping service. Default: NDJSON on stdin/stdout — one
+//       JSON request per line, a blank line (or EOF) flushes the batch and
+//       emits responses in request order. --socket serves the same protocol
+//       over a Unix domain socket (one connection = one session).
+//   omega_cli batch <file|->  [--registry N] [--threads N]
+//       One-shot: replay a request file through an in-process service.
+//   omega_cli client --socket PATH [file|-]
+//       Send a request file to a running `serve --socket` daemon.
+//
+// Request lines (see DESIGN.md "Mapping service" for the full schema):
+//   {"id":1,"kind":"evaluate","workload":{"dataset":"Cora","scale":0.25},
+//    "out_features":16,"pattern":"SP2"}
+//   {"id":2,"kind":"search_mappings","workload":{"mtx":"graph.mtx",
+//    "in_features":64},"options":{"max_candidates":512}}
+//   {"id":3,"kind":"search_model","workload":{"dataset":"Citeseer"},
+//    "model":{"arch":"gcn","widths":[16,8]},"options":{"budget":400}}
+//   {"id":4,"kind":"stats"}
 //
 // Examples:
 //   omega_cli run Citeseer "PP_AC(VtFsNt, VsGsFt)" --tiles 1,1,256,16,16,1
 //   omega_cli pattern Collab SP2
 //   omega_cli search-model Cora --widths 16,7 --budget 2000 --json model.json
+//   printf '%s\n' '{"id":1,"kind":"stats"}' | omega_cli serve
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -25,7 +46,9 @@
 #include "graph/datasets.hpp"
 #include "graph/stats.hpp"
 #include "omega/omega.hpp"
+#include "service/server.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -185,6 +208,11 @@ int cmd_search_model(int argc, char** argv) {
       mso.layer.max_candidates = static_cast<std::size_t>(std::stoul(next()));
     } else if (a == "--total-budget") {
       mso.max_total_candidates = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--allocation") {
+      const std::string al = to_lower(next());
+      if (al == "mac") mso.budget_allocation = BudgetAllocation::kMacWeighted;
+      else if (al == "even") mso.budget_allocation = BudgetAllocation::kEven;
+      else throw InvalidArgumentError("unknown allocation: " + al);
     } else if (a == "--no-prune") {
       mso.prune = false;
     } else if (a == "--json") {
@@ -254,34 +282,135 @@ int cmd_search_model(int argc, char** argv) {
   }
 
   if (!json_path.empty()) {
-    std::ofstream json(json_path);
-    json << "{\n  \"workload\": \"" << w.name << "\",\n  \"model\": \""
-         << to_string(model) << "\",\n  \"widths\": [";
-    for (std::size_t i = 0; i < spec.feature_widths.size(); ++i) {
-      json << (i ? ", " : "") << spec.feature_widths[i];
+    // Shared writer (util/json.hpp): names and dataflow notations are
+    // escaped, unlike the hand-rolled emitter this replaced.
+    JsonWriter jw(2);
+    jw.begin_object();
+    jw.member("workload", w.name);
+    jw.member("model", to_string(model));
+    jw.key("widths").begin_array();
+    for (const std::size_t width : spec.feature_widths) {
+      jw.value(static_cast<std::uint64_t>(width));
     }
-    json << "],\n  \"layers\": [\n";
+    jw.end_array();
+    jw.key("layers").begin_array();
     for (std::size_t l = 0; l < r.layers.size(); ++l) {
       const Candidate& c = r.layers[l].search.best();
-      json << "    {\"layer\": " << l << ", \"dataflow\": \""
-           << c.dataflow.to_string() << "\", \"cycles\": " << c.cycles
-           << ", \"on_chip_pj\": " << c.on_chip_pj
-           << ", \"evaluated\": " << r.layers[l].search.evaluated
-           << ", \"pruned\": " << r.layers[l].search.pruned << "}"
-           << (l + 1 < r.layers.size() ? "," : "") << "\n";
+      jw.begin_object();
+      jw.member("layer", static_cast<std::uint64_t>(l));
+      jw.member("dataflow", c.dataflow.to_string());
+      jw.member("cycles", c.cycles);
+      jw.member("on_chip_pj", c.on_chip_pj);
+      jw.member("evaluated",
+                static_cast<std::uint64_t>(r.layers[l].search.evaluated));
+      jw.member("pruned",
+                static_cast<std::uint64_t>(r.layers[l].search.pruned));
+      jw.end_object();
     }
-    json << "  ],\n  \"total_cycles\": " << best.total_cycles
-         << ",\n  \"total_on_chip_pj\": " << best.total_on_chip_pj
-         << ",\n  \"evaluated\": " << r.evaluated << ",\n  \"pruned\": "
-         << r.pruned << ",\n  \"generated\": " << r.generated;
+    jw.end_array();
+    jw.member("total_cycles", best.total_cycles);
+    jw.member("total_on_chip_pj", best.total_on_chip_pj);
+    jw.member("evaluated", static_cast<std::uint64_t>(r.evaluated));
+    jw.member("pruned", static_cast<std::uint64_t>(r.pruned));
+    jw.member("generated", static_cast<std::uint64_t>(r.generated));
     if (fixed_run) {
-      json << ",\n  \"best_fixed\": {\"name\": \"" << fixed_run->name
-           << "\", \"cycles\": " << fixed_run->result.total_cycles
-           << "},\n  \"speedup_vs_fixed\": " << speedup;
+      jw.key("best_fixed").begin_object();
+      jw.member("name", fixed_run->name);
+      jw.member("cycles", fixed_run->result.total_cycles);
+      jw.end_object();
+      jw.member("speedup_vs_fixed", speedup);
     }
-    json << "\n}\n";
+    jw.end_object();
+    std::ofstream json(json_path);
+    json << jw.str() << "\n";
     std::cout << "(json: " << json_path << ")\n";
   }
+  return 0;
+}
+
+// ---- Mapping service subcommands -------------------------------------------
+
+service::ServiceOptions parse_service_flags(int argc, char** argv, int first,
+                                            std::string* socket_path,
+                                            std::size_t* max_connections,
+                                            std::string* input_path) {
+  service::ServiceOptions so;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw InvalidArgumentError("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--registry") {
+      so.registry_capacity = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--threads") {
+      so.threads = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--socket" && socket_path != nullptr) {
+      *socket_path = next();
+    } else if (a == "--max-connections" && max_connections != nullptr) {
+      *max_connections = static_cast<std::size_t>(std::stoul(next()));
+    } else if (input_path != nullptr && !starts_with(a, "--")) {
+      *input_path = a;
+    } else {
+      throw InvalidArgumentError("unknown flag: " + a);
+    }
+  }
+  return so;
+}
+
+int cmd_serve(int argc, char** argv) {
+  std::string socket_path;
+  std::size_t max_connections = 0;
+  const service::ServiceOptions so =
+      parse_service_flags(argc, argv, 2, &socket_path, &max_connections,
+                          nullptr);
+  service::MappingService svc(so);
+  if (!socket_path.empty()) {
+    std::cerr << "mapping service listening on " << socket_path << "\n";
+    return service::serve_unix_socket(svc, socket_path, max_connections);
+  }
+  svc.serve(std::cin, std::cout);
+  return 0;
+}
+
+int cmd_batch(int argc, char** argv) {
+  std::string input_path;
+  const service::ServiceOptions so =
+      parse_service_flags(argc, argv, 2, nullptr, nullptr, &input_path);
+  if (input_path.empty()) {
+    throw InvalidArgumentError("batch needs a request file (or '-')");
+  }
+  service::MappingService svc(so);
+  if (input_path == "-") {
+    svc.serve(std::cin, std::cout);
+  } else {
+    std::ifstream in(input_path);
+    if (!in) throw InvalidArgumentError("cannot open " + input_path);
+    svc.serve(in, std::cout);
+  }
+  return 0;
+}
+
+int cmd_client(int argc, char** argv) {
+  std::string socket_path;
+  std::string input_path = "-";
+  parse_service_flags(argc, argv, 2, &socket_path, nullptr, &input_path);
+  if (socket_path.empty()) {
+    throw InvalidArgumentError("client needs --socket PATH");
+  }
+  std::string requests;
+  if (input_path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    requests = buf.str();
+  } else {
+    std::ifstream in(input_path);
+    if (!in) throw InvalidArgumentError("cannot open " + input_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    requests = buf.str();
+  }
+  std::cout << service::send_to_unix_socket(socket_path, requests);
   return 0;
 }
 
@@ -301,7 +430,14 @@ int cmd_pattern(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     if (argc < 2) {
-      std::cerr << "usage: omega_cli {run|pattern|search-model|list} ...\n";
+      std::cerr << "usage: omega_cli "
+                   "{run|pattern|search-model|list|serve|batch|client} ...\n"
+                   "  serve  [--registry N] [--threads N] [--socket PATH]  "
+                   "NDJSON mapping service (stdin/stdout or unix socket)\n"
+                   "  batch  <file|->                                      "
+                   "replay a request file through an in-process service\n"
+                   "  client --socket PATH [file|-]                        "
+                   "send requests to a running serve --socket daemon\n";
       return 2;
     }
     const std::string cmd = argv[1];
@@ -309,6 +445,9 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(argc, argv);
     if (cmd == "pattern") return cmd_pattern(argc, argv);
     if (cmd == "search-model") return cmd_search_model(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "batch") return cmd_batch(argc, argv);
+    if (cmd == "client") return cmd_client(argc, argv);
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {
