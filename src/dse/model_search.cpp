@@ -6,6 +6,8 @@
 #include <set>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/saturate.hpp"
 
 namespace omega {
 
@@ -28,17 +30,22 @@ ModelCandidate make_combo(const std::vector<LayerSearchResult>& layers,
   for (std::size_t l = 0; l < layers.size(); ++l) {
     const Candidate& c = layers[l].search.ranked[idx[l]];
     mc.per_layer.push_back(c.dataflow);
-    mc.total_cycles += c.cycles;
+    mc.total_cycles = sat_add_u64(mc.total_cycles, c.cycles);
     mc.total_on_chip_pj += c.on_chip_pj;
   }
-  mc.score = model_score(obj, mc.total_cycles, mc.total_on_chip_pj);
+  mc.composed_cycles = mc.total_cycles;
+  mc.score = model_score(obj, mc.composed_cycles, mc.total_on_chip_pj);
   return mc;
 }
 
 /// Deterministic total order on model candidates, mirroring
-/// candidate_order for single layers.
+/// candidate_order for single layers. The composed makespan ranks before
+/// the layer sum so pipelined and sequential modes share one order.
 bool model_candidate_order(const ModelCandidate& a, const ModelCandidate& b) {
   if (a.score != b.score) return a.score < b.score;
+  if (a.composed_cycles != b.composed_cycles) {
+    return a.composed_cycles < b.composed_cycles;
+  }
   if (a.total_cycles != b.total_cycles) return a.total_cycles < b.total_cycles;
   if (a.total_on_chip_pj != b.total_on_chip_pj) {
     return a.total_on_chip_pj < b.total_on_chip_pj;
@@ -126,6 +133,7 @@ ModelSearchResult search_model_mappings(const Omega& omega,
               "workload feature width must match the model's first layer");
 
   ModelSearchResult out;
+  out.compose = options.compose;
   out.layers.reserve(num_layers);
 
   // Per-layer feature widths ride in LayerSpec::in_features, so every
@@ -140,14 +148,16 @@ ModelSearchResult search_model_mappings(const Omega& omega,
   // MAC-weighted budget split: layer l's ideal MAC count under AC order,
   // E * F_l (Aggregation) + V * F_l * G_l (Combination). Proportions are
   // what matters, so the per-PE division of ideal_mac_cycle_bound cancels.
+  // Saturating products: layer widths arrive untrusted from the service
+  // protocol, and a wrapped weight would misdirect the whole model budget.
   std::vector<std::uint64_t> mac_weight(num_layers, 1);
   for (std::size_t l = 0; l < num_layers; ++l) {
     const GnnLayerSpec layer = spec.layer_spec(l);
     mac_weight[l] = std::max<std::uint64_t>(
-        1, static_cast<std::uint64_t>(workload.num_edges()) *
-                   layer.in_features +
-               static_cast<std::uint64_t>(workload.num_vertices()) *
-                   layer.in_features * layer.out_features);
+        1, sat_add_u64(sat_mul_u64(workload.num_edges(), layer.in_features),
+                       sat_mul_u64(sat_mul_u64(workload.num_vertices(),
+                                               layer.in_features),
+                                   layer.out_features)));
   }
 
   const auto start = std::chrono::steady_clock::now();
@@ -203,7 +213,9 @@ ModelSearchResult search_model_mappings(const Omega& omega,
         // Recomputed against `remaining` each layer so unused floor slack
         // flows downstream.
         std::uint64_t rest = 0;
-        for (std::size_t j = l; j < num_layers; ++j) rest += mac_weight[j];
+        for (std::size_t j = l; j < num_layers; ++j) {
+          rest = sat_add_u64(rest, mac_weight[j]);
+        }
         share = static_cast<std::size_t>(
             static_cast<unsigned __int128>(remaining) * mac_weight[l] /
             std::max<std::uint64_t>(rest, 1));
@@ -233,17 +245,67 @@ ModelSearchResult search_model_mappings(const Omega& omega,
   // Model-level ranked list and Pareto frontier over the best-first
   // combination set. Enumerating a few multiples of top_k is enough to
   // expose the frontier's shape without walking the full cross product.
+  // Pipelined composition re-scores combinations by composed makespan, for
+  // which the layer-sum order is only a guide, so it widens the enumerated
+  // prefix — a combination whose sum ranks below the prefix is still out of
+  // reach (documented on ModelSearchOptions::compose).
   const std::size_t combo_limit =
-      std::max<std::size_t>(options.top_k * 8, 128);
+      options.compose == ModelCompose::kPipelined
+          ? std::max<std::size_t>(options.top_k * 32, 512)
+          : std::max<std::size_t>(options.top_k * 8, 128);
   std::vector<ModelCandidate> combos =
       enumerate_combos(out.layers, options.layer.objective, combo_limit);
+
+  if (options.compose == ModelCompose::kPipelined && !combos.empty()) {
+    // Re-rank the enumerated combinations by their *composed* makespan:
+    // the per-layer score sum that guided enumeration is only an upper
+    // bound once boundaries overlap. Each combo's layers are re-run
+    // through the warm context (the sweeps above already populated the
+    // phase memo, so these are mostly cache hits) to recover the chunk
+    // timelines the composer needs. Results are stored by index, so the
+    // parallel evaluation is thread-count-invariant.
+    const ModelComposer composer(omega.config(), workload.adjacency);
+    std::vector<LayerSpec> shapes;
+    shapes.reserve(num_layers);
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      const GnnLayerSpec layer = spec.layer_spec(l);
+      shapes.push_back(LayerSpec{layer.out_features, layer.in_features});
+    }
+    parallel_blocks(
+        combos.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t c = begin; c < end; ++c) {
+            ModelCandidate& mc = combos[c];
+            std::vector<RunResult> runs;
+            runs.reserve(num_layers);
+            try {
+              for (std::size_t l = 0; l < num_layers; ++l) {
+                runs.push_back(
+                    omega.run(workload, shapes[l], mc.per_layer[l], context));
+              }
+            } catch (const Error&) {
+              // The sweep evaluated this descriptor successfully, so a
+              // re-run cannot throw; keep the sequential sum if it somehow
+              // does rather than losing the combo.
+              continue;
+            }
+            const ModelComposition comp =
+                composer.compose(runs, ModelCompose::kPipelined);
+            mc.composed_cycles = comp.cycles;
+            mc.overlapped_boundaries = comp.overlapped_boundaries;
+            mc.score = model_score(options.layer.objective,
+                                   mc.composed_cycles, mc.total_on_chip_pj);
+          }
+        },
+        options.layer.threads);
+  }
   std::sort(combos.begin(), combos.end(), model_candidate_order);
 
   std::vector<ModelCandidate> by_cycles = combos;
   std::sort(by_cycles.begin(), by_cycles.end(),
             [](const ModelCandidate& a, const ModelCandidate& b) {
-              if (a.total_cycles != b.total_cycles) {
-                return a.total_cycles < b.total_cycles;
+              if (a.composed_cycles != b.composed_cycles) {
+                return a.composed_cycles < b.composed_cycles;
               }
               if (a.total_on_chip_pj != b.total_on_chip_pj) {
                 return a.total_on_chip_pj < b.total_on_chip_pj;
@@ -265,11 +327,12 @@ ModelSearchResult search_model_mappings(const Omega& omega,
 
 std::optional<FixedPatternRun> best_fixed_pattern(const Omega& omega,
                                                   const GnnWorkload& workload,
-                                                  const GnnModelSpec& spec) {
+                                                  const GnnModelSpec& spec,
+                                                  ModelCompose compose) {
   std::optional<FixedPatternRun> best;
   for (const auto& pattern : table5_patterns()) {
     try {
-      ModelRunResult r = run_model(omega, workload, spec, pattern);
+      ModelRunResult r = run_model(omega, workload, spec, pattern, compose);
       if (!best || r.total_cycles < best->result.total_cycles) {
         best = FixedPatternRun{pattern.name, std::move(r)};
       }

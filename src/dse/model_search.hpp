@@ -56,6 +56,16 @@ struct ModelSearchOptions {
   bool seed_table5 = true;
   /// Length of the model-level ranked list.
   std::size_t top_k = 16;
+  /// How layer cycles combine into the model objective. kPipelined ranks
+  /// combinations by their *composed* makespan (cross-layer chunk overlap,
+  /// omega/compose.hpp) instead of the plain layer sum, so a per-layer
+  /// assignment whose boundaries pipeline well can outrank one whose layer
+  /// sum is marginally smaller. Scope bound: combinations are drawn from a
+  /// best-first enumeration ordered by layer-sum (max(top_k*32, 512)
+  /// entries under kPipelined); an assignment whose sum ranks below that
+  /// prefix is never composed, so the reported best is exact over the
+  /// enumerated prefix, not the full cross product.
+  ModelCompose compose = ModelCompose::kSequential;
 };
 
 /// One layer's sweep output.
@@ -67,9 +77,13 @@ struct LayerSearchResult {
 /// A complete per-layer mapping assignment for the model.
 struct ModelCandidate {
   std::vector<DataflowDescriptor> per_layer;  // one descriptor per layer
-  std::uint64_t total_cycles = 0;
+  std::uint64_t total_cycles = 0;      // saturating sum of layer cycles
+  /// Composed model makespan (== total_cycles under kSequential; <= it
+  /// under kPipelined). The score is computed on this.
+  std::uint64_t composed_cycles = 0;
+  std::size_t overlapped_boundaries = 0;
   double total_on_chip_pj = 0.0;
-  double score = 0.0;  // model-level objective on the totals
+  double score = 0.0;  // model-level objective on the composed totals
 
   /// Concatenated per-layer descriptor notation, e.g.
   /// "Seq_AC(...) | PP_AC(...)".
@@ -77,6 +91,7 @@ struct ModelCandidate {
 };
 
 struct ModelSearchResult {
+  ModelCompose compose = ModelCompose::kSequential;
   std::vector<LayerSearchResult> layers;  // layer order
   std::vector<ModelCandidate> ranked;     // best first, top_k entries
   std::vector<ModelCandidate> pareto;     // cycles/energy frontier
@@ -113,6 +128,7 @@ struct FixedPatternRun {
   ModelRunResult result;
 };
 [[nodiscard]] std::optional<FixedPatternRun> best_fixed_pattern(
-    const Omega& omega, const GnnWorkload& workload, const GnnModelSpec& spec);
+    const Omega& omega, const GnnWorkload& workload, const GnnModelSpec& spec,
+    ModelCompose compose = ModelCompose::kSequential);
 
 }  // namespace omega

@@ -2,17 +2,20 @@
 
 #include "engine/functional.hpp"
 #include "util/error.hpp"
+#include "util/saturate.hpp"
 
 namespace omega {
 
 ModelRunResult run_model(const Omega& omega, const GnnWorkload& workload,
                          const GnnModelSpec& spec,
-                         const DataflowPattern& pattern) {
+                         const DataflowPattern& pattern,
+                         ModelCompose compose) {
   OMEGA_CHECK(spec.num_layers() >= 1, "model needs at least one layer");
   OMEGA_CHECK(workload.in_features == spec.feature_widths.front(),
               "workload feature width must match the model's first layer");
 
   ModelRunResult out;
+  out.compose = compose;
   for (std::size_t l = 0; l < spec.num_layers(); ++l) {
     const GnnLayerSpec layer = spec.layer_spec(l);
     OMEGA_CHECK(layer.allows_phase_order(pattern.phase_order),
@@ -23,12 +26,25 @@ ModelRunResult run_model(const Omega& omega, const GnnWorkload& workload,
     // workload (and any context cached against its adjacency) is reused
     // across every layer without copying the graph.
     RunResult r = omega.run_pattern(workload, layer.layer(), pattern);
-    out.total_cycles += r.cycles;
+    // Saturating accumulation (DESIGN.md "Overflow contract"): wrapped
+    // totals would rank an adversarially huge model as nearly free.
     out.total_on_chip_pj += r.energy.on_chip_pj();
     out.total_pj += r.energy.total_pj();
-    out.total_macs += r.agg.macs + r.cmb.macs;
+    out.total_macs = sat_add_u64(out.total_macs,
+                                 sat_add_u64(r.agg.macs, r.cmb.macs));
     out.layers.push_back(std::move(r));
   }
+  if (compose == ModelCompose::kPipelined) {
+    // The composer's O(V) dependency-prefix scan is only needed when
+    // boundaries can actually overlap; sequential runs (best_fixed_pattern
+    // replays nine of them) take the prefix-sum shortcut.
+    const ModelComposer composer(omega.config(), workload.adjacency);
+    out.composition = composer.compose(out.layers, compose);
+  } else {
+    out.composition = sequential_composition(out.layers);
+  }
+  out.total_cycles = out.composition.cycles;
+  out.sequential_cycles = out.composition.sequential_cycles;
   return out;
 }
 

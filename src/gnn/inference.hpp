@@ -1,31 +1,45 @@
 // Multi-layer GNN inference through the OMEGA cost model: evaluates every
 // layer of a model under one dataflow pattern (re-binding tile sizes per
-// layer, since feature widths change) and aggregates runtime/energy.
+// layer, since feature widths change) and composes runtime/energy — either
+// as a plain layer sum or through the cross-layer pipeline composer
+// (omega/compose.hpp).
 #pragma once
 
 #include "gnn/layers.hpp"
+#include "omega/compose.hpp"
 #include "omega/omega.hpp"
 
 namespace omega {
 
 struct ModelRunResult {
   std::vector<RunResult> layers;
+  /// Model makespan under the requested composition: the saturating layer
+  /// sum for kSequential, the composed timeline for kPipelined. Always
+  /// <= sequential_cycles.
   std::uint64_t total_cycles = 0;
+  /// Saturating sum of layer cycles (what total_cycles was historically).
+  std::uint64_t sequential_cycles = 0;
   double total_on_chip_pj = 0.0;
   double total_pj = 0.0;
   std::uint64_t total_macs = 0;
+  ModelCompose compose = ModelCompose::kSequential;
+  /// Full composed timeline (layer starts/finishes, per-boundary outcome).
+  ModelComposition composition;
 };
 
 /// Runs all layers of `spec` on `workload`'s graph with the given pattern.
 /// The workload's in_features must equal spec.feature_widths.front().
-[[nodiscard]] ModelRunResult run_model(const Omega& omega,
-                                       const GnnWorkload& workload,
-                                       const GnnModelSpec& spec,
-                                       const DataflowPattern& pattern);
+/// `compose` selects how layer cycles combine into total_cycles; energy and
+/// MAC totals are composition-independent sums either way.
+[[nodiscard]] ModelRunResult run_model(
+    const Omega& omega, const GnnWorkload& workload, const GnnModelSpec& spec,
+    const DataflowPattern& pattern,
+    ModelCompose compose = ModelCompose::kSequential);
 
 /// Functional end-to-end inference through the dataflow engines' loop
 /// structures (per layer: functional SpMM/GEMM + ReLU), for verification
-/// against reference_inference.
+/// against reference_inference. Cross-layer composition is a cost-model
+/// concern only — functional outputs are identical under both modes.
 [[nodiscard]] MatrixF functional_inference(const CSRGraph& adj,
                                            const MatrixF& x,
                                            const std::vector<MatrixF>& weights,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <utility>
 
@@ -129,6 +130,26 @@ CSRGraph lognormal_chung_lu(std::size_t num_vertices, std::size_t num_edges,
   return CSRGraph::from_coo(
       num_vertices, std::vector<std::pair<VertexId, VertexId>>(chosen.begin(),
                                                                chosen.end()));
+}
+
+CSRGraph banded_graph(std::size_t num_vertices, std::size_t half_bandwidth) {
+  std::vector<std::vector<VertexId>> rows(num_vertices);
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    const std::size_t lo = v > half_bandwidth ? v - half_bandwidth : 0;
+    // v + half_bandwidth can wrap for absurd bandwidths (the bench exposes
+    // the knob via an env var); a wrapped hi would silently truncate the
+    // band, so clamp the sum first.
+    const std::size_t upper = v + half_bandwidth < v
+                                  ? std::numeric_limits<std::size_t>::max()
+                                  : v + half_bandwidth;
+    const std::size_t hi =
+        std::min(num_vertices == 0 ? 0 : num_vertices - 1, upper);
+    rows[v].reserve(hi - lo + 1);
+    for (std::size_t u = lo; u <= hi; ++u) {
+      rows[v].push_back(static_cast<VertexId>(u));
+    }
+  }
+  return CSRGraph::from_rows(std::move(rows));
 }
 
 CSRGraph path_graph(std::size_t num_vertices) {

@@ -43,6 +43,15 @@ namespace omega {
                                           std::size_t num_edges, double sigma,
                                           Rng& rng, bool undirected = true);
 
+/// Banded adjacency: vertex v neighbors every vertex within
+/// `half_bandwidth` positions (self-loop included) — the RCM-reordered
+/// mesh/road-network archetype. Degree ~ 2*half_bandwidth + 1, and every
+/// row's neighbors lie within the band, which is what makes cross-layer
+/// chunk pipelining's dependency rows stream (omega/compose.hpp) instead
+/// of saturating the way scale-free graphs do.
+[[nodiscard]] CSRGraph banded_graph(std::size_t num_vertices,
+                                    std::size_t half_bandwidth);
+
 /// Deterministic structures for unit tests.
 [[nodiscard]] CSRGraph path_graph(std::size_t num_vertices);
 [[nodiscard]] CSRGraph cycle_graph(std::size_t num_vertices);

@@ -1,0 +1,106 @@
+// Cross-layer pipelined model composition (DESIGN.md "Cross-layer
+// pipelining").
+//
+// run_model and the model-level search historically composed layers as a
+// plain cycle sum. But when consecutive layers both use the Parallel
+// Pipeline inter-phase strategy, layer l+1's Aggregation can start
+// consuming layer l's output rows while layer l's Combination is still
+// draining its tail — the chunk-granular inter-layer overlap VersaGNN
+// exploits across its systolic phases. The ModelComposer chains layer l's
+// per-chunk output-row completion profile into layer l+1's first-phase
+// start times, re-tiling between mismatched chunk grids and gating the
+// overlap on global-buffer residency of the inter-layer intermediate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "omega/omega.hpp"
+
+namespace omega {
+
+/// How a multi-layer model's cycles compose.
+enum class ModelCompose : std::uint8_t {
+  /// Layers serialize: model cycles = (saturating) sum of layer cycles.
+  kSequential = 0,
+  /// Chunk-granular overlap across eligible layer boundaries; model cycles
+  /// = the composed makespan, never larger than the sequential sum.
+  kPipelined = 1,
+};
+
+[[nodiscard]] const char* to_string(ModelCompose c);
+/// Inverse of to_string ("sequential" / "pipelined", case already lowered
+/// by callers); throws InvalidArgumentError on anything else. The single
+/// parser behind the CLI flags and the service protocol option.
+[[nodiscard]] ModelCompose compose_from_string(const std::string& s);
+
+/// One layer boundary's composition outcome.
+struct BoundaryComposition {
+  bool overlapped = false;   // layer l+1 started before layer l finished
+  bool resident = false;     // inter-layer intermediate + partitions fit GB
+  std::uint64_t saved_cycles = 0;  // sequential start - composed start
+  std::string reason;        // why the boundary stayed sequential (or empty)
+};
+
+/// Composed model timeline. `cycles <= sequential_cycles` always holds; the
+/// two coincide under kSequential or when no boundary is overlappable.
+struct ModelComposition {
+  ModelCompose compose = ModelCompose::kSequential;
+  std::uint64_t cycles = 0;             // composed makespan (saturating)
+  std::uint64_t sequential_cycles = 0;  // saturating sum of layer cycles
+  std::size_t overlapped_boundaries = 0;
+  std::vector<std::uint64_t> layer_start;   // absolute start per layer
+  std::vector<std::uint64_t> layer_finish;  // absolute finish per layer
+  std::vector<BoundaryComposition> boundaries;  // num_layers - 1 entries
+};
+
+/// The plain serialized timeline (prefix sums of layer cycles, saturating):
+/// what ModelCompose::kSequential composes to, without paying the
+/// ModelComposer's O(V) dependency-prefix scan.
+[[nodiscard]] ModelComposition sequential_composition(
+    const std::vector<RunResult>& layers);
+
+/// Re-tiles a producer's per-row-block completion profile onto consumer
+/// dependency rows: result[i] is the completion cycle of the producer row
+/// block containing dep_rows[i], prefix-maxed over preceding blocks so the
+/// ready function is monotone even when the producer's blocks complete out
+/// of order (column-major revisits). `producer_row_block` is the producer
+/// grid's row-block size over `rows` rows (0 / oversized both mean one
+/// block); dep rows at or beyond `rows` clamp to the last block. This is
+/// the mismatched-chunk-grid re-tiling rule: consecutive layers choosing
+/// different c_f factors (hence different row blocks) meet here.
+[[nodiscard]] std::vector<std::uint64_t> retile_row_completion(
+    const std::vector<std::uint64_t>& producer_block_completion,
+    std::size_t rows, std::size_t producer_row_block,
+    const std::vector<std::size_t>& dep_rows);
+
+/// Composes per-layer RunResults into a model timeline. Construct once per
+/// (substrate, workload) and reuse across candidates — the constructor
+/// precomputes the graph-dependency prefix (O(V)) that every boundary
+/// analysis shares.
+class ModelComposer {
+ public:
+  /// `adjacency` must be the workload's adjacency: Aggregation-first layers
+  /// gather neighbor rows, so a consumer chunk's dependency row is the
+  /// largest neighbor id over its rows (prefix-maxed; exact for the
+  /// row-major traversals the feasibility analysis produces, conservative
+  /// otherwise).
+  ModelComposer(const AcceleratorConfig& hw, const CSRGraph& adjacency);
+
+  /// `layers` are the per-layer results in model order, each evaluated on
+  /// the composer's substrate and workload. Under kSequential the timeline
+  /// is the plain prefix sum; under kPipelined each boundary is analyzed
+  /// for chunk-granular overlap (see DESIGN.md for the eligibility rules).
+  [[nodiscard]] ModelComposition compose(const std::vector<RunResult>& layers,
+                                         ModelCompose mode) const;
+
+ private:
+  AcceleratorConfig hw_;
+  /// dep_prefix_[v] = max over u <= v of max(u, largest neighbor of u):
+  /// the highest producer row any Aggregation consuming rows [0, v] needs.
+  std::vector<VertexId> dep_prefix_;
+};
+
+}  // namespace omega

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
+#include "util/saturate.hpp"
 
 namespace omega {
 
@@ -15,25 +17,50 @@ Omega::Omega(AcceleratorConfig hw, EnergyModel energy)
 std::uint64_t compose_parallel_pipeline(
     const std::vector<std::uint64_t>& producer_completion,
     const std::vector<std::uint64_t>& consumer_chunk_cycles) {
+  // Allocation-free twin of compose_parallel_pipeline_timeline (floor 0):
+  // this runs once per PP candidate in sweep hot loops. Keep the two
+  // recurrences in lockstep.
   OMEGA_CHECK(producer_completion.size() == consumer_chunk_cycles.size(),
               "producer and consumer must agree on the chunk grid");
   OMEGA_CHECK(!producer_completion.empty(), "pipeline needs >= 1 chunk");
   std::uint64_t cons_done = 0;
   for (std::size_t i = 0; i < producer_completion.size(); ++i) {
     const std::uint64_t start = std::max(producer_completion[i], cons_done);
-    cons_done = start + consumer_chunk_cycles[i];
+    cons_done = sat_add_u64(start, consumer_chunk_cycles[i]);
   }
   return cons_done;
 }
 
-namespace {
+std::vector<std::uint64_t> compose_parallel_pipeline_timeline(
+    const std::vector<std::uint64_t>& producer_completion,
+    const std::vector<std::uint64_t>& consumer_chunk_cycles,
+    std::uint64_t consumer_start) {
+  OMEGA_CHECK(producer_completion.size() == consumer_chunk_cycles.size(),
+              "producer and consumer must agree on the chunk grid");
+  OMEGA_CHECK(!producer_completion.empty(), "pipeline needs >= 1 chunk");
+  std::vector<std::uint64_t> done(producer_completion.size());
+  std::uint64_t cons_done = consumer_start;
+  for (std::size_t i = 0; i < producer_completion.size(); ++i) {
+    const std::uint64_t start = std::max(producer_completion[i], cons_done);
+    cons_done = sat_add_u64(start, consumer_chunk_cycles[i]);
+    done[i] = cons_done;
+  }
+  return done;
+}
 
 std::size_t scaled_bandwidth(std::size_t bw, std::size_t part,
                              std::size_t total) {
   if (bw == AcceleratorConfig::kUnbounded) return bw;
-  return std::max<std::size_t>(
-      1, bw * part / std::max<std::size_t>(total, 1));
+  const unsigned __int128 share = static_cast<unsigned __int128>(bw) * part /
+                                  std::max<std::size_t>(total, 1);
+  const std::size_t capped =
+      share > std::numeric_limits<std::size_t>::max()
+          ? std::numeric_limits<std::size_t>::max()
+          : static_cast<std::size_t>(share);
+  return std::max<std::size_t>(1, capped);
 }
+
+namespace {
 
 EnergyBreakdown compute_energy(const TrafficCounters& traffic,
                                const EnergyModel& em,
@@ -151,14 +178,22 @@ RunResult Omega::run_impl(const GnnWorkload& workload, const LayerSpec& layer,
     }
   }
 
-  // Table III buffering requirement and Seq spill decision.
+  // Table III buffering requirement and Seq spill decision. The V*F*bytes
+  // product saturates: a service request can choose feature widths freely,
+  // and a wrapped product would read as "fits on chip" for a matrix that is
+  // astronomically too large (DESIGN.md "Overflow contract").
   result.pipeline_elements = df.pipeline_elements(int_rows, int_cols);
   result.intermediate_buffer_elements =
       df.intermediate_buffer_elements(int_rows, int_cols);
-  const std::uint64_t int_bytes = static_cast<std::uint64_t>(int_rows) *
-                                  int_cols * hw_.element_bytes;
+  const std::uint64_t int_bytes = sat_mul_u64(
+      sat_mul_u64(int_rows, int_cols), hw_.element_bytes);
   result.intermediate_spilled =
       df.inter == InterPhase::kSequential && int_bytes > hw_.gb_bytes;
+
+  result.num_rows = v;
+  result.in_features = f;
+  result.out_features = g;
+  result.chunk_grid = chunks;
 
   const bool sp_opt = df.inter == InterPhase::kSPOptimized;
   const bool via_partition = pp;
@@ -253,8 +288,9 @@ RunResult Omega::run_impl(const GnnWorkload& workload, const LayerSpec& layer,
     // Seq, SP-Generic and SP-Optimized all serialize the phases; the
     // SP-Optimized t_load credit is already reflected inside the consumer
     // (no loads for the RF-resident intermediate) and producer (no drains).
+    // Saturating: phase cycles on adversarial dims can each approach 2^63.
     result.pipeline_chunks = chunked ? chunks.num_chunks() : 1;
-    result.cycles = result.agg.cycles + result.cmb.cycles;
+    result.cycles = sat_add_u64(result.agg.cycles, result.cmb.cycles);
   }
 
   result.traffic = result.agg.traffic;

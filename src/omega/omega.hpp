@@ -51,6 +51,16 @@ struct RunResult {
   std::size_t intermediate_buffer_elements = 0; // Table III buffering
   bool intermediate_spilled = false;            // Seq: V x F exceeded the GB
 
+  /// Layer shape this result was evaluated for (V rows, F -> G features);
+  /// the inter-layer composer (omega/compose.hpp) reads the output extent
+  /// and the chunk grid off the result instead of re-deriving them.
+  std::size_t num_rows = 0;      // V
+  std::size_t in_features = 0;   // F
+  std::size_t out_features = 0;  // G
+  /// The chunk grid both phases share (Section IV-D). For non-chunked
+  /// strategies (Seq / SP-Optimized) this is the single all-covering chunk.
+  ChunkSpec chunk_grid;
+
   TrafficCounters traffic;
   EnergyBreakdown energy;
 
@@ -110,9 +120,29 @@ class Omega {
 ///   cons_done[i] = max(producer_completion[i], cons_done[i-1]) + cons[i]
 /// Producer completions are absolute cycle stamps (PhaseResult::
 /// chunk_completion), which correctly handles producers that revisit chunks
-/// across sweeps. Returns cons_done.back().
+/// across sweeps. Returns cons_done.back(). The recurrence saturates at
+/// UINT64_MAX instead of wrapping (DESIGN.md "Overflow contract"): a wrapped
+/// sum would report a near-zero makespan for an adversarially huge workload.
 [[nodiscard]] std::uint64_t compose_parallel_pipeline(
     const std::vector<std::uint64_t>& producer_completion,
     const std::vector<std::uint64_t>& consumer_chunk_cycles);
+
+/// Same recurrence, returning the whole cons_done vector — the per-chunk
+/// consumer completion timeline the inter-layer composer re-tiles into the
+/// next layer's start times (omega/compose.hpp). `consumer_start` floors
+/// the consumer's clock (the cycle its array partition frees in cross-layer
+/// composition); 0 reproduces the scalar overload's timeline exactly.
+[[nodiscard]] std::vector<std::uint64_t> compose_parallel_pipeline_timeline(
+    const std::vector<std::uint64_t>& producer_completion,
+    const std::vector<std::uint64_t>& consumer_chunk_cycles,
+    std::uint64_t consumer_start = 0);
+
+/// Share of a GB port bandwidth granted to a phase owning `part` of `total`
+/// PEs under PP (Section V-C3), floored at 1 element/cycle. Computed in
+/// 128-bit: `bw * part` can wrap std::size_t for large configured
+/// bandwidths, which used to hand a phase a tiny garbage share. Exposed for
+/// the overflow regression test.
+[[nodiscard]] std::size_t scaled_bandwidth(std::size_t bw, std::size_t part,
+                                           std::size_t total);
 
 }  // namespace omega

@@ -159,6 +159,13 @@ void parse_model_options(const JsonValue& v, ModelSearchOptions& mo) {
       else throw InvalidArgumentError("unknown allocation: " + a);
     } else if (key == "seed_table5") {
       mo.seed_table5 = bool_field(value, "options.seed_table5");
+    } else if (key == "compose") {
+      // Absent => kSequential (the ModelSearchOptions default): request
+      // lines written before cross-layer composition existed keep their
+      // historical ranking semantics. (Responses did grow the
+      // compose/composed_cycles fields — the goldens were regenerated.)
+      mo.compose =
+          compose_from_string(to_lower(string_field(value, "options.compose")));
     } else {
       throw InvalidArgumentError("unknown options key: " + key);
     }
@@ -483,6 +490,12 @@ std::string search_model_response(std::uint64_t id, const GnnWorkload& workload,
   w.end_array();
   const ModelCandidate& best = result.best();
   w.member("total_cycles", best.total_cycles);
+  // composed_cycles == total_cycles under sequential composition; under
+  // "compose":"pipelined" it is the cross-layer makespan (<= the sum).
+  w.member("compose", to_string(result.compose));
+  w.member("composed_cycles", best.composed_cycles);
+  w.member("overlapped_boundaries",
+           static_cast<std::uint64_t>(best.overlapped_boundaries));
   w.member("total_on_chip_pj", best.total_on_chip_pj);
   w.member("evaluated", static_cast<std::uint64_t>(result.evaluated));
   w.member("pruned", static_cast<std::uint64_t>(result.pruned));

@@ -1,0 +1,40 @@
+// Saturating 64-bit arithmetic for cycle and byte accounting.
+//
+// Cycle counts, MAC counts and buffer-size products are computed from
+// quantities that can arrive untrusted (service requests choose feature
+// widths and bandwidths freely), so the additive/multiplicative paths must
+// not wrap silently: a wrapped u64 reads as a *small* cycle count and would
+// make an adversarial workload rank as the best mapping. The overflow
+// contract (DESIGN.md "Overflow contract") is saturation: any quantity that
+// would exceed UINT64_MAX clamps to UINT64_MAX, which keeps every ordering
+// comparison (composed <= summed, bound <= incumbent) valid at the extreme
+// instead of inverting it.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace omega {
+
+[[nodiscard]] constexpr std::uint64_t sat_add_u64(std::uint64_t a,
+                                                  std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return s < a ? std::numeric_limits<std::uint64_t>::max() : s;
+}
+
+[[nodiscard]] constexpr std::uint64_t sat_mul_u64(std::uint64_t a,
+                                                  std::uint64_t b) {
+  const unsigned __int128 p =
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+  return p > std::numeric_limits<std::uint64_t>::max()
+             ? std::numeric_limits<std::uint64_t>::max()
+             : static_cast<std::uint64_t>(p);
+}
+
+/// a - b, clamped at 0 (the "how much later must this start" pattern).
+[[nodiscard]] constexpr std::uint64_t sat_sub_u64(std::uint64_t a,
+                                                  std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace omega

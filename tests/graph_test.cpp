@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "graph/csr.hpp"
@@ -118,6 +119,28 @@ TEST(GeneratorsTest, ErdosRenyiHitsEdgeBudget) {
   // Undirected: adjacency must be symmetric.
   const MatrixF d = g.to_dense();
   EXPECT_TRUE(approx_equal(d, d.transposed()));
+}
+
+TEST(GeneratorsTest, BandedGraphStructure) {
+  const CSRGraph g = banded_graph(10, 2);
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 10u);
+  // Interior vertex: itself plus two neighbors each side.
+  EXPECT_EQ(g.degree(5), 5u);
+  EXPECT_EQ(g.neighbors(5).front(), 3u);
+  EXPECT_EQ(g.neighbors(5).back(), 7u);
+  // Edges clamp at the ends (self-loop included).
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(9), 3u);
+  // Symmetric band.
+  const MatrixF d = g.to_dense();
+  EXPECT_TRUE(approx_equal(d, d.transposed()));
+  // An absurd bandwidth clamps to the complete graph instead of wrapping
+  // v + half_bandwidth into a truncated band.
+  const CSRGraph huge =
+      banded_graph(6, std::numeric_limits<std::size_t>::max() - 1);
+  huge.validate();
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(huge.degree(v), 6u);
 }
 
 TEST(GeneratorsTest, ChungLuSkewGrowsWithSigma) {

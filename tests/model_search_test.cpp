@@ -230,6 +230,82 @@ TEST(ModelSearchTest, MacWeightedBudgetFavorsTheDominantLayer) {
   ASSERT_FALSE(even.ranked.empty());
 }
 
+TEST(ModelSearchTest, PipelinedComposedNeverExceedsSequential) {
+  // The composed makespan of any candidate is bounded by its layer sum,
+  // and the pipelined best is bounded by the sequential best (it could
+  // always pick the same assignment and compose it).
+  const Omega omega = toy_omega();
+  const GnnWorkload w = toy_workload();
+  const GnnModelSpec spec = gcn_two_layer(24, 16, 8);
+  ModelSearchOptions opt = base_options();
+  const ModelSearchResult seq = search_model_mappings(omega, w, spec, opt);
+  opt.compose = ModelCompose::kPipelined;
+  const ModelSearchResult pipe = search_model_mappings(omega, w, spec, opt);
+  EXPECT_EQ(pipe.compose, ModelCompose::kPipelined);
+  ASSERT_FALSE(pipe.ranked.empty());
+  for (const ModelCandidate& c : pipe.ranked) {
+    EXPECT_LE(c.composed_cycles, c.total_cycles);
+  }
+  EXPECT_LE(pipe.best().composed_cycles, seq.best().total_cycles);
+  // Sequential mode reports composed == summed for every candidate.
+  for (const ModelCandidate& c : seq.ranked) {
+    EXPECT_EQ(c.composed_cycles, c.total_cycles);
+  }
+}
+
+TEST(ModelSearchTest, PipelinedPpOnlyStudyBeatsSequentialStrictly) {
+  // On a banded graph with the search confined to the Parallel-Pipeline
+  // corner (the VersaGNN-style substrate), cross-layer chunk overlap must
+  // produce a strictly smaller composed makespan than the sequential best —
+  // the acceptance scenario for the composition model. The wide->narrow
+  // model makes layer 1 Aggregation-bound: a first-phase head the
+  // intra-layer pipeline cannot hide, but the cross-layer chain can.
+  GnnWorkload w;
+  w.name = "band-1024x16";
+  w.adjacency = banded_graph(1024, 16).gcn_normalized();
+  w.in_features = 64;
+  GnnModelSpec spec;
+  spec.feature_widths = {64, 64, 8};
+  const Omega omega((AcceleratorConfig()));
+  ModelSearchOptions opt;
+  opt.layer.max_candidates = 300;
+  opt.layer.include_seq = false;
+  opt.layer.include_sp_generic = false;
+  opt.layer.include_sp_optimized = false;
+  opt.seed_table5 = false;  // Table V seeds include non-PP patterns
+  opt.prune = true;
+  const ModelSearchResult seq = search_model_mappings(omega, w, spec, opt);
+  opt.compose = ModelCompose::kPipelined;
+  const ModelSearchResult pipe = search_model_mappings(omega, w, spec, opt);
+  EXPECT_LT(pipe.best().composed_cycles, seq.best().total_cycles);
+  EXPECT_GT(pipe.best().overlapped_boundaries, 0u);
+}
+
+TEST(ModelSearchTest, PipelinedRankedIdenticalAcrossThreadCounts) {
+  // The composed re-ranking runs on the thread pool; its results are stored
+  // by index, so the ranked list must be bit-identical across thread counts
+  // (the serve/batch/socket byte-identity tests build on this).
+  const Omega omega = toy_omega();
+  const GnnWorkload w = toy_workload();
+  const GnnModelSpec spec = gcn_two_layer(24, 16, 8);
+  ModelSearchOptions opt = base_options();
+  opt.prune = true;
+  opt.compose = ModelCompose::kPipelined;
+  opt.layer.threads = 1;
+  const ModelSearchResult serial = search_model_mappings(omega, w, spec, opt);
+  opt.layer.threads = 8;
+  const ModelSearchResult parallel =
+      search_model_mappings(omega, w, spec, opt);
+  ASSERT_EQ(serial.ranked.size(), parallel.ranked.size());
+  for (std::size_t i = 0; i < serial.ranked.size(); ++i) {
+    EXPECT_EQ(serial.ranked[i].to_string(), parallel.ranked[i].to_string());
+    EXPECT_EQ(serial.ranked[i].total_cycles, parallel.ranked[i].total_cycles);
+    EXPECT_EQ(serial.ranked[i].composed_cycles,
+              parallel.ranked[i].composed_cycles);
+    EXPECT_EQ(serial.ranked[i].score, parallel.ranked[i].score);
+  }
+}
+
 TEST(ModelSearchTest, SharedContextMatchesOwnContext) {
   // The service hands search_model_mappings the registry's warmed context;
   // results must be bit-identical to the self-built-context path.

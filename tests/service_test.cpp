@@ -36,6 +36,13 @@ std::string line_model(std::uint64_t id) {
          R"("options":{"budget":48}})";
 }
 
+std::string line_model_pipelined(std::uint64_t id) {
+  return R"({"id":)" + std::to_string(id) +
+         R"(,"kind":"search_model","workload":)" + kCoraQuarter +
+         R"(,"model":{"arch":"gcn","widths":[16,7]},)"
+         R"("options":{"budget":48,"compose":"pipelined"}})";
+}
+
 // ---- Request parsing --------------------------------------------------------
 
 TEST(ProtocolTest, ParsesEvaluateRequest) {
@@ -82,6 +89,25 @@ TEST(ProtocolTest, ParsesSearchModelRequest) {
   EXPECT_EQ(r.model_options.max_total_candidates, 500u);
   EXPECT_EQ(r.model_options.budget_allocation, BudgetAllocation::kEven);
   EXPECT_FALSE(r.model_options.prune);
+}
+
+TEST(ProtocolTest, ParsesComposeOptionAndDefaultsToSequential) {
+  const Request pipelined = parse_request(line_model_pipelined(4));
+  EXPECT_EQ(pipelined.model_options.compose, ModelCompose::kPipelined);
+  const Request explicit_seq = parse_request(
+      R"({"id":4,"kind":"search_model","workload":{"dataset":"Cora"},)"
+      R"("model":{"arch":"gcn","widths":[16]},)"
+      R"("options":{"compose":"sequential"}})");
+  EXPECT_EQ(explicit_seq.model_options.compose, ModelCompose::kSequential);
+  // Request lines written before cross-layer composition existed carry no
+  // "compose" key and must keep their sequential semantics.
+  const Request legacy = parse_request(line_model(4));
+  EXPECT_EQ(legacy.model_options.compose, ModelCompose::kSequential);
+  EXPECT_THROW(parse_request(
+                   R"({"kind":"search_model","workload":{"dataset":"Cora"},)"
+                   R"("model":{"arch":"gcn","widths":[16]},)"
+                   R"("options":{"compose":"diagonal"}})"),
+               InvalidArgumentError);
 }
 
 TEST(ProtocolTest, RejectsUnknownKeysAndBadShapes) {
@@ -195,6 +221,21 @@ TEST(ServiceTest, SearchModelRoundTrip) {
   EXPECT_GT(l0.find("cycles")->as_u64(), 0u);
   EXPECT_GT(v.find("total_cycles")->as_u64(),
             l0.find("cycles")->as_u64());
+  // Sequential composition reports composed == summed.
+  EXPECT_EQ(v.find("compose")->as_string(), "sequential");
+  EXPECT_EQ(v.find("composed_cycles")->as_u64(),
+            v.find("total_cycles")->as_u64());
+}
+
+TEST(ServiceTest, SearchModelPipelinedRoundTrip) {
+  MappingService svc;
+  const JsonValue v =
+      JsonValue::parse(svc.handle_line(line_model_pipelined(10)));
+  EXPECT_TRUE(v.find("ok")->as_bool());
+  EXPECT_EQ(v.find("compose")->as_string(), "pipelined");
+  // The composed makespan can never exceed the layer sum.
+  EXPECT_LE(v.find("composed_cycles")->as_u64(),
+            v.find("total_cycles")->as_u64());
 }
 
 TEST(ServiceTest, MalformedRequestsBecomeStructuredErrors) {
@@ -299,8 +340,8 @@ TEST(RegistryTest, CapacityZeroDisablesCaching) {
 // ---- Determinism ------------------------------------------------------------
 
 std::vector<std::string> mixed_batch() {
-  return {line_evaluate(1), line_search(2),   line_model(3),
-          line_evaluate(4), line_search(5)};
+  return {line_evaluate(1), line_search(2),         line_model(3),
+          line_evaluate(4), line_model_pipelined(5), line_search(6)};
 }
 
 TEST(ServiceDeterminismTest, WarmAndColdResponsesAreByteIdentical) {

@@ -303,6 +303,12 @@ TEST(JsonParseTest, MalformedDocumentsThrow) {
   EXPECT_THROW((void)v.as_bool(), InvalidArgumentError);
   // Fractional numbers refuse exact-integer access.
   EXPECT_THROW((void)JsonValue::parse("1.5").as_u64(), InvalidArgumentError);
+  // Integers past 2^64-1 throw instead of silently truncating or wrapping
+  // (DESIGN.md "Overflow contract"): 2^64 parses as a double but has no
+  // exact u64 value.
+  EXPECT_THROW((void)JsonValue::parse("18446744073709551616").as_u64(),
+               InvalidArgumentError);
+  EXPECT_THROW((void)JsonValue::parse("-1").as_u64(), InvalidArgumentError);
 }
 
 TEST(JsonParseTest, UnicodeEscapes) {

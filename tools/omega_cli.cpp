@@ -9,7 +9,13 @@
 //   omega_cli search-model <dataset> [--widths 16,8] [--model gcn|sage|gin]
 //                  [--pes N] [--scale X] [--budget N] [--total-budget N]
 //                  [--objective runtime|energy|edp] [--no-prune]
-//                  [--allocation mac|even] [--json PATH]
+//                  [--allocation mac|even] [--compose sequential|pipelined]
+//                  [--json PATH]
+//   omega_cli run-model <dataset> <pattern> [--widths 16,8]
+//                  [--model gcn|sage|gin] [--pes N] [--scale X]
+//                  [--compose sequential|pipelined]
+//       Replays one Table V pattern over every model layer and prints the
+//       composed timeline (cross-layer overlap under --compose pipelined).
 //   omega_cli serve [--registry N] [--threads N] [--socket PATH]
 //                  [--max-connections N]
 //       Long-lived mapping service. Default: NDJSON on stdin/stdout — one
@@ -215,6 +221,8 @@ int cmd_search_model(int argc, char** argv) {
       else throw InvalidArgumentError("unknown allocation: " + al);
     } else if (a == "--no-prune") {
       mso.prune = false;
+    } else if (a == "--compose") {
+      mso.compose = compose_from_string(to_lower(next()));
     } else if (a == "--json") {
       json_path = next();
     } else {
@@ -242,6 +250,7 @@ int cmd_search_model(int argc, char** argv) {
               << spec.feature_widths[i + 1];
   }
   std::cout << ", objective " << to_string(mso.layer.objective)
+            << ", compose " << to_string(mso.compose)
             << (mso.prune ? ", pruned" : "") << "\n\n";
 
   const ModelSearchResult r = search_model_mappings(omega, w, spec, mso);
@@ -267,13 +276,24 @@ int cmd_search_model(int argc, char** argv) {
             << " uJ on-chip (" << r.evaluated << " evaluated, " << r.pruned
             << " pruned of " << r.generated << " generated"
             << (r.budget_exhausted ? "; budget exhausted" : "") << ")\n";
+  if (mso.compose == ModelCompose::kPipelined) {
+    const double pipe_speedup =
+        best.composed_cycles > 0
+            ? static_cast<double>(best.total_cycles) /
+                  static_cast<double>(best.composed_cycles)
+            : 0.0;
+    std::cout << "pipelined composition: " << with_commas(best.composed_cycles)
+              << " cycles (" << best.overlapped_boundaries
+              << " overlapped boundaries, " << fixed(pipe_speedup, 3)
+              << "x vs sequential sum)\n";
+  }
 
-  const auto fixed_run = best_fixed_pattern(omega, w, spec);
+  const auto fixed_run = best_fixed_pattern(omega, w, spec, mso.compose);
   double speedup = 0.0;
   if (fixed_run) {
-    speedup = best.total_cycles > 0
+    speedup = best.composed_cycles > 0
                   ? static_cast<double>(fixed_run->result.total_cycles) /
-                        static_cast<double>(best.total_cycles)
+                        static_cast<double>(best.composed_cycles)
                   : 0.0;
     std::cout << "best fixed pattern: " << fixed_run->name << " at "
               << with_commas(fixed_run->result.total_cycles)
@@ -309,6 +329,10 @@ int cmd_search_model(int argc, char** argv) {
     }
     jw.end_array();
     jw.member("total_cycles", best.total_cycles);
+    jw.member("compose", to_string(mso.compose));
+    jw.member("composed_cycles", best.composed_cycles);
+    jw.member("overlapped_boundaries",
+              static_cast<std::uint64_t>(best.overlapped_boundaries));
     jw.member("total_on_chip_pj", best.total_on_chip_pj);
     jw.member("evaluated", static_cast<std::uint64_t>(r.evaluated));
     jw.member("pruned", static_cast<std::uint64_t>(r.pruned));
@@ -325,6 +349,97 @@ int cmd_search_model(int argc, char** argv) {
     json << jw.str() << "\n";
     std::cout << "(json: " << json_path << ")\n";
   }
+  return 0;
+}
+
+int cmd_run_model(int argc, char** argv) {
+  if (argc < 4) {
+    throw InvalidArgumentError("run-model needs <dataset> <pattern>");
+  }
+  std::vector<std::size_t> widths{16, 8};
+  GnnModel model = GnnModel::kGCN;
+  ModelCompose compose = ModelCompose::kSequential;
+  std::size_t pes = 512;
+  double scale = 1.0;
+  for (int i = 4; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw InvalidArgumentError("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--widths") {
+      widths.clear();
+      for (const auto& part : split(next(), ',')) {
+        widths.push_back(static_cast<std::size_t>(std::stoul(part)));
+      }
+      if (widths.empty()) {
+        throw InvalidArgumentError("--widths wants e.g. 16,8");
+      }
+    } else if (a == "--model") {
+      const std::string m = to_lower(next());
+      if (m == "gcn") model = GnnModel::kGCN;
+      else if (m == "sage" || m == "graphsage") model = GnnModel::kGraphSAGE;
+      else if (m == "gin") model = GnnModel::kGIN;
+      else throw InvalidArgumentError("unknown model: " + m);
+    } else if (a == "--compose") {
+      compose = compose_from_string(to_lower(next()));
+    } else if (a == "--pes") {
+      pes = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--scale") {
+      scale = std::stod(next());
+    } else {
+      throw InvalidArgumentError("unknown flag: " + a);
+    }
+  }
+
+  SynthesisOptions so;
+  so.scale = scale;
+  const GnnWorkload w = synthesize_workload(dataset_by_name(argv[2]), so);
+  GnnModelSpec spec;
+  spec.model = model;
+  spec.feature_widths.push_back(w.in_features);
+  spec.feature_widths.insert(spec.feature_widths.end(), widths.begin(),
+                             widths.end());
+  AcceleratorConfig hw;
+  hw.num_pes = pes;
+  const Omega omega(hw);
+  const DataflowPattern pattern = pattern_by_name(argv[3]);
+  const ModelRunResult r = run_model(omega, w, spec, pattern, compose);
+
+  std::cout << "model run: " << to_string(model) << " on " << w.name
+            << " (V=" << with_commas(w.num_vertices()) << ", E="
+            << with_commas(w.num_edges()) << "), pattern " << pattern.name
+            << ", compose " << to_string(compose) << "\n\n";
+  TextTable t({"layer", "dims", "start", "finish", "cycles", "boundary"});
+  for (std::size_t l = 0; l < r.layers.size(); ++l) {
+    std::string note = "-";
+    if (l > 0) {
+      const BoundaryComposition& b = r.composition.boundaries[l - 1];
+      note = b.overlapped
+                 ? "overlap (saved " + with_commas(b.saved_cycles) + ")"
+                 : b.reason;
+    }
+    t.add_row({std::to_string(l),
+               std::to_string(r.layers[l].in_features) + "->" +
+                   std::to_string(r.layers[l].out_features),
+               with_commas(r.composition.layer_start[l]),
+               with_commas(r.composition.layer_finish[l]),
+               with_commas(r.layers[l].cycles), note});
+  }
+  std::cout << t;
+  std::cout << "\nsequential sum: " << with_commas(r.sequential_cycles)
+            << " cycles; composed: " << with_commas(r.total_cycles)
+            << " cycles";
+  if (r.sequential_cycles > r.total_cycles) {
+    std::cout << " ("
+              << fixed(static_cast<double>(r.sequential_cycles) /
+                           static_cast<double>(std::max<std::uint64_t>(
+                               r.total_cycles, 1)),
+                       3)
+              << "x)";
+  }
+  std::cout << "\nenergy: " << fixed(r.total_on_chip_pj / 1e6, 3)
+            << " uJ on-chip, " << with_commas(r.total_macs) << " MACs\n";
   return 0;
 }
 
@@ -431,7 +546,8 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) {
       std::cerr << "usage: omega_cli "
-                   "{run|pattern|search-model|list|serve|batch|client} ...\n"
+                   "{run|pattern|search-model|run-model|list|serve|batch|"
+                   "client} ...\n"
                    "  serve  [--registry N] [--threads N] [--socket PATH]  "
                    "NDJSON mapping service (stdin/stdout or unix socket)\n"
                    "  batch  <file|->                                      "
@@ -445,6 +561,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(argc, argv);
     if (cmd == "pattern") return cmd_pattern(argc, argv);
     if (cmd == "search-model") return cmd_search_model(argc, argv);
+    if (cmd == "run-model") return cmd_run_model(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "batch") return cmd_batch(argc, argv);
     if (cmd == "client") return cmd_client(argc, argv);
