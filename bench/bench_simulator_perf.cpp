@@ -37,6 +37,7 @@
 #include "dse/model_search.hpp"
 #include "dse/search.hpp"
 #include "graph/generators.hpp"
+#include "omega/pipeline.hpp"
 #include "util/format.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
@@ -484,6 +485,155 @@ int run_model_sweep() {
   return same_best && pipe_ok && band_ok ? 0 : 1;
 }
 
+// ---- Pipeline study: N-phase core + sparse-weight Combination ---------------
+
+/// Gates (exit code): Omega::run and the explicit
+/// two_phase_pipeline -> run_pipeline -> to_run_result path must agree
+/// bit-for-bit on every Table V pattern (run() shares the pipeline core, so
+/// this pins the adapter lowering and the RunResult view staying coherent —
+/// the absolute legacy numbers are pinned separately by the v1 lines of the
+/// service goldens and the pre-existing suites); a 3-phase pipeline must
+/// evaluate end-to-end with a chunked boundary; and the sparse-weight
+/// Combination cycles must be monotonically non-increasing as the weight
+/// density drops. The dense-GEMM phase cycles are recorded alongside in
+/// BENCH_pipeline.json as context (the two engines price the same MACs
+/// through different models, so dense-vs-sparse is reported, not gated).
+int run_pipeline_study() {
+  const std::size_t scale_pct = env_or("OMEGA_PIPELINE_SCALE_PCT", 50);
+  const char* json_path = std::getenv("OMEGA_PIPELINE_JSON");
+  if (json_path == nullptr) json_path = "BENCH_pipeline.json";
+
+  std::cout << "\n== Pipeline study: N-phase core + sparse-weight "
+               "Combination ==\n";
+  SynthesisOptions so;
+  so.scale = static_cast<double>(scale_pct) / 100.0;
+  const GnnWorkload w = synthesize_workload(dataset_by_name("Cora"), so);
+  const Omega omega(default_accelerator());
+  const LayerSpec layer{16};
+  std::cout << "workload: " << w.name << " (" << w.num_vertices()
+            << " vertices, " << w.num_edges() << " edges, F="
+            << w.in_features << ")\n";
+
+  // --- Gate 1: two-phase adapter parity over the Table V patterns ---------
+  bool parity_ok = true;
+  for (const DataflowPattern& pattern : table5_patterns()) {
+    const DataflowDescriptor df =
+        bind_tiles(pattern, dims_of(w, layer), omega.config());
+    const RunResult legacy = omega.run(w, layer, df);
+    PipelineResult pr = omega.run_pipeline(
+        w, two_phase_pipeline(df, layer, omega.config().num_pes));
+    const RunResult via = to_run_result(std::move(pr), df);
+    const bool same = legacy.cycles == via.cycles &&
+                      legacy.agg.cycles == via.agg.cycles &&
+                      legacy.cmb.cycles == via.cmb.cycles &&
+                      legacy.traffic.gb_total() == via.traffic.gb_total() &&
+                      legacy.energy.total_pj() == via.energy.total_pj();
+    if (!same) {
+      std::cout << "PARITY MISMATCH on " << pattern.name << " ("
+                << df.to_string() << "): legacy " << legacy.cycles
+                << " vs pipeline " << via.cycles << "\n";
+      parity_ok = false;
+    }
+  }
+  std::cout << "two-phase adapter parity over Table V: "
+            << (parity_ok ? "bit-identical" : "MISMATCH") << "\n";
+
+  // --- Gate 2 + 3: 3-phase pipeline and the sparse-weight density sweep ---
+  const auto gat_spec = [&](double density, bool sparse_w) {
+    PipelineSpec s;
+    PhaseSpec score;
+    score.name = "score";
+    score.engine = PhaseEngine::kDenseDense;
+    score.dataflow =
+        IntraPhaseDataflow::parse("VsFtGs", GnnPhase::kCombination);
+    score.dataflow.tiles = {.v = 16, .n = 1, .f = 1, .g = 16};
+    score.out_features = 16;
+    PhaseSpec agg;
+    agg.name = "agg";
+    agg.engine = PhaseEngine::kSparseDense;
+    agg.dataflow = IntraPhaseDataflow::parse("NtFsVt", GnnPhase::kAggregation);
+    agg.dataflow.tiles = {.v = 1, .n = 8, .f = 16, .g = 1};
+    PhaseSpec xform;
+    xform.name = "xform";
+    if (sparse_w) {
+      xform.engine = PhaseEngine::kSparseSparse;
+      xform.dataflow =
+          IntraPhaseDataflow::parse("GsVtFt", GnnPhase::kCombination);
+      xform.weight_density = density;
+    } else {
+      xform.engine = PhaseEngine::kDenseDense;
+      xform.dataflow =
+          IntraPhaseDataflow::parse("VtGsFt", GnnPhase::kCombination);
+    }
+    xform.dataflow.tiles = {.v = 1, .n = 1, .f = 1, .g = 8};
+    xform.out_features = 8;
+    s.phases = {score, agg, xform};
+    s.boundaries = {InterPhase::kSPGeneric, InterPhase::kSequential};
+    return s;
+  };
+
+  const PipelineResult three = omega.run_pipeline(w, gat_spec(1.0, true));
+  const bool three_ok = three.phases.size() == 3 &&
+                        three.boundaries[0].pipeline_chunks > 1 &&
+                        three.cycles > 0;
+  std::cout << "3-phase GAT pipeline: " << three.cycles << " cycles, "
+            << three.boundaries[0].pipeline_chunks
+            << " chunks across the score->agg boundary ("
+            << (three_ok ? "ok" : "FAILED") << ")\n";
+
+  const PipelineResult dense_run = omega.run_pipeline(w, gat_spec(1.0, false));
+  const std::uint64_t dense_cycles = dense_run.phases[2].result.cycles;
+  const std::vector<double> densities = {1.0, 0.5, 0.1};
+  std::vector<std::uint64_t> sparse_cycles;
+  std::vector<std::uint64_t> sparse_totals;
+  bool monotone_ok = true;
+  std::uint64_t prev = std::numeric_limits<std::uint64_t>::max();
+  for (const double d : densities) {
+    const PipelineResult r = omega.run_pipeline(w, gat_spec(d, true));
+    const std::uint64_t c = r.phases[2].result.cycles;
+    if (c > prev) monotone_ok = false;
+    prev = c;
+    sparse_cycles.push_back(c);
+    sparse_totals.push_back(r.cycles);
+    std::cout << "  sparse-W density " << d << ": xform " << c
+              << " cycles (dense-W " << dense_cycles << ")\n";
+  }
+  if (!monotone_ok) {
+    std::cout << "DENSITY SWEEP NOT MONOTONE\n";
+  }
+
+  {
+    JsonWriter jw(2);
+    jw.begin_object();
+    jw.member("workload", w.name);
+    jw.member("vertices", static_cast<std::uint64_t>(w.num_vertices()));
+    jw.member("edges", static_cast<std::uint64_t>(w.num_edges()));
+    jw.member("adapter_parity_bit_identical", parity_ok);
+    jw.key("three_phase").begin_object();
+    jw.member("pipeline", gat_spec(1.0, true).to_string());
+    jw.member("cycles", three.cycles);
+    jw.member("boundary_chunks",
+              static_cast<std::uint64_t>(three.boundaries[0].pipeline_chunks));
+    jw.end_object();
+    jw.member("dense_w_cycles", dense_cycles);
+    jw.key("sparse_w").begin_array();
+    for (std::size_t i = 0; i < densities.size(); ++i) {
+      jw.begin_object();
+      jw.member("density", densities[i]);
+      jw.member("xform_cycles", sparse_cycles[i]);
+      jw.member("total_cycles", sparse_totals[i]);
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.member("monotone_non_increasing", monotone_ok);
+    jw.end_object();
+    std::ofstream json(json_path);
+    json << jw.str() << "\n";
+    std::cout << "(json: " << json_path << ")\n";
+  }
+  return parity_ok && three_ok && monotone_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -501,10 +651,20 @@ int main(int argc, char** argv) {
       }
     }
   };
+  bool pipeline_only = false;  // N-phase core study only (CI pipeline-smoke)
   consume_flag("--dse-only", &dse_only);
   consume_flag("--dse-skip", &dse_skip);
   consume_flag("--model-only", &model_only);
   consume_flag("--model-skip", &model_skip);
+  consume_flag("--pipeline-only", &pipeline_only);
+  if (pipeline_only) {
+    try {
+      return run_pipeline_study();
+    } catch (const std::exception& e) {
+      std::cerr << "pipeline study failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
   int rc = 0;
   if (!dse_skip && !model_only) {
     try {

@@ -61,6 +61,10 @@ struct RoleAnalysis {
   std::string reason;
 };
 
+RoleDims role_dims(const HandoffRole& role) {
+  return RoleDims{role.row, role.col, role.third};
+}
+
 /// Shared analysis for both roles: look at where the "third" loop sits.
 /// third innermost  -> element-wise hand-off in (outermost-dim)-major order
 /// third in middle  -> whole row/column completes (inner dim spans it)
@@ -100,18 +104,25 @@ RoleAnalysis analyze_role(const LoopOrder& order, const RoleDims& dims,
 
 PipelineAnalysis analyze_pipeline(const LoopOrder& agg, const LoopOrder& cmb,
                                   PhaseOrder order) {
-  PipelineAnalysis out;
   const LoopOrder& producer_order = order == PhaseOrder::kAC ? agg : cmb;
   const LoopOrder& consumer_order = order == PhaseOrder::kAC ? cmb : agg;
+  const RoleDims pd = producer_dims(order);
+  const RoleDims cd = consumer_dims(order);
+  return analyze_handoff(HandoffRole{producer_order, pd.row, pd.col, pd.third},
+                         HandoffRole{consumer_order, cd.row, cd.col, cd.third});
+}
 
+PipelineAnalysis analyze_handoff(const HandoffRole& producer,
+                                 const HandoffRole& consumer) {
+  PipelineAnalysis out;
   const RoleAnalysis prod =
-      analyze_role(producer_order, producer_dims(order), "producer");
+      analyze_role(producer.order, role_dims(producer), "producer");
   if (!prod.feasible) {
     out.reason = prod.reason;
     return out;
   }
   const RoleAnalysis cons =
-      analyze_role(consumer_order, consumer_dims(order), "consumer");
+      analyze_role(consumer.order, role_dims(consumer), "consumer");
   if (!cons.feasible) {
     out.reason = cons.reason;
     return out;

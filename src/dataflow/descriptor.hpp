@@ -58,6 +58,26 @@ struct PipelineAnalysis {
                                                 const LoopOrder& cmb,
                                                 PhaseOrder order);
 
+/// One side of an intermediate hand-off, expressed in the phase's own loop
+/// vocabulary: which of its dims index the intermediate's rows and columns,
+/// and which is its "third" loop (the contraction for a producer, the
+/// streamed/output dim for a consumer). The N-phase pipeline API
+/// (omega/pipeline.hpp) derives a HandoffRole per phase and engine kind;
+/// the classic two-phase analyze_pipeline() is a wrapper over this.
+struct HandoffRole {
+  LoopOrder order;
+  Dim row = Dim::kV;
+  Dim col = Dim::kF;
+  Dim third = Dim::kN;
+};
+
+/// Generalized Table II feasibility analysis for one adjacent phase pair:
+/// each role must complete intermediate units (elements / rows / columns)
+/// in a traversal order the other side can consume, and the two traversal
+/// majors must agree.
+[[nodiscard]] PipelineAnalysis analyze_handoff(const HandoffRole& producer,
+                                               const HandoffRole& consumer);
+
 /// The complete dataflow description.
 struct DataflowDescriptor {
   InterPhase inter = InterPhase::kSequential;

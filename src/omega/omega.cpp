@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "omega/pipeline.hpp"
 #include "util/error.hpp"
 #include "util/saturate.hpp"
 
@@ -60,26 +62,6 @@ std::size_t scaled_bandwidth(std::size_t bw, std::size_t part,
   return std::max<std::size_t>(1, capped);
 }
 
-namespace {
-
-EnergyBreakdown compute_energy(const TrafficCounters& traffic,
-                               const EnergyModel& em,
-                               std::size_t partition_bytes) {
-  EnergyBreakdown e;
-  for (std::size_t c = 0; c < kNumTrafficCategories; ++c) {
-    e.gb_by_category_pj[c] =
-        static_cast<double>(traffic.gb[c].total()) * em.gb_access_pj;
-    e.gb_pj += e.gb_by_category_pj[c];
-  }
-  e.rf_pj = static_cast<double>(traffic.rf.total()) * em.rf_access_pj;
-  e.partition_pj = static_cast<double>(traffic.intermediate_partition.total()) *
-                   em.buffer_access_pj(partition_bytes);
-  e.dram_pj = static_cast<double>(traffic.dram.total()) * em.dram_access_pj;
-  return e;
-}
-
-}  // namespace
-
 RunResult Omega::run(const GnnWorkload& workload, const LayerSpec& layer,
                      const DataflowDescriptor& df) const {
   return run_impl(workload, layer, df, nullptr);
@@ -106,199 +88,45 @@ RunResult Omega::run_impl(const GnnWorkload& workload, const LayerSpec& layer,
                         ": substrate has no temporal-reduction support "
                         "(in-place accumulators)");
   }
-
-  const std::size_t v = workload.num_vertices();
-  const std::size_t f =
-      layer.in_features > 0 ? layer.in_features : workload.in_features;
-  const std::size_t g = layer.out_features;
-  OMEGA_CHECK(v >= 1 && f >= 1 && g >= 1, "workload dims must be positive");
-
-  const bool ac = df.phase_order == PhaseOrder::kAC;
-  const std::size_t int_rows = v;
-  const std::size_t int_cols = ac ? f : g;
-
-  RunResult result;
-  result.dataflow = df;
-  result.granularity = df.granularity();
-
-  // PE and bandwidth allocation.
-  const bool pp = df.inter == InterPhase::kParallelPipeline;
-  result.pes_agg = hw_.num_pes;
-  result.pes_cmb = hw_.num_pes;
-  std::size_t bw_dist_agg = hw_.distribution_bandwidth;
-  std::size_t bw_dist_cmb = hw_.distribution_bandwidth;
-  std::size_t bw_red_agg = hw_.reduction_bandwidth;
-  std::size_t bw_red_cmb = hw_.reduction_bandwidth;
-  if (pp) {
-    // Splitting the array needs a PE on each side; clamp(x, 1, 0) below
-    // would be UB on a single-PE substrate.
+  if (df.inter == InterPhase::kParallelPipeline) {
+    // Bind-time fraction validation: descriptor validation rejects
+    // out-of-range fractions, but a NaN passes both range comparisons and
+    // used to reach llround() — undefined behavior that could hand a phase
+    // a garbage PE count. Reject it the moment the descriptor binds to
+    // hardware. (Outside PP the fraction stays documented-ignored; the
+    // pattern binder, omega/tiler.cpp, guards its own PP split the same
+    // way.)
+    if (!(df.pp_agg_pe_fraction > 0.0 && df.pp_agg_pe_fraction < 1.0)) {
+      throw ResourceError(
+          df.to_string() +
+          ": pp_agg_pe_fraction must lie strictly inside (0, 1); 0, 1 or "
+          "NaN would starve a phase of PEs before the allocation clamp");
+    }
     if (hw_.num_pes < 2) {
+      // Splitting the array needs a PE on each side; clamp(x, 1, 0) in the
+      // allocator would be UB on a single-PE substrate.
       throw ResourceError(df.to_string() +
                           ": parallel pipeline needs >= 2 PEs to split the "
                           "array between the phases");
     }
-    result.pes_agg = std::clamp<std::size_t>(
-        static_cast<std::size_t>(std::llround(
-            static_cast<double>(hw_.num_pes) * df.pp_agg_pe_fraction)),
-        1, hw_.num_pes - 1);
-    result.pes_cmb = hw_.num_pes - result.pes_agg;
-    // Both phases run concurrently and share the GB ports (Section V-C3).
-    bw_dist_agg = scaled_bandwidth(hw_.distribution_bandwidth, result.pes_agg,
-                                   hw_.num_pes);
-    bw_dist_cmb = scaled_bandwidth(hw_.distribution_bandwidth, result.pes_cmb,
-                                   hw_.num_pes);
-    bw_red_agg =
-        scaled_bandwidth(hw_.reduction_bandwidth, result.pes_agg, hw_.num_pes);
-    bw_red_cmb =
-        scaled_bandwidth(hw_.reduction_bandwidth, result.pes_cmb, hw_.num_pes);
   }
 
-  // Chunk grid for pipelined strategies.
-  const bool chunked =
-      df.inter == InterPhase::kSPGeneric || pp;
-  ChunkSpec chunks = ChunkSpec::whole(int_rows, int_cols);
-  if (chunked) {
-    const auto analysis = analyze_pipeline(df.agg.order, df.cmb.order,
-                                           df.phase_order);
-    OMEGA_CHECK(analysis.feasible, "validated dataflow must be pipelineable");
-    chunks.major = analysis.major;
-    switch (analysis.granularity) {
-      case Granularity::kElement:
-        chunks.row_block = std::min(df.t_row_max(), int_rows);
-        chunks.col_block = std::min(df.t_col_max(), int_cols);
-        break;
-      case Granularity::kRow:
-        chunks.row_block = std::min(df.t_row_max(), int_rows);
-        break;
-      case Granularity::kColumn:
-        chunks.col_block = std::min(df.t_col_max(), int_cols);
-        break;
-      case Granularity::kNone:
-        break;
-    }
-  }
+  // Dims guard kept from the monolithic implementation: the pre-validated
+  // core trusts the spec's widths, and a zero G would otherwise reach the
+  // GEMM engine's tile math as a division by zero instead of a clean throw.
+  const std::size_t f =
+      layer.in_features > 0 ? layer.in_features : workload.in_features;
+  OMEGA_CHECK(workload.num_vertices() >= 1 && f >= 1 && layer.out_features >= 1,
+              "workload dims must be positive");
 
-  // Table III buffering requirement and Seq spill decision. The V*F*bytes
-  // product saturates: a service request can choose feature widths freely,
-  // and a wrapped product would read as "fits on chip" for a matrix that is
-  // astronomically too large (DESIGN.md "Overflow contract").
-  result.pipeline_elements = df.pipeline_elements(int_rows, int_cols);
-  result.intermediate_buffer_elements =
-      df.intermediate_buffer_elements(int_rows, int_cols);
-  const std::uint64_t int_bytes = sat_mul_u64(
-      sat_mul_u64(int_rows, int_cols), hw_.element_bytes);
-  result.intermediate_spilled =
-      df.inter == InterPhase::kSequential && int_bytes > hw_.gb_bytes;
-
-  result.num_rows = v;
-  result.in_features = f;
-  result.out_features = g;
-  result.chunk_grid = chunks;
-
-  const bool sp_opt = df.inter == InterPhase::kSPOptimized;
-  const bool via_partition = pp;
-
-  // Bind the two engines according to phase order.
-  SpmmPhaseConfig agg_cfg;
-  agg_cfg.graph = &workload.adjacency;
-  agg_cfg.context = context;
-  agg_cfg.order = df.agg.order;
-  agg_cfg.tiles = df.agg.tiles;
-  agg_cfg.pes = result.pes_agg;
-  agg_cfg.bw_dist = bw_dist_agg;
-  agg_cfg.bw_red = bw_red_agg;
-  agg_cfg.rf_elements = hw_.rf_elements_per_pe();
-
-  GemmPhaseConfig cmb_cfg;
-  cmb_cfg.context = context;
-  cmb_cfg.rows = v;
-  cmb_cfg.inner = f;
-  cmb_cfg.cols = g;
-  cmb_cfg.order = df.cmb.order;
-  cmb_cfg.tiles = df.cmb.tiles;
-  cmb_cfg.pes = result.pes_cmb;
-  cmb_cfg.bw_dist = bw_dist_cmb;
-  cmb_cfg.bw_red = bw_red_cmb;
-  cmb_cfg.rf_elements = hw_.rf_elements_per_pe();
-
-  if (ac) {
-    // Aggregation produces the V x F intermediate; Combination consumes it.
-    agg_cfg.feat = f;
-    agg_cfg.b_category = TrafficCategory::kInput;
-    agg_cfg.out_category = TrafficCategory::kIntermediate;
-    agg_cfg.out_to_rf = sp_opt;
-    agg_cfg.out_in_dram = result.intermediate_spilled;
-    agg_cfg.out_drain_bw =
-        result.intermediate_spilled ? hw_.dram_bandwidth : 0;
-    agg_cfg.out_via_partition = via_partition;
-    if (chunked) {
-      agg_cfg.chunks = chunks;
-      agg_cfg.chunk_target = ChunkTarget::kMatrixOut;
-    }
-    cmb_cfg.a_category = TrafficCategory::kIntermediate;
-    cmb_cfg.a_from_rf = sp_opt;
-    cmb_cfg.a_in_dram = result.intermediate_spilled;
-    cmb_cfg.a_stream_bw =
-        result.intermediate_spilled ? hw_.dram_bandwidth : 0;
-    cmb_cfg.a_via_partition = via_partition;
-    if (chunked) {
-      cmb_cfg.chunks = chunks;
-      cmb_cfg.chunk_target = ChunkTarget::kMatrixA;
-    }
-  } else {
-    // Combination produces the V x G intermediate; Aggregation consumes it.
-    cmb_cfg.a_category = TrafficCategory::kInput;
-    cmb_cfg.out_category = TrafficCategory::kIntermediate;
-    cmb_cfg.out_to_rf = sp_opt;
-    cmb_cfg.out_in_dram = result.intermediate_spilled;
-    cmb_cfg.out_drain_bw =
-        result.intermediate_spilled ? hw_.dram_bandwidth : 0;
-    cmb_cfg.out_via_partition = via_partition;
-    if (chunked) {
-      cmb_cfg.chunks = chunks;
-      cmb_cfg.chunk_target = ChunkTarget::kMatrixOut;
-    }
-    agg_cfg.feat = g;
-    agg_cfg.b_category = TrafficCategory::kIntermediate;
-    agg_cfg.b_from_rf = sp_opt;
-    agg_cfg.b_in_dram = result.intermediate_spilled;
-    agg_cfg.b_stream_bw =
-        result.intermediate_spilled ? hw_.dram_bandwidth : 0;
-    agg_cfg.b_via_partition = via_partition;
-    agg_cfg.out_category = TrafficCategory::kOutput;
-    if (chunked) {
-      agg_cfg.chunks = chunks;
-      agg_cfg.chunk_target = ChunkTarget::kMatrixA;
-    }
-  }
-
-  result.agg = run_spmm_phase(agg_cfg);
-  result.cmb = run_gemm_phase(cmb_cfg);
-  result.agg_static_utilization = static_utilization(df.agg, result.pes_agg);
-  result.cmb_static_utilization = static_utilization(df.cmb, result.pes_cmb);
-
-  const PhaseResult& producer = ac ? result.agg : result.cmb;
-  const PhaseResult& consumer = ac ? result.cmb : result.agg;
-
-  if (pp) {
-    result.pipeline_chunks = chunks.num_chunks();
-    result.cycles = compose_parallel_pipeline(producer.chunk_completion,
-                                              consumer.chunk_cycles);
-  } else {
-    // Seq, SP-Generic and SP-Optimized all serialize the phases; the
-    // SP-Optimized t_load credit is already reflected inside the consumer
-    // (no loads for the RF-resident intermediate) and producer (no drains).
-    // Saturating: phase cycles on adversarial dims can each approach 2^63.
-    result.pipeline_chunks = chunked ? chunks.num_chunks() : 1;
-    result.cycles = sat_add_u64(result.agg.cycles, result.cmb.cycles);
-  }
-
-  result.traffic = result.agg.traffic;
-  result.traffic += result.cmb.traffic;
-  const std::size_t partition_bytes =
-      pp ? result.intermediate_buffer_elements * hw_.element_bytes : 0;
-  result.energy = compute_energy(result.traffic, energy_, partition_bytes);
-  return result;
+  // The two-phase GNN layer is a special case of the N-phase pipeline core
+  // (omega/pipeline.hpp): lower the descriptor, evaluate, and view the
+  // result through the legacy RunResult shape. Bit-identical to the
+  // historic monolithic implementation (tests/pipeline_test.cpp).
+  const PipelineSpec spec = two_phase_pipeline(df, layer, hw_.num_pes);
+  PipelineResult pr =
+      run_pipeline_impl(workload, spec, context, /*validated=*/true);
+  return to_run_result(std::move(pr), df);
 }
 
 RunResult Omega::run_pattern(const GnnWorkload& workload,

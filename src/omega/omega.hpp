@@ -18,6 +18,9 @@
 
 namespace omega {
 
+struct PipelineSpec;    // omega/pipeline.hpp
+struct PipelineResult;  // omega/pipeline.hpp
+
 /// Energy roll-up (Section V-B2). On-chip = GB + RF + the PP intermediate
 /// partition; DRAM (Seq spill) is reported separately, matching the paper's
 /// on-chip characterization.
@@ -102,6 +105,15 @@ class Omega {
                                       const LayerSpec& layer,
                                       const DataflowPattern& pattern) const;
 
+  /// The N-phase evaluation core (omega/pipeline.hpp): evaluates an
+  /// arbitrary chain of sparse-dense / dense / sparse-weight phases with
+  /// one inter-phase strategy per adjacent pair. run() is a two-phase
+  /// adapter over this (bit-identical to the historic two-phase model).
+  /// `context`, when non-null, must be bound to `workload.adjacency`.
+  [[nodiscard]] PipelineResult run_pipeline(
+      const GnnWorkload& workload, const PipelineSpec& spec,
+      const WorkloadContext* context = nullptr) const;
+
   [[nodiscard]] const AcceleratorConfig& config() const { return hw_; }
   [[nodiscard]] const EnergyModel& energy_model() const { return energy_; }
 
@@ -110,6 +122,13 @@ class Omega {
                                    const LayerSpec& layer,
                                    const DataflowDescriptor& df,
                                    const WorkloadContext* context) const;
+
+  /// Shared core behind run_pipeline and the two-phase adapter;
+  /// `validated` skips PipelineSpec::validate for specs lowered from an
+  /// already-validated DataflowDescriptor (the sweep hot path).
+  [[nodiscard]] PipelineResult run_pipeline_impl(
+      const GnnWorkload& workload, const PipelineSpec& spec,
+      const WorkloadContext* context, bool validated) const;
 
   AcceleratorConfig hw_;
   EnergyModel energy_;

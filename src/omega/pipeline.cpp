@@ -1,0 +1,759 @@
+#include "omega/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/saturate.hpp"
+
+namespace omega {
+
+const char* to_string(PhaseEngine e) {
+  switch (e) {
+    case PhaseEngine::kSparseDense: return "spmm";
+    case PhaseEngine::kDenseDense: return "gemm";
+    case PhaseEngine::kSparseSparse: return "spgemm";
+  }
+  return "?";
+}
+
+PhaseEngine phase_engine_from_string(const std::string& s) {
+  const std::string e = to_lower(s);
+  if (e == "spmm" || e == "sparse_dense") return PhaseEngine::kSparseDense;
+  if (e == "gemm" || e == "dense") return PhaseEngine::kDenseDense;
+  if (e == "spgemm" || e == "sparse_weight") return PhaseEngine::kSparseSparse;
+  throw InvalidArgumentError("unknown phase engine: " + s +
+                             " (want spmm | gemm | spgemm)");
+}
+
+InterPhase inter_phase_from_string(const std::string& s) {
+  const std::string i = to_lower(s);
+  if (i == "seq" || i == "sequential") return InterPhase::kSequential;
+  if (i == "spg" || i == "sp-generic") return InterPhase::kSPGeneric;
+  if (i == "sp" || i == "spo" || i == "sp-optimized") {
+    return InterPhase::kSPOptimized;
+  }
+  if (i == "pp" || i == "parallel-pipeline") {
+    return InterPhase::kParallelPipeline;
+  }
+  throw InvalidArgumentError("unknown inter-phase strategy: " + s +
+                             " (want Seq | SPg | SP | PP)");
+}
+
+HandoffRole PhaseSpec::producer_role() const {
+  // What this phase PRODUCES: the sparse-dense phase emits V x Feat with
+  // contraction N; the dense/sparse-weight phases emit V x G with
+  // contraction F (same role split as the classic AC/CA analysis).
+  return engine == PhaseEngine::kSparseDense
+             ? HandoffRole{dataflow.order, Dim::kV, Dim::kF, Dim::kN}
+             : HandoffRole{dataflow.order, Dim::kV, Dim::kG, Dim::kF};
+}
+
+HandoffRole PhaseSpec::consumer_role() const {
+  // What this phase CONSUMES: the sparse-dense phase reads intermediate
+  // rows through its N loop and columns through its feature loop (the
+  // classic CA consumer); the dense phases read V x F as their A operand.
+  return engine == PhaseEngine::kSparseDense
+             ? HandoffRole{dataflow.order, Dim::kN, Dim::kF, Dim::kV}
+             : HandoffRole{dataflow.order, Dim::kV, Dim::kF, Dim::kG};
+}
+
+std::string PhaseSpec::to_string() const {
+  std::string s = name.empty() ? std::string("phase") : name;
+  s += "=";
+  s += omega::to_string(engine);
+  s += "(";
+  s += dataflow.to_string();
+  if (out_features > 0) s += ",G=" + std::to_string(out_features);
+  if (engine == PhaseEngine::kSparseSparse) {
+    s += ",d=" + fixed(weight_density, 3);
+  }
+  s += ")";
+  return s;
+}
+
+double PipelineSpec::pp_first_share(std::size_t b) const {
+  if (pe_fractions.size() != phases.size()) return 0.5;
+  const double first = pe_fractions[b];
+  const double second = pe_fractions[b + 1];
+  return first / (first + second);
+}
+
+std::string PipelineSpec::to_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i > 0) {
+      s += " ->";
+      s += omega::to_string(boundaries[i - 1]);
+      s += "-> ";
+    }
+    s += phases[i].to_string();
+  }
+  return s;
+}
+
+namespace {
+
+/// Generalized SP-Optimized constraints (Table II row 2): both phases keep
+/// the intermediate tile resident in the PE register files, so the producer
+/// must accumulate temporally, the consumer must stream its third dim
+/// temporally, both must traverse the shared tile in the same major with
+/// the third dim innermost, and the row/col tiles must match across the
+/// pair. Reduces exactly to the classic sp_optimized_error pairs for the
+/// two-phase descriptor.
+std::optional<std::string> sp_optimized_pair_error(const PhaseSpec& prod,
+                                                   const PhaseSpec& cons) {
+  const HandoffRole p = prod.producer_role();
+  const HandoffRole c = cons.consumer_role();
+  const std::string where =
+      prod.to_string() + " ->SP-> " + cons.to_string() + ": ";
+  if (p.order.depth_of(p.third) != 2) {
+    return where + "SP-Optimized needs the producer's contraction (" +
+           std::string(1, dim_letter(p.third)) +
+           ") innermost so accumulated data never leaves the PEs";
+  }
+  if (c.order.depth_of(c.third) != 2) {
+    return where + "SP-Optimized streams the consumer's third dim (" +
+           std::string(1, dim_letter(c.third)) +
+           ") temporally over the stationary intermediate (innermost loop)";
+  }
+  const bool p_row_major = p.order.at(0) == p.row;
+  const bool c_row_major = c.order.at(0) == c.row;
+  if (p_row_major != c_row_major) {
+    return where + "producer and consumer must traverse the RF-resident "
+                   "intermediate in the same major";
+  }
+  if (prod.dataflow.tiles.get(p.third) != 1) {
+    return where + "SP-Optimized requires a temporal producer contraction "
+                   "(T_" + std::string(1, dim_letter(p.third)) + " = 1)";
+  }
+  if (cons.dataflow.tiles.get(c.third) != 1) {
+    return where + "SP-Optimized streams the consumer's third dim "
+                   "temporally (T_" + std::string(1, dim_letter(c.third)) +
+           " = 1)";
+  }
+  if (prod.dataflow.tiles.get(p.row) != cons.dataflow.tiles.get(c.row) ||
+      prod.dataflow.tiles.get(p.col) != cons.dataflow.tiles.get(c.col)) {
+    return where + "SP-Optimized requires matched row/col tiles across the "
+                   "pair (the same intermediate tile stays in the PEs)";
+  }
+  return std::nullopt;
+}
+
+bool is_chunked(InterPhase ip) {
+  return ip == InterPhase::kSPGeneric || ip == InterPhase::kParallelPipeline;
+}
+
+/// Max tile across the pair for the intermediate's row / column dimension —
+/// the N-phase generalization of DataflowDescriptor::t_row_max/t_col_max.
+std::size_t pair_t_row(const PhaseSpec& prod, const PhaseSpec& cons) {
+  return std::max(prod.dataflow.tiles.get(prod.producer_role().row),
+                  cons.dataflow.tiles.get(cons.consumer_role().row));
+}
+std::size_t pair_t_col(const PhaseSpec& prod, const PhaseSpec& cons) {
+  return std::max(prod.dataflow.tiles.get(prod.producer_role().col),
+                  cons.dataflow.tiles.get(cons.consumer_role().col));
+}
+
+/// The engine-facing view of a chunk grid for the transposed sparse-weight
+/// problem: Out^T swaps rows/columns, and flipping the traversal major
+/// keeps the FLATTENED chunk order identical (row-major over (R, C) and
+/// column-major over (C, R) enumerate the same (r, c) sequence), which is
+/// what lets a transposed producer timeline compose index-by-index with an
+/// untransposed consumer.
+ChunkSpec transpose_chunks(const ChunkSpec& c) {
+  ChunkSpec t;
+  t.rows = c.cols;
+  t.cols = c.rows;
+  t.row_block = c.col_block;
+  t.col_block = c.row_block;
+  t.major = c.major == TraversalMajor::kRowMajor ? TraversalMajor::kColumnMajor
+                                                 : TraversalMajor::kRowMajor;
+  return t;
+}
+
+EnergyBreakdown compute_energy(const TrafficCounters& traffic,
+                               const EnergyModel& em,
+                               std::size_t partition_bytes) {
+  EnergyBreakdown e;
+  for (std::size_t c = 0; c < kNumTrafficCategories; ++c) {
+    e.gb_by_category_pj[c] =
+        static_cast<double>(traffic.gb[c].total()) * em.gb_access_pj;
+    e.gb_pj += e.gb_by_category_pj[c];
+  }
+  e.rf_pj = static_cast<double>(traffic.rf.total()) * em.rf_access_pj;
+  e.partition_pj = static_cast<double>(traffic.intermediate_partition.total()) *
+                   em.buffer_access_pj(partition_bytes);
+  e.dram_pj = static_cast<double>(traffic.dram.total()) * em.dram_access_pj;
+  return e;
+}
+
+}  // namespace
+
+std::optional<std::string> PipelineSpec::validation_error() const {
+  if (phases.empty()) return "pipeline needs at least one phase";
+  if (boundaries.size() + 1 != phases.size()) {
+    return "pipeline wants exactly one boundary per adjacent phase pair (" +
+           std::to_string(phases.size()) + " phases, " +
+           std::to_string(boundaries.size()) + " boundaries)";
+  }
+  if (!pe_fractions.empty() && pe_fractions.size() != phases.size()) {
+    return "pe_fractions must be empty or hold one entry per phase";
+  }
+  for (const double f : pe_fractions) {
+    if (!std::isfinite(f) || f <= 0.0) {
+      return "pe_fractions entries must be finite and > 0";
+    }
+  }
+  for (const PhaseSpec& p : phases) {
+    const std::string who = p.to_string() + ": ";
+    if (p.dataflow.phase != taxonomy_phase(p.engine)) {
+      return who + "dataflow is expressed in the wrong loop vocabulary for "
+                   "the engine (sparse-dense phases loop over V/N/F, dense "
+                   "and sparse-weight phases over V/F/G)";
+    }
+    try {
+      p.dataflow.validate();
+    } catch (const Error& e) {
+      return who + e.what();
+    }
+    if (p.engine == PhaseEngine::kSparseDense) {
+      if (p.out_features != 0) {
+        return who + "sparse-dense phases preserve the feature width; leave "
+                     "out_features 0";
+      }
+    } else if (p.out_features == 0) {
+      return who + "dense and sparse-weight phases need out_features >= 1";
+    }
+    if (p.engine == PhaseEngine::kSparseSparse) {
+      if (!(p.weight_density > 0.0 && p.weight_density <= 1.0)) {
+        return who + "weight_density must lie in (0, 1]";
+      }
+      if (p.dataflow.order.depth_of(Dim::kG) >
+          p.dataflow.order.depth_of(Dim::kF)) {
+        return who + "sparse-weight phases walk the compressed W rows "
+                     "G-major over the F contraction; the loop order must "
+                     "place G outside F (got " + p.dataflow.order.letters() +
+               ")";
+      }
+    } else if (p.weight_density != 1.0) {
+      return who + "weight_density only applies to sparse-weight phases";
+    }
+  }
+  for (std::size_t b = 0; b < boundaries.size(); ++b) {
+    const PhaseSpec& prod = phases[b];
+    const PhaseSpec& cons = phases[b + 1];
+    switch (boundaries[b]) {
+      case InterPhase::kSequential:
+        break;
+      case InterPhase::kSPOptimized:
+        if (const auto err = sp_optimized_pair_error(prod, cons)) return err;
+        break;
+      case InterPhase::kSPGeneric:
+      case InterPhase::kParallelPipeline: {
+        const PipelineAnalysis a =
+            analyze_handoff(prod.producer_role(), cons.consumer_role());
+        if (!a.feasible) {
+          return prod.to_string() + " ->" +
+                 omega::to_string(boundaries[b]) + "-> " + cons.to_string() +
+                 ": " + a.reason;
+        }
+        break;
+      }
+    }
+    if (is_chunked(boundaries[b]) &&
+        cons.engine == PhaseEngine::kSparseSparse) {
+      return cons.to_string() +
+             ": a sparse-weight phase cannot consume a chunked intermediate "
+             "(its walked rows are W rows, not intermediate rows); use Seq "
+             "or SP-Optimized upstream";
+    }
+  }
+  for (std::size_t b = 1; b < boundaries.size(); ++b) {
+    if (is_chunked(boundaries[b - 1]) && is_chunked(boundaries[b])) {
+      return phases[b].to_string() +
+             ": a phase can stage chunks through at most one adjacent "
+             "boundary (both neighbors are SP-Generic/PP); separate the "
+             "chunked boundaries with Seq or SP-Optimized";
+    }
+  }
+  return std::nullopt;
+}
+
+void PipelineSpec::validate() const {
+  if (const auto err = validation_error()) {
+    throw InvalidDataflowError("pipeline " + to_string() + ": " + *err);
+  }
+}
+
+PhaseSpec assemble_phase_spec(std::string name, PhaseEngine engine,
+                              const std::string& dataflow,
+                              const std::vector<std::size_t>& tiles,
+                              std::size_t out_features, double weight_density,
+                              std::size_t index) {
+  if (dataflow.empty()) {
+    throw InvalidArgumentError("each phase needs a dataflow (loop order)");
+  }
+  PhaseSpec p;
+  p.engine = engine;
+  p.dataflow = IntraPhaseDataflow::parse(dataflow, taxonomy_phase(engine));
+  if (!tiles.empty()) {
+    if (tiles.size() != 3) {
+      throw InvalidArgumentError(
+          "phase tiles want 3 values, one per canonical phase dim (V,N,F "
+          "for spmm; V,F,G otherwise)");
+    }
+    const auto dims = phase_dims(taxonomy_phase(engine));
+    for (std::size_t d = 0; d < 3; ++d) p.dataflow.tiles.set(dims[d], tiles[d]);
+  }
+  p.out_features = out_features;
+  p.weight_density = weight_density;
+  p.name = name.empty() ? "phase" + std::to_string(index) : std::move(name);
+  return p;
+}
+
+CSRGraph sparse_weight_csr(std::size_t in_features, std::size_t out_features,
+                           double density) {
+  OMEGA_CHECK(in_features >= 1 && out_features >= 1,
+              "weight matrix extents must be >= 1");
+  OMEGA_CHECK(density > 0.0 && density <= 1.0,
+              "weight density must lie in (0, 1]");
+  const std::size_t nnz_per_row = std::min<std::size_t>(
+      in_features,
+      std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::llround(density * static_cast<double>(in_features)))));
+  // W^T pattern: out_features rows of max(1, round(density * F)) entries.
+  // Only the degree profile feeds the cost model (the engines never
+  // dereference neighbor ids — traffic is counted per (edge, feature)), so
+  // the evenly spaced F-space column ids are folded into the row space to
+  // satisfy the square-CSR container; duplicates are legal in from_rows and
+  // preserve the nonzero count.
+  std::vector<std::vector<VertexId>> rows(out_features);
+  for (auto& row : rows) {
+    row.reserve(nnz_per_row);
+    for (std::size_t j = 0; j < nnz_per_row; ++j) {
+      row.push_back(
+          static_cast<VertexId>(j * in_features / nnz_per_row % out_features));
+    }
+  }
+  return CSRGraph::from_rows(std::move(rows));
+}
+
+PipelineSpec two_phase_pipeline(const DataflowDescriptor& df,
+                                const LayerSpec& layer, std::size_t num_pes) {
+  PipelineSpec s;
+  s.in_features = layer.in_features;
+  PhaseSpec agg;
+  agg.name = "agg";
+  agg.engine = PhaseEngine::kSparseDense;
+  agg.dataflow = df.agg;
+  PhaseSpec cmb;
+  cmb.name = "cmb";
+  cmb.engine = PhaseEngine::kDenseDense;
+  cmb.dataflow = df.cmb;
+  cmb.out_features = layer.out_features;
+  const bool ac = df.phase_order == PhaseOrder::kAC;
+  if (ac) {
+    s.phases = {std::move(agg), std::move(cmb)};
+  } else {
+    s.phases = {std::move(cmb), std::move(agg)};
+  }
+  s.boundaries = {df.inter};
+  if (df.inter == InterPhase::kParallelPipeline) {
+    double first = ac ? df.pp_agg_pe_fraction : 1.0 - df.pp_agg_pe_fraction;
+    if (num_pes >= 2 && df.pp_agg_pe_fraction > 0.0 &&
+        df.pp_agg_pe_fraction < 1.0) {
+      // Resolve the split the way the historic two-phase model did — round
+      // the AGGREGATION share and give Combination the remainder — then
+      // express it as an exact first-phase share. llround(num_pes * (1-f))
+      // is NOT always num_pes - llround(num_pes * f), so a CA pair fed the
+      // raw complement would drift by one PE on rounding ties.
+      const std::size_t pes_agg = std::clamp<std::size_t>(
+          static_cast<std::size_t>(std::llround(
+              static_cast<double>(num_pes) * df.pp_agg_pe_fraction)),
+          1, num_pes - 1);
+      const std::size_t first_pes = ac ? pes_agg : num_pes - pes_agg;
+      first = static_cast<double>(first_pes) / static_cast<double>(num_pes);
+    }
+    s.pe_fractions = {first, 1.0 - first};
+  }
+  return s;
+}
+
+RunResult to_run_result(PipelineResult&& pr, const DataflowDescriptor& df) {
+  OMEGA_CHECK(pr.phases.size() == 2 && pr.boundaries.size() == 1,
+              "RunResult is a two-phase view; N-phase results stay "
+              "PipelineResults");
+  const bool ac = pr.phases[0].engine == PhaseEngine::kSparseDense;
+  PhaseOutcome& agg = ac ? pr.phases[0] : pr.phases[1];
+  PhaseOutcome& cmb = ac ? pr.phases[1] : pr.phases[0];
+  OMEGA_CHECK(agg.engine == PhaseEngine::kSparseDense &&
+                  cmb.engine != PhaseEngine::kSparseDense,
+              "two-phase view wants one sparse-dense and one dense phase");
+  const BoundaryOutcome& b = pr.boundaries[0];
+
+  RunResult r;
+  r.dataflow = df;
+  r.cycles = pr.cycles;
+  r.agg = std::move(agg.result);
+  r.cmb = std::move(cmb.result);
+  r.pes_agg = agg.pes;
+  r.pes_cmb = cmb.pes;
+  r.granularity = b.granularity;
+  r.pipeline_chunks = b.pipeline_chunks;
+  r.pipeline_elements = b.pipeline_elements;
+  r.intermediate_buffer_elements = b.buffer_elements;
+  r.intermediate_spilled = b.spilled;
+  r.num_rows = pr.num_rows;
+  r.in_features = pr.in_features;
+  r.out_features = pr.out_features;
+  r.chunk_grid = b.chunk_grid;
+  r.traffic = pr.traffic;
+  r.energy = pr.energy;
+  r.agg_static_utilization = agg.static_utilization;
+  r.cmb_static_utilization = cmb.static_utilization;
+  return r;
+}
+
+PipelineResult Omega::run_pipeline(const GnnWorkload& workload,
+                                   const PipelineSpec& spec,
+                                   const WorkloadContext* context) const {
+  return run_pipeline_impl(workload, spec, context, /*validated=*/false);
+}
+
+PipelineResult Omega::run_pipeline_impl(const GnnWorkload& workload,
+                                        const PipelineSpec& spec,
+                                        const WorkloadContext* context,
+                                        bool validated) const {
+  if (!validated) spec.validate();
+  const std::size_t n = spec.phases.size();
+  const std::size_t v = workload.num_vertices();
+  OMEGA_CHECK(v >= 1, "workload needs at least one vertex");
+
+  // ---- Feature widths along the chain --------------------------------------
+  std::vector<std::size_t> in_w(n);
+  std::vector<std::size_t> out_w(n);
+  std::size_t width =
+      spec.in_features > 0 ? spec.in_features : workload.in_features;
+  OMEGA_CHECK(width >= 1, "first-phase input width must be >= 1");
+  for (std::size_t i = 0; i < n; ++i) {
+    const PhaseSpec& p = spec.phases[i];
+    in_w[i] = width;
+    out_w[i] = p.engine == PhaseEngine::kSparseDense ? width : p.out_features;
+    width = out_w[i];
+  }
+
+  // ---- Substrate capability checks (Table II NoC/PE support column) --------
+  // Skipped on the pre-validated adapter path: Omega::run already performed
+  // the equivalent hardware_requirements() checks (with the legacy
+  // descriptor-notation messages) before lowering, and this loop runs once
+  // per candidate in sweep hot loops.
+  if (!validated) {
+    for (const PhaseSpec& p : spec.phases) {
+      const Dim contraction =
+          p.engine == PhaseEngine::kSparseDense ? Dim::kN : Dim::kF;
+      const bool spatial = p.dataflow.tiles.get(contraction) > 1;
+      if (spatial && !hw_.supports_spatial_reduction) {
+        throw ResourceError(p.to_string() +
+                            ": substrate has no spatial-reduction support "
+                            "(adder tree / store-and-forward)");
+      }
+      if (!spatial && !hw_.supports_temporal_reduction) {
+        throw ResourceError(p.to_string() +
+                            ": substrate has no temporal-reduction support "
+                            "(in-place accumulators)");
+      }
+    }
+  }
+
+  // ---- PE and bandwidth allocation -----------------------------------------
+  // Phases default to the whole array; each PP boundary splits it between
+  // its pair (validation caps every phase at one chunked boundary, so PP
+  // groups are exactly pairs) and both sides share the GB ports
+  // proportionally (Section V-C3).
+  std::vector<std::size_t> pes(n, hw_.num_pes);
+  std::vector<std::size_t> bw_dist(n, hw_.distribution_bandwidth);
+  std::vector<std::size_t> bw_red(n, hw_.reduction_bandwidth);
+  for (std::size_t b = 0; b + 1 < n; ++b) {
+    if (spec.boundaries[b] != InterPhase::kParallelPipeline) continue;
+    if (hw_.num_pes < 2) {
+      throw ResourceError(spec.to_string() +
+                          ": parallel pipeline needs >= 2 PEs to split the "
+                          "array between the phases");
+    }
+    const double share = spec.pp_first_share(b);
+    if (!(share > 0.0 && share < 1.0)) {
+      throw ResourceError(spec.to_string() +
+                          ": PP PE shares must lie strictly inside (0, 1) — "
+                          "0, 1 or NaN would starve a phase of PEs");
+    }
+    const std::size_t first = std::clamp<std::size_t>(
+        static_cast<std::size_t>(
+            std::llround(static_cast<double>(hw_.num_pes) * share)),
+        1, hw_.num_pes - 1);
+    pes[b] = first;
+    pes[b + 1] = hw_.num_pes - first;
+    bw_dist[b] =
+        scaled_bandwidth(hw_.distribution_bandwidth, pes[b], hw_.num_pes);
+    bw_dist[b + 1] =
+        scaled_bandwidth(hw_.distribution_bandwidth, pes[b + 1], hw_.num_pes);
+    bw_red[b] = scaled_bandwidth(hw_.reduction_bandwidth, pes[b], hw_.num_pes);
+    bw_red[b + 1] =
+        scaled_bandwidth(hw_.reduction_bandwidth, pes[b + 1], hw_.num_pes);
+  }
+
+  // ---- Boundary plans (Table III generalized to adjacent pairs) ------------
+  PipelineResult result;
+  result.boundaries.resize(n > 0 ? n - 1 : 0);
+  for (std::size_t b = 0; b + 1 < n; ++b) {
+    BoundaryOutcome& bo = result.boundaries[b];
+    bo.inter = spec.boundaries[b];
+    bo.rows = v;
+    bo.cols = out_w[b];
+    bo.chunk_grid = ChunkSpec::whole(bo.rows, bo.cols);
+    const PhaseSpec& prod = spec.phases[b];
+    const PhaseSpec& cons = spec.phases[b + 1];
+    std::size_t t_row = 0;
+    std::size_t t_col = 0;
+    if (bo.inter != InterPhase::kSequential &&
+        bo.inter != InterPhase::kSPOptimized) {
+      const PipelineAnalysis analysis =
+          analyze_handoff(prod.producer_role(), cons.consumer_role());
+      OMEGA_CHECK(analysis.feasible, "validated pipeline must be chunkable");
+      bo.granularity = analysis.granularity;
+      bo.chunk_grid.major = analysis.major;
+      t_row = std::min(pair_t_row(prod, cons), bo.rows);
+      t_col = std::min(pair_t_col(prod, cons), bo.cols);
+      switch (bo.granularity) {
+        case Granularity::kElement:
+          bo.chunk_grid.row_block = t_row;
+          bo.chunk_grid.col_block = t_col;
+          bo.pipeline_elements = t_row * t_col;
+          break;
+        case Granularity::kRow:
+          bo.chunk_grid.row_block = t_row;
+          bo.pipeline_elements = t_row * bo.cols;
+          break;
+        case Granularity::kColumn:
+          bo.chunk_grid.col_block = t_col;
+          bo.pipeline_elements = bo.rows * t_col;
+          break;
+        case Granularity::kNone:
+          break;
+      }
+    }
+    switch (bo.inter) {
+      case InterPhase::kSequential:
+        bo.buffer_elements = bo.rows * bo.cols;
+        break;
+      case InterPhase::kSPGeneric:
+        bo.buffer_elements = bo.pipeline_elements;
+        break;
+      case InterPhase::kSPOptimized:
+        bo.buffer_elements = 0;
+        break;
+      case InterPhase::kParallelPipeline:
+        bo.buffer_elements = 2 * bo.pipeline_elements;
+        break;
+    }
+    bo.pipeline_chunks = is_chunked(bo.inter) ? bo.chunk_grid.num_chunks() : 1;
+    // Seq spill decision: the product saturates so an astronomically large
+    // intermediate cannot wrap into "fits on chip" (DESIGN.md "Overflow
+    // contract").
+    const std::uint64_t int_bytes =
+        sat_mul_u64(sat_mul_u64(bo.rows, bo.cols), hw_.element_bytes);
+    bo.spilled =
+        bo.inter == InterPhase::kSequential && int_bytes > hw_.gb_bytes;
+  }
+
+  // ---- Per-phase engine evaluation -----------------------------------------
+  result.phases.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PhaseSpec& p = spec.phases[i];
+    const BoundaryOutcome* up = i > 0 ? &result.boundaries[i - 1] : nullptr;
+    const BoundaryOutcome* down =
+        i + 1 < n ? &result.boundaries[i] : nullptr;
+    const bool in_from_rf = up != nullptr && up->inter == InterPhase::kSPOptimized;
+    const bool in_dram = up != nullptr && up->spilled;
+    const bool in_via_partition =
+        up != nullptr && up->inter == InterPhase::kParallelPipeline;
+    const bool out_to_rf =
+        down != nullptr && down->inter == InterPhase::kSPOptimized;
+    const bool out_in_dram = down != nullptr && down->spilled;
+    const bool out_via_partition =
+        down != nullptr && down->inter == InterPhase::kParallelPipeline;
+    const TrafficCategory in_cat =
+        up != nullptr ? TrafficCategory::kIntermediate : TrafficCategory::kInput;
+    const TrafficCategory out_cat = down != nullptr
+                                        ? TrafficCategory::kIntermediate
+                                        : TrafficCategory::kOutput;
+    const bool up_chunked = up != nullptr && is_chunked(up->inter);
+    const bool down_chunked = down != nullptr && is_chunked(down->inter);
+
+    PhaseOutcome& po = result.phases[i];
+    po.name = p.name;
+    po.engine = p.engine;
+    po.pes = pes[i];
+    po.in_features = in_w[i];
+    po.out_features = out_w[i];
+    po.static_utilization = static_utilization(p.dataflow, pes[i]);
+
+    switch (p.engine) {
+      case PhaseEngine::kSparseDense: {
+        SpmmPhaseConfig cfg;
+        cfg.graph = &workload.adjacency;
+        cfg.context = context;
+        cfg.order = p.dataflow.order;
+        cfg.tiles = p.dataflow.tiles;
+        cfg.feat = in_w[i];
+        cfg.pes = pes[i];
+        cfg.bw_dist = bw_dist[i];
+        cfg.bw_red = bw_red[i];
+        cfg.rf_elements = hw_.rf_elements_per_pe();
+        cfg.b_category = in_cat;
+        cfg.b_from_rf = in_from_rf;
+        cfg.b_in_dram = in_dram;
+        cfg.b_stream_bw = in_dram ? hw_.dram_bandwidth : 0;
+        cfg.b_via_partition = in_via_partition;
+        cfg.out_category = out_cat;
+        cfg.out_to_rf = out_to_rf;
+        cfg.out_in_dram = out_in_dram;
+        cfg.out_drain_bw = out_in_dram ? hw_.dram_bandwidth : 0;
+        cfg.out_via_partition = out_via_partition;
+        if (up_chunked) {
+          cfg.chunks = up->chunk_grid;
+          cfg.chunk_target = ChunkTarget::kMatrixA;
+        } else if (down_chunked) {
+          cfg.chunks = down->chunk_grid;
+          cfg.chunk_target = ChunkTarget::kMatrixOut;
+        }
+        po.result = run_spmm_phase(cfg);
+        break;
+      }
+      case PhaseEngine::kDenseDense: {
+        GemmPhaseConfig cfg;
+        cfg.context = context;
+        cfg.rows = v;
+        cfg.inner = in_w[i];
+        cfg.cols = out_w[i];
+        cfg.order = p.dataflow.order;
+        cfg.tiles = p.dataflow.tiles;
+        cfg.pes = pes[i];
+        cfg.bw_dist = bw_dist[i];
+        cfg.bw_red = bw_red[i];
+        cfg.rf_elements = hw_.rf_elements_per_pe();
+        cfg.a_category = in_cat;
+        cfg.a_from_rf = in_from_rf;
+        cfg.a_in_dram = in_dram;
+        cfg.a_stream_bw = in_dram ? hw_.dram_bandwidth : 0;
+        cfg.a_via_partition = in_via_partition;
+        cfg.out_category = out_cat;
+        cfg.out_to_rf = out_to_rf;
+        cfg.out_in_dram = out_in_dram;
+        cfg.out_drain_bw = out_in_dram ? hw_.dram_bandwidth : 0;
+        cfg.out_via_partition = out_via_partition;
+        if (up_chunked) {
+          cfg.chunks = up->chunk_grid;
+          cfg.chunk_target = ChunkTarget::kMatrixA;
+        } else if (down_chunked) {
+          cfg.chunks = down->chunk_grid;
+          cfg.chunk_target = ChunkTarget::kMatrixOut;
+        }
+        po.result = run_gemm_phase(cfg);
+        break;
+      }
+      case PhaseEngine::kSparseSparse: {
+        // Transposed problem Out^T[G,V] = W^T[G,F] x X^T[F,V]: the SpMM
+        // engine walks W^T rows exactly like adjacency rows — fewer
+        // nonzeros per row (lower density) mean fewer neighbor steps and
+        // less metadata/operand traffic. Loop dims translate G->V, F->N,
+        // V->Feat; the consumed X^T becomes the engine's B operand.
+        const CSRGraph wcsr =
+            sparse_weight_csr(in_w[i], out_w[i], p.weight_density);
+        const auto translate = [](Dim d) {
+          switch (d) {
+            case Dim::kG: return Dim::kV;
+            case Dim::kF: return Dim::kN;
+            case Dim::kV: return Dim::kF;
+            case Dim::kN: break;
+          }
+          throw InvalidDataflowError(
+              "sparse-weight phases loop over V/F/G only");
+        };
+        SpmmPhaseConfig cfg;
+        cfg.graph = &wcsr;
+        cfg.context = nullptr;  // the workload context is bound to the graph
+        cfg.order = LoopOrder(translate(p.dataflow.order.at(0)),
+                              translate(p.dataflow.order.at(1)),
+                              translate(p.dataflow.order.at(2)));
+        cfg.tiles.v = p.dataflow.tiles.g;
+        cfg.tiles.n = p.dataflow.tiles.f;
+        cfg.tiles.f = p.dataflow.tiles.v;
+        cfg.feat = v;
+        cfg.pes = pes[i];
+        cfg.bw_dist = bw_dist[i];
+        cfg.bw_red = bw_red[i];
+        cfg.rf_elements = hw_.rf_elements_per_pe();
+        cfg.b_category = in_cat;
+        cfg.b_from_rf = in_from_rf;
+        cfg.b_in_dram = in_dram;
+        cfg.b_stream_bw = in_dram ? hw_.dram_bandwidth : 0;
+        cfg.b_via_partition = in_via_partition;
+        cfg.out_category = out_cat;
+        cfg.out_to_rf = out_to_rf;
+        cfg.out_in_dram = out_in_dram;
+        cfg.out_drain_bw = out_in_dram ? hw_.dram_bandwidth : 0;
+        cfg.out_via_partition = out_via_partition;
+        if (down_chunked) {
+          cfg.chunks = transpose_chunks(down->chunk_grid);
+          cfg.chunk_target = ChunkTarget::kMatrixOut;
+        }
+        po.result = run_spmm_phase(cfg);
+        break;
+      }
+    }
+  }
+
+  // ---- Compose cycles, traffic and energy ----------------------------------
+  // PP pairs overlap chunk-by-chunk (the consumer starts chunk i once the
+  // producer completed it); everything else serializes, so the makespan is
+  // the saturating sum over segments.
+  result.cycles = 0;
+  for (std::size_t i = 0; i < n;) {
+    if (i + 1 < n &&
+        spec.boundaries[i] == InterPhase::kParallelPipeline) {
+      result.boundaries[i].overlapped = true;
+      result.cycles = sat_add_u64(
+          result.cycles,
+          compose_parallel_pipeline(result.phases[i].result.chunk_completion,
+                                    result.phases[i + 1].result.chunk_cycles));
+      i += 2;
+    } else {
+      result.cycles = sat_add_u64(result.cycles, result.phases[i].result.cycles);
+      i += 1;
+    }
+  }
+
+  for (const PhaseOutcome& po : result.phases) {
+    result.traffic += po.result.traffic;
+  }
+  std::size_t partition_bytes = 0;
+  for (const BoundaryOutcome& bo : result.boundaries) {
+    if (bo.inter == InterPhase::kParallelPipeline) {
+      partition_bytes = std::max(partition_bytes,
+                                 bo.buffer_elements * hw_.element_bytes);
+    }
+  }
+  result.energy = compute_energy(result.traffic, energy_, partition_bytes);
+
+  result.num_rows = v;
+  result.in_features = in_w.empty() ? 0 : in_w.front();
+  result.out_features = out_w.empty() ? 0 : out_w.back();
+  return result;
+}
+
+}  // namespace omega

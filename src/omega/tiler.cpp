@@ -159,6 +159,22 @@ DataflowDescriptor bind_tiles(const DataflowPattern& pattern,
   std::size_t pes_agg = hw.num_pes;
   std::size_t pes_cmb = hw.num_pes;
   if (pattern.inter == InterPhase::kParallelPipeline) {
+    // Bind-time validation (the pattern struct is plain data, so this is
+    // the first place a bad fraction can be caught): 0 or 1 would starve a
+    // phase of its tile budget below, and a NaN would reach llround —
+    // undefined behavior.
+    if (!(pattern.pp_agg_pe_fraction > 0.0 &&
+          pattern.pp_agg_pe_fraction < 1.0)) {
+      throw ResourceError(
+          pattern.name + " (" + pattern.to_string() +
+          "): pp_agg_pe_fraction must lie strictly inside (0, 1); 0, 1 or "
+          "NaN would starve a phase of PEs before the allocation clamp");
+    }
+    if (hw.num_pes < 2) {
+      throw ResourceError(pattern.name + " (" + pattern.to_string() +
+                          "): parallel pipeline needs >= 2 PEs to split the "
+                          "array between the phases");
+    }
     pes_agg = std::max<std::size_t>(
         1, static_cast<std::size_t>(std::llround(
                static_cast<double>(hw.num_pes) * pattern.pp_agg_pe_fraction)));

@@ -172,6 +172,93 @@ void parse_model_options(const JsonValue& v, ModelSearchOptions& mo) {
   }
 }
 
+/// v2 evaluate: {"phases":[{"name","engine","dataflow","tiles","out_features",
+/// "density"},...],"boundaries":["Seq",...],"pe_fractions":[...],
+/// "in_features":N}. Tile arrays hold one entry per canonical phase dim
+/// (V,N,F for spmm; V,F,G for gemm/spgemm).
+PipelineSpec parse_pipeline(const JsonValue& v) {
+  if (!v.is_object()) {
+    throw InvalidArgumentError("pipeline must be an object");
+  }
+  PipelineSpec spec;
+  bool saw_phases = false;
+  for (const auto& [key, value] : v.members()) {
+    if (key == "phases") {
+      saw_phases = true;
+      if (!value.is_array()) {
+        throw InvalidArgumentError("pipeline.phases must be an array");
+      }
+      for (const auto& pv : value.items()) {
+        if (!pv.is_object()) {
+          throw InvalidArgumentError("pipeline.phases[] must be objects");
+        }
+        std::string name;
+        PhaseEngine engine = PhaseEngine::kDenseDense;
+        std::string dataflow_text;
+        std::vector<std::size_t> tiles;
+        std::size_t out_features = 0;
+        double density = 1.0;
+        bool saw_engine = false;
+        for (const auto& [pk, pval] : pv.members()) {
+          if (pk == "name") {
+            name = string_field(pval, "phases[].name");
+          } else if (pk == "engine") {
+            engine = phase_engine_from_string(
+                string_field(pval, "phases[].engine"));
+            saw_engine = true;
+          } else if (pk == "dataflow") {
+            dataflow_text = string_field(pval, "phases[].dataflow");
+          } else if (pk == "tiles") {
+            for (const auto& t : pval.items()) {
+              tiles.push_back(
+                  static_cast<std::size_t>(u64_field(t, "phases[].tiles[]")));
+            }
+          } else if (pk == "out_features") {
+            out_features = static_cast<std::size_t>(
+                u64_field(pval, "phases[].out_features"));
+          } else if (pk == "density") {
+            density = double_field(pval, "phases[].density");
+          } else {
+            throw InvalidArgumentError("unknown phases[] key: " + pk);
+          }
+        }
+        if (!saw_engine || dataflow_text.empty()) {
+          throw InvalidArgumentError(
+              "each pipeline phase needs \"engine\" and \"dataflow\"");
+        }
+        spec.phases.push_back(assemble_phase_spec(
+            std::move(name), engine, dataflow_text, tiles, out_features,
+            density, spec.phases.size()));
+      }
+    } else if (key == "boundaries") {
+      if (!value.is_array()) {
+        throw InvalidArgumentError("pipeline.boundaries must be an array");
+      }
+      for (const auto& b : value.items()) {
+        spec.boundaries.push_back(
+            inter_phase_from_string(string_field(b, "pipeline.boundaries[]")));
+      }
+    } else if (key == "pe_fractions") {
+      if (!value.is_array()) {
+        throw InvalidArgumentError("pipeline.pe_fractions must be an array");
+      }
+      for (const auto& f : value.items()) {
+        spec.pe_fractions.push_back(
+            double_field(f, "pipeline.pe_fractions[]"));
+      }
+    } else if (key == "in_features") {
+      spec.in_features = static_cast<std::size_t>(
+          u64_field(value, "pipeline.in_features"));
+    } else {
+      throw InvalidArgumentError("unknown pipeline key: " + key);
+    }
+  }
+  if (!saw_phases || spec.phases.empty()) {
+    throw InvalidArgumentError("pipeline needs a non-empty \"phases\" array");
+  }
+  return spec;
+}
+
 GnnModel parse_model_arch(const std::string& s) {
   const std::string m = to_lower(s);
   if (m == "gcn") return GnnModel::kGCN;
@@ -256,10 +343,23 @@ Request parse_request(const std::string& line) {
   const bool is_stats = r.kind == RequestKind::kStats;
 
   bool saw_workload = false;
+  bool saw_out_features = false;
+  bool saw_pp_fraction = false;
   for (const auto& [key, value] : root.members()) {
     if (key == "kind") continue;
     if (key == "id") {
       r.id = u64_field(value, "id");
+    } else if (key == "version") {
+      r.version = u64_field(value, "version");
+      if (r.version < 1 || r.version > 2) {
+        throw InvalidArgumentError(
+            "unsupported protocol version: " + std::to_string(r.version) +
+            " (this server speaks versions 1 and 2)");
+      }
+    } else if (key == "pipeline") {
+      only_for("pipeline", is_evaluate);
+      r.pipeline = parse_pipeline(value);
+      r.has_pipeline = true;
     } else if (key == "workload") {
       only_for("workload", !is_stats);
       r.workload = parse_workload(value);
@@ -277,6 +377,7 @@ Request parse_request(const std::string& line) {
                is_evaluate || r.kind == RequestKind::kSearchMappings);
       r.out_features =
           static_cast<std::size_t>(u64_field(value, "out_features"));
+      saw_out_features = true;
       if (r.out_features == 0) {
         throw InvalidArgumentError("out_features must be >= 1");
       }
@@ -298,6 +399,7 @@ Request parse_request(const std::string& line) {
     } else if (key == "pp_fraction") {
       only_for("pp_fraction", is_evaluate);
       r.pp_fraction = double_field(value, "pp_fraction");
+      saw_pp_fraction = true;
     } else if (key == "options") {
       if (r.kind == RequestKind::kSearchModel) {
         parse_model_options(value, r.model_options);
@@ -334,7 +436,28 @@ Request parse_request(const std::string& line) {
                                " needs a \"workload\"");
   }
   if (is_evaluate) {
-    if (r.dataflow.empty() == r.pattern.empty()) {
+    if (r.has_pipeline) {
+      // The N-phase shape is a v2 addition; a v1 (or unversioned) client
+      // sending one is a mistake, not a silent upgrade.
+      if (r.version < 2) {
+        throw InvalidArgumentError(
+            "\"pipeline\" requires \"version\":2 (unversioned requests "
+            "speak the v1 two-phase shape)");
+      }
+      // Every two-phase-shape field is rejected, not ignored: the phases
+      // carry their own widths and PE fractions, and a silently-discarded
+      // out_features is exactly the defaulted-field failure the strict
+      // parser exists to surface.
+      if (!r.dataflow.empty() || !r.pattern.empty() || !r.tiles.empty() ||
+          saw_out_features || saw_pp_fraction) {
+        throw InvalidArgumentError(
+            "\"pipeline\" replaces \"dataflow\"/\"pattern\"/\"tiles\"/"
+            "\"out_features\"/\"pp_fraction\" — send one shape or the "
+            "other");
+      }
+    } else if (r.dataflow.empty() == r.pattern.empty()) {
+      // Wording kept stable: unversioned clients see byte-identical
+      // responses, including this error.
       throw InvalidArgumentError(
           "evaluate wants exactly one of \"dataflow\" or \"pattern\"");
     }
@@ -376,11 +499,27 @@ std::uint64_t peek_request_id(const std::string& line) {
   return 0;
 }
 
+std::uint64_t peek_request_version(const std::string& line) {
+  try {
+    const JsonValue root = JsonValue::parse(line);
+    if (const JsonValue* v = root.find("version");
+        v != nullptr && v->is_number()) {
+      const std::uint64_t version = v->as_u64();
+      if (version >= 1 && version <= 2) return version;
+    }
+  } catch (const Error&) {
+    // Malformed JSON: no version to recover.
+  }
+  return 0;
+}
+
 std::string error_response(std::uint64_t id, const std::string& type,
-                           const std::string& message) {
+                           const std::string& message,
+                           std::uint64_t version) {
   JsonWriter w;
   w.begin_object();
   w.member("id", id);
+  if (version > 0) w.member("version", version);
   w.member("ok", false);
   w.key("error").begin_object();
   w.member("type", type);
@@ -391,10 +530,12 @@ std::string error_response(std::uint64_t id, const std::string& type,
 }
 
 std::string evaluate_response(std::uint64_t id, const GnnWorkload& workload,
-                              const RunResult& result) {
+                              const RunResult& result,
+                              std::uint64_t version) {
   JsonWriter w;
   w.begin_object();
   w.member("id", id);
+  if (version > 0) w.member("version", version);
   w.member("ok", true);
   w.member("kind", "evaluate");
   write_workload_summary(w, workload);
@@ -432,10 +573,12 @@ std::string evaluate_response(std::uint64_t id, const GnnWorkload& workload,
 
 std::string search_mappings_response(std::uint64_t id,
                                      const GnnWorkload& workload,
-                                     const SearchResult& result) {
+                                     const SearchResult& result,
+                                     std::uint64_t version) {
   JsonWriter w;
   w.begin_object();
   w.member("id", id);
+  if (version > 0) w.member("version", version);
   w.member("ok", true);
   w.member("kind", "search_mappings");
   write_workload_summary(w, workload);
@@ -456,10 +599,12 @@ std::string search_mappings_response(std::uint64_t id,
 
 std::string search_model_response(std::uint64_t id, const GnnWorkload& workload,
                                   const GnnModelSpec& spec,
-                                  const ModelSearchResult& result) {
+                                  const ModelSearchResult& result,
+                                  std::uint64_t version) {
   JsonWriter w;
   w.begin_object();
   w.member("id", id);
+  if (version > 0) w.member("version", version);
   w.member("ok", true);
   w.member("kind", "search_model");
   write_workload_summary(w, workload);
@@ -501,6 +646,68 @@ std::string search_model_response(std::uint64_t id, const GnnWorkload& workload,
   w.member("pruned", static_cast<std::uint64_t>(result.pruned));
   w.member("generated", static_cast<std::uint64_t>(result.generated));
   w.member("budget_exhausted", result.budget_exhausted);
+  w.end_object();
+  return w.str();
+}
+
+std::string evaluate_pipeline_response(std::uint64_t id,
+                                       const GnnWorkload& workload,
+                                       const PipelineSpec& spec,
+                                       const PipelineResult& result,
+                                       std::uint64_t version) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("id", id);
+  if (version > 0) w.member("version", version);
+  w.member("ok", true);
+  w.member("kind", "evaluate");
+  write_workload_summary(w, workload);
+  w.key("result").begin_object();
+  w.member("pipeline", spec.to_string());
+  w.member("cycles", result.cycles);
+  w.member("num_phases", static_cast<std::uint64_t>(result.phases.size()));
+  w.member("in_features", static_cast<std::uint64_t>(result.in_features));
+  w.member("out_features", static_cast<std::uint64_t>(result.out_features));
+  w.key("phases").begin_array();
+  for (const PhaseOutcome& p : result.phases) {
+    w.begin_object();
+    w.member("name", p.name);
+    w.member("engine", to_string(p.engine));
+    w.member("cycles", p.result.cycles);
+    w.member("macs", p.result.macs);
+    w.member("pes", static_cast<std::uint64_t>(p.pes));
+    w.member("in_features", static_cast<std::uint64_t>(p.in_features));
+    w.member("out_features", static_cast<std::uint64_t>(p.out_features));
+    w.member("utilization", p.dynamic_utilization());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("boundaries").begin_array();
+  for (const BoundaryOutcome& b : result.boundaries) {
+    w.begin_object();
+    w.member("inter", to_string(b.inter));
+    w.member("granularity", to_string(b.granularity));
+    w.member("pipeline_chunks", static_cast<std::uint64_t>(b.pipeline_chunks));
+    w.member("pipeline_elements",
+             static_cast<std::uint64_t>(b.pipeline_elements));
+    w.member("buffer_elements", static_cast<std::uint64_t>(b.buffer_elements));
+    w.member("spilled", b.spilled);
+    w.member("overlapped", b.overlapped);
+    w.end_object();
+  }
+  w.end_array();
+  w.member("on_chip_pj", result.energy.on_chip_pj());
+  w.member("dram_pj", result.energy.dram_pj);
+  w.key("traffic_gb").begin_object();
+  for (std::size_t c = 0; c < kNumTrafficCategories; ++c) {
+    const auto& a = result.traffic.gb[c];
+    w.key(to_string(static_cast<TrafficCategory>(c))).begin_object();
+    w.member("reads", a.reads);
+    w.member("writes", a.writes);
+    w.end_object();
+  }
+  w.end_object();  // traffic_gb
+  w.end_object();  // result
   w.end_object();
   return w.str();
 }

@@ -16,6 +16,18 @@
 // or {"id":1,"ok":false,"error":{"type":"ResourceError","message":"..."}}.
 // Parsing is strict — unknown top-level keys are rejected so client typos
 // surface as structured errors rather than silently-defaulted fields.
+//
+// Versioning: requests may carry "version" (1 or 2), echoed back in the
+// response; an absent version means v1 and keeps responses byte-identical
+// to pre-versioned clients. Version 2 additionally accepts an N-phase
+// pipeline on evaluate requests (omega/pipeline.hpp):
+//
+//   {"id":5,"version":2,"kind":"evaluate","workload":{...},
+//    "pipeline":{"phases":[{"name":"score","engine":"gemm",
+//      "dataflow":"VsFtGs","tiles":[8,1,8],"out_features":16},
+//      {"engine":"spmm","dataflow":"NtFsVt","tiles":[1,4,16]},
+//      {"engine":"spgemm","dataflow":"GsVtFt","out_features":8,
+//       "density":0.5}],"boundaries":["SPg","Seq"]}}
 #pragma once
 
 #include <cstdint>
@@ -24,6 +36,7 @@
 
 #include "dse/model_search.hpp"
 #include "graph/datasets.hpp"
+#include "omega/pipeline.hpp"
 #include "util/json.hpp"
 
 namespace omega::service {
@@ -55,6 +68,12 @@ enum class RequestKind : std::uint8_t {
 /// A parsed protocol request. Defaults mirror the CLI's.
 struct Request {
   std::uint64_t id = 0;
+  /// Protocol version. 0 = the request carried no "version" member, which
+  /// means v1 (the classic two-phase shape) and keeps responses
+  /// byte-identical to pre-versioned clients. An explicit "version" is
+  /// echoed back in the response; v2 additionally accepts an N-phase
+  /// "pipeline" object on evaluate requests.
+  std::uint64_t version = 0;
   RequestKind kind = RequestKind::kStats;
   WorkloadRef workload;
 
@@ -71,6 +90,11 @@ struct Request {
   std::string pattern;              // Table V config name
   std::vector<std::size_t> tiles;   // optional: 6 values, CLI --tiles order
   double pp_fraction = 0.5;
+
+  // evaluate, version >= 2: an N-phase pipeline instead of the two-phase
+  // dataflow/pattern shape. Exclusive with dataflow/pattern/tiles.
+  bool has_pipeline = false;
+  PipelineSpec pipeline;
 
   // search_mappings / search_model.
   SearchOptions search;
@@ -89,26 +113,42 @@ struct Request {
 /// error responses can still be correlated; 0 when unavailable.
 [[nodiscard]] std::uint64_t peek_request_id(const std::string& line);
 
+/// Likewise for the "version" member, so parse-time errors on versioned
+/// requests still echo the version; 0 when absent, malformed, or not a
+/// version this server speaks.
+[[nodiscard]] std::uint64_t peek_request_version(const std::string& line);
+
 /// True when the line is a well-formed stats request. The server treats
 /// these as dispatch barriers so their registry counters deterministically
 /// reflect every request preceding them in the batch.
 [[nodiscard]] bool is_stats_request(const std::string& line);
 
-/// Structured error response: {"id":..,"ok":false,"error":{...}}.
+/// Structured error response: {"id":..,"ok":false,"error":{...}}. A
+/// non-zero `version` (the request carried one and parsed far enough to
+/// recover it) is echoed after the id.
 [[nodiscard]] std::string error_response(std::uint64_t id,
                                          const std::string& type,
-                                         const std::string& message);
+                                         const std::string& message,
+                                         std::uint64_t version = 0);
 
 /// Response body builders (single-line JSON, deterministic field order).
+/// `version` 0 omits the member — pre-versioned clients keep receiving
+/// byte-identical responses.
 [[nodiscard]] std::string evaluate_response(std::uint64_t id,
                                             const GnnWorkload& workload,
-                                            const RunResult& result);
+                                            const RunResult& result,
+                                            std::uint64_t version = 0);
+[[nodiscard]] std::string evaluate_pipeline_response(
+    std::uint64_t id, const GnnWorkload& workload, const PipelineSpec& spec,
+    const PipelineResult& result, std::uint64_t version);
 [[nodiscard]] std::string search_mappings_response(std::uint64_t id,
                                                    const GnnWorkload& workload,
-                                                   const SearchResult& result);
+                                                   const SearchResult& result,
+                                                   std::uint64_t version = 0);
 [[nodiscard]] std::string search_model_response(std::uint64_t id,
                                                 const GnnWorkload& workload,
                                                 const GnnModelSpec& spec,
-                                                const ModelSearchResult& result);
+                                                const ModelSearchResult& result,
+                                                std::uint64_t version = 0);
 
 }  // namespace omega::service

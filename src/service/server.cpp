@@ -30,6 +30,7 @@ std::string MappingService::handle(const Request& request) {
     JsonWriter w;
     w.begin_object();
     w.member("id", request.id);
+    if (request.version > 0) w.member("version", request.version);
     w.member("ok", true);
     w.member("kind", "stats");
     w.key("registry").begin_object();
@@ -57,6 +58,15 @@ std::string MappingService::handle(const Request& request) {
 
   switch (request.kind) {
     case RequestKind::kEvaluate: {
+      if (request.has_pipeline) {
+        // v2 N-phase shape: evaluate through the pipeline core, reusing the
+        // registry's warmed context for the phases bound to the adjacency.
+        const PipelineResult pr =
+            omega.run_pipeline(workload, request.pipeline, &entry->context);
+        return evaluate_pipeline_response(request.id, workload,
+                                          request.pipeline, pr,
+                                          request.version);
+      }
       const LayerSpec layer{request.out_features};
       RunResult r;
       if (!request.pattern.empty()) {
@@ -81,13 +91,14 @@ std::string MappingService::handle(const Request& request) {
         }
         r = omega.run(workload, layer, df, entry->context);
       }
-      return evaluate_response(request.id, workload, r);
+      return evaluate_response(request.id, workload, r, request.version);
     }
     case RequestKind::kSearchMappings: {
       const SearchResult r =
           search_mappings(omega, workload, LayerSpec{request.out_features},
                           request.search, &entry->context);
-      return search_mappings_response(request.id, workload, r);
+      return search_mappings_response(request.id, workload, r,
+                                     request.version);
     }
     case RequestKind::kSearchModel: {
       GnnModelSpec spec;
@@ -97,7 +108,8 @@ std::string MappingService::handle(const Request& request) {
                                  request.widths.begin(), request.widths.end());
       const ModelSearchResult r = search_model_mappings(
           omega, workload, spec, request.model_options, &entry->context);
-      return search_model_response(request.id, workload, spec, r);
+      return search_model_response(request.id, workload, spec, r,
+                                  request.version);
     }
     case RequestKind::kStats: break;  // handled above
   }
@@ -106,25 +118,29 @@ std::string MappingService::handle(const Request& request) {
 
 std::string MappingService::handle_line(const std::string& line) {
   std::uint64_t id = 0;
+  // parse_request is all-or-nothing, so a parse-time error leaves no
+  // Request to read the version from; peek it straight off the line (like
+  // the id) so versioned clients get a consistent error shape.
+  const std::uint64_t version = peek_request_version(line);
   try {
     const Request request = parse_request(line);
     id = request.id;
     return handle(request);
   } catch (const InvalidDataflowError& e) {
     return error_response(id > 0 ? id : peek_request_id(line),
-                          "InvalidDataflowError", e.what());
+                          "InvalidDataflowError", e.what(), version);
   } catch (const ResourceError& e) {
     return error_response(id > 0 ? id : peek_request_id(line), "ResourceError",
-                          e.what());
+                          e.what(), version);
   } catch (const InvalidArgumentError& e) {
     return error_response(id > 0 ? id : peek_request_id(line),
-                          "InvalidArgumentError", e.what());
+                          "InvalidArgumentError", e.what(), version);
   } catch (const Error& e) {
     return error_response(id > 0 ? id : peek_request_id(line), "Error",
-                          e.what());
+                          e.what(), version);
   } catch (const std::exception& e) {
     return error_response(id > 0 ? id : peek_request_id(line), "Internal",
-                          e.what());
+                          e.what(), version);
   }
 }
 

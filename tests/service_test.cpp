@@ -238,6 +238,142 @@ TEST(ServiceTest, SearchModelPipelinedRoundTrip) {
             v.find("total_cycles")->as_u64());
 }
 
+// ---- Protocol version + v2 pipeline requests --------------------------------
+
+const char* kPipelineBody =
+    R"({"phases":[)"
+    R"({"name":"score","engine":"gemm","dataflow":"VsFtGs",)"
+    R"("tiles":[8,1,8],"out_features":16},)"
+    R"({"name":"agg","engine":"spmm","dataflow":"NtFsVt","tiles":[1,4,16]},)"
+    R"({"name":"xform","engine":"spgemm","dataflow":"GsVtFt",)"
+    R"("tiles":[1,1,8],"out_features":8,"density":0.5}],)"
+    R"("boundaries":["SPg","Seq"]})";
+
+std::string line_pipeline(std::uint64_t id) {
+  return R"({"id":)" + std::to_string(id) +
+         R"(,"version":2,"kind":"evaluate","workload":)" + kCoraQuarter +
+         R"(,"pipeline":)" + kPipelineBody + "}";
+}
+
+TEST(ProtocolTest, ParsesVersionedPipelineRequest) {
+  const Request r = parse_request(line_pipeline(12));
+  EXPECT_EQ(r.version, 2u);
+  EXPECT_TRUE(r.has_pipeline);
+  ASSERT_EQ(r.pipeline.phases.size(), 3u);
+  EXPECT_EQ(r.pipeline.phases[0].engine, PhaseEngine::kDenseDense);
+  EXPECT_EQ(r.pipeline.phases[0].out_features, 16u);
+  EXPECT_EQ(r.pipeline.phases[0].dataflow.tiles.v, 8u);
+  EXPECT_EQ(r.pipeline.phases[1].engine, PhaseEngine::kSparseDense);
+  EXPECT_EQ(r.pipeline.phases[1].dataflow.tiles.n, 4u);
+  EXPECT_EQ(r.pipeline.phases[2].engine, PhaseEngine::kSparseSparse);
+  EXPECT_DOUBLE_EQ(r.pipeline.phases[2].weight_density, 0.5);
+  ASSERT_EQ(r.pipeline.boundaries.size(), 2u);
+  EXPECT_EQ(r.pipeline.boundaries[0], InterPhase::kSPGeneric);
+  EXPECT_FALSE(r.pipeline.validation_error().has_value());
+}
+
+TEST(ProtocolTest, VersionAndPipelineShapeAreValidated) {
+  // A pipeline without version 2 is a client mistake, not an upgrade.
+  EXPECT_THROW(parse_request(R"({"id":1,"kind":"evaluate","workload":)" +
+                             std::string(kCoraQuarter) + R"(,"pipeline":)" +
+                             kPipelineBody + "}"),
+               InvalidArgumentError);
+  // Unsupported version numbers are rejected up front.
+  EXPECT_THROW(parse_request(R"({"id":1,"version":3,"kind":"stats"})"),
+               InvalidArgumentError);
+  // v2 pipeline excludes the two-phase fields — including the ones that
+  // would otherwise be silently defaulted over (out_features, pp_fraction).
+  EXPECT_THROW(
+      parse_request(R"({"id":1,"version":2,"kind":"evaluate","workload":)" +
+                    std::string(kCoraQuarter) + R"(,"pattern":"SP2",)" +
+                    R"("pipeline":)" + kPipelineBody + "}"),
+      InvalidArgumentError);
+  EXPECT_THROW(
+      parse_request(R"({"id":1,"version":2,"kind":"evaluate","workload":)" +
+                    std::string(kCoraQuarter) + R"(,"out_features":32,)" +
+                    R"("pipeline":)" + kPipelineBody + "}"),
+      InvalidArgumentError);
+  EXPECT_THROW(
+      parse_request(R"({"id":1,"version":2,"kind":"evaluate","workload":)" +
+                    std::string(kCoraQuarter) + R"(,"pp_fraction":0.25,)" +
+                    R"("pipeline":)" + kPipelineBody + "}"),
+      InvalidArgumentError);
+  // Unknown phase keys stay strict.
+  EXPECT_THROW(
+      parse_request(R"({"id":1,"version":2,"kind":"evaluate","workload":)" +
+                    std::string(kCoraQuarter) +
+                    R"(,"pipeline":{"phases":[{"engine":"gemm",)"
+                    R"("dataflow":"VtFtGt","out_features":8,"hue":3}]}})"),
+      InvalidArgumentError);
+  // version 1 + explicit version echo stays the two-phase shape.
+  const Request v1 = parse_request(
+      R"({"id":2,"version":1,"kind":"evaluate","workload":)" +
+      std::string(kCoraQuarter) + R"(,"pattern":"SP2"})");
+  EXPECT_EQ(v1.version, 1u);
+  EXPECT_FALSE(v1.has_pipeline);
+}
+
+TEST(ServiceTest, PipelineEvaluateRoundTrip) {
+  MappingService svc;
+  const JsonValue v = JsonValue::parse(svc.handle_line(line_pipeline(21)));
+  EXPECT_EQ(v.find("id")->as_u64(), 21u);
+  ASSERT_NE(v.find("version"), nullptr);
+  EXPECT_EQ(v.find("version")->as_u64(), 2u);
+  EXPECT_TRUE(v.find("ok")->as_bool());
+  const JsonValue* result = v.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->find("cycles")->as_u64(), 0u);
+  ASSERT_EQ(result->find("phases")->items().size(), 3u);
+  ASSERT_EQ(result->find("boundaries")->items().size(), 2u);
+  const JsonValue& b0 = result->find("boundaries")->items()[0];
+  EXPECT_EQ(b0.find("inter")->as_string(), "SPg");
+  EXPECT_GT(b0.find("pipeline_chunks")->as_u64(), 1u);
+  // Width chain F -> 16 -> 16 -> 8.
+  EXPECT_EQ(result->find("out_features")->as_u64(), 8u);
+  // The total is the phase sum here (no PP boundary).
+  std::uint64_t sum = 0;
+  for (const auto& p : result->find("phases")->items()) {
+    sum += p.find("cycles")->as_u64();
+  }
+  EXPECT_EQ(result->find("cycles")->as_u64(), sum);
+}
+
+TEST(ServiceTest, VersionIsEchoedAndAbsentStaysAbsent) {
+  MappingService svc;
+  // Unversioned requests keep the historical byte shape: no version member.
+  const std::string unversioned = svc.handle_line(line_evaluate(7));
+  EXPECT_EQ(unversioned.find("\"version\""), std::string::npos);
+  // version 1 echoes without changing anything else.
+  const JsonValue v1 = JsonValue::parse(svc.handle_line(
+      R"({"id":7,"version":1,"kind":"evaluate","workload":)" +
+      std::string(kCoraQuarter) + R"(,"out_features":16,"pattern":"SP2"})"));
+  EXPECT_EQ(v1.find("version")->as_u64(), 1u);
+  EXPECT_TRUE(v1.find("ok")->as_bool());
+  // Errors echo the version too when the request parsed far enough.
+  const JsonValue err = JsonValue::parse(svc.handle_line(
+      R"({"id":8,"version":2,"kind":"evaluate","workload":)" +
+      std::string(kCoraQuarter) +
+      R"x(,"pes":1,"dataflow":"PP_AC(VtFsNt, VsGsFt)"})x"));
+  EXPECT_EQ(err.find("version")->as_u64(), 2u);
+  EXPECT_FALSE(err.find("ok")->as_bool());
+  // Parse-time errors echo the version too (peeked off the line, since
+  // parse_request is all-or-nothing).
+  const JsonValue parse_err = JsonValue::parse(svc.handle_line(
+      R"({"id":3,"version":2,"kind":"evaluate","workload":)" +
+      std::string(kCoraQuarter) + R"(,"typoed_key":1})"));
+  EXPECT_FALSE(parse_err.find("ok")->as_bool());
+  ASSERT_NE(parse_err.find("version"), nullptr);
+  EXPECT_EQ(parse_err.find("version")->as_u64(), 2u);
+  // An invalid pipeline spec surfaces as a structured InvalidDataflowError.
+  const JsonValue bad = JsonValue::parse(svc.handle_line(
+      R"({"id":9,"version":2,"kind":"evaluate","workload":)" +
+      std::string(kCoraQuarter) +
+      R"(,"pipeline":{"phases":[{"engine":"gemm","dataflow":"VtFtGt"}]}})"));
+  EXPECT_FALSE(bad.find("ok")->as_bool());
+  EXPECT_EQ(bad.find("error")->find("type")->as_string(),
+            "InvalidDataflowError");
+}
+
 TEST(ServiceTest, MalformedRequestsBecomeStructuredErrors) {
   MappingService svc;
   // Bad JSON: id irrecoverable, error typed.

@@ -1,9 +1,14 @@
 // omega_cli — evaluate any dataflow on any Table IV workload from the
 // command line, or serve mapping requests as a long-lived daemon.
 //
-// Usage:
+// Usage (`omega_cli help <command>` prints per-command flags):
 //   omega_cli run  <dataset> "<dataflow>" [--tiles v,n,f,V,G,F] [--pes N]
 //                  [--g N] [--frac X] [--bw N] [--scale X]
+//   omega_cli run-pipeline <dataset> --phase name=...,engine=...,order=...
+//                  [--phase ...] [--inter Seq,SPg,...] [--pe-fractions ...]
+//       Evaluates an N-phase sparse/dense pipeline (omega/pipeline.hpp):
+//       engines spmm | gemm | spgemm (sparse-weight Combination at a
+//       configurable density).
 //   omega_cli list                     # datasets and Table V configs
 //   omega_cli pattern <dataset> <name> [--pes N] [--g N] [--scale X]
 //   omega_cli search-model <dataset> [--widths 16,8] [--model gcn|sage|gin]
@@ -52,6 +57,7 @@
 #include "graph/datasets.hpp"
 #include "graph/stats.hpp"
 #include "omega/omega.hpp"
+#include "omega/pipeline.hpp"
 #include "service/server.hpp"
 #include "util/format.hpp"
 #include "util/json.hpp"
@@ -60,6 +66,122 @@
 namespace {
 
 using namespace omega;
+
+// ---- Per-subcommand usage ---------------------------------------------------
+
+struct CommandHelp {
+  const char* name;
+  const char* summary;  // one line for the global listing
+  const char* usage;    // full --help text
+};
+
+constexpr CommandHelp kCommands[] = {
+    {"run", "evaluate one two-phase dataflow on a dataset",
+     "usage: omega_cli run <dataset> \"<dataflow>\" [flags]\n"
+     "  Evaluates a fully bound two-phase descriptor, e.g.\n"
+     "  \"PP_AC(VtFsNt, VsGsFt)\".\n"
+     "flags:\n"
+     "  --tiles v,n,f,V,G,F  explicit tile sizes "
+     "(T_VAGG,T_N,T_FAGG,T_VCMB,T_G,T_FCMB)\n"
+     "  --pes N              PE count (default 512)\n"
+     "  --g N                output feature width G (default 16)\n"
+     "  --frac X             PP aggregation PE fraction in (0,1)\n"
+     "  --bw N               distribution/reduction bandwidth (default "
+     "unbounded)\n"
+     "  --scale X            workload scale factor (default 1.0)\n"},
+    {"run-pipeline", "evaluate an N-phase sparse/dense pipeline",
+     "usage: omega_cli run-pipeline <dataset> --phase <spec> [--phase ...] "
+     "[flags]\n"
+     "  Evaluates an arbitrary chain of phases through the pipeline core\n"
+     "  (omega/pipeline.hpp). Each --phase is a comma-separated key=value\n"
+     "  list:\n"
+     "    name=<label>       free-form phase label (default phaseN)\n"
+     "    engine=<kind>      spmm | gemm | spgemm (sparse-weight)\n"
+     "    order=<notation>   intra-phase order, e.g. VtFsNt / VsFtGs\n"
+     "    tiles=AxBxC        tile sizes per canonical dim (V,N,F for spmm;\n"
+     "                       V,F,G otherwise)\n"
+     "    out=N              output feature width (gemm/spgemm)\n"
+     "    density=D          weight density in (0,1] (spgemm only)\n"
+     "flags:\n"
+     "  --inter A,B,...      one boundary per adjacent pair: Seq | SPg | SP "
+     "| PP\n"
+     "  --pe-fractions ...   relative PE weights, one per phase (PP pairs "
+     "split\n"
+     "                       the array proportionally)\n"
+     "  --pes N --bw N --scale X --in-features N\n"
+     "example:\n"
+     "  omega_cli run-pipeline Cora --scale 0.25 \\\n"
+     "    --phase name=score,engine=gemm,order=VsFtGs,tiles=8x1x8,out=16 \\\n"
+     "    --phase name=agg,engine=spmm,order=NtFsVt,tiles=1x4x16 \\\n"
+     "    --phase name=xform,engine=spgemm,order=GsVtFt,tiles=1x1x8,out=8,"
+     "density=0.5 \\\n"
+     "    --inter SPg,Seq\n"},
+    {"pattern", "evaluate a named Table V configuration",
+     "usage: omega_cli pattern <dataset> <name> [flags]\n"
+     "  Binds the named Table V pattern's tile sizes to the workload and\n"
+     "  evaluates it. See `omega_cli list` for the names.\n"
+     "flags:\n"
+     "  --pes N --g N --frac X --bw N --scale X\n"},
+    {"list", "list datasets and Table V configurations",
+     "usage: omega_cli list\n"
+     "  Prints the Table IV datasets and Table V dataflow configurations.\n"},
+    {"search-model", "per-layer mapping search over a GNN model",
+     "usage: omega_cli search-model <dataset> [flags]\n"
+     "flags:\n"
+     "  --widths 16,8            hidden layer widths (appended to F)\n"
+     "  --model gcn|sage|gin     model family (default gcn)\n"
+     "  --objective runtime|energy|edp\n"
+     "  --budget N               per-layer candidate budget\n"
+     "  --total-budget N         model-wide candidate budget\n"
+     "  --allocation mac|even    budget split across layers\n"
+     "  --compose sequential|pipelined\n"
+     "  --no-prune               disable lower-bound pruning\n"
+     "  --pes N --scale X --json PATH\n"},
+    {"run-model", "replay one pattern over every model layer",
+     "usage: omega_cli run-model <dataset> <pattern> [flags]\n"
+     "flags:\n"
+     "  --widths 16,8 --model gcn|sage|gin\n"
+     "  --compose sequential|pipelined --pes N --scale X\n"},
+    {"serve", "long-lived NDJSON mapping service",
+     "usage: omega_cli serve [flags]\n"
+     "  NDJSON on stdin/stdout — one JSON request per line, a blank line\n"
+     "  (or EOF) flushes the batch. See DESIGN.md \"Mapping service\".\n"
+     "flags:\n"
+     "  --registry N         workload registry capacity\n"
+     "  --threads N          worker threads (default hardware)\n"
+     "  --socket PATH        serve a Unix domain socket instead of stdio\n"
+     "  --max-connections N  stop after N socket connections (0 = forever)\n"},
+    {"batch", "replay a request file through an in-process service",
+     "usage: omega_cli batch <file|-> [--registry N] [--threads N]\n"},
+    {"client", "send requests to a running serve --socket daemon",
+     "usage: omega_cli client --socket PATH [file|-]\n"},
+};
+
+const CommandHelp* find_command(const std::string& name) {
+  for (const CommandHelp& c : kCommands) {
+    if (name == c.name) return &c;
+  }
+  return nullptr;
+}
+
+void print_global_usage(std::ostream& os) {
+  os << "usage: omega_cli <command> [args]\n\ncommands:\n";
+  for (const CommandHelp& c : kCommands) {
+    os << "  " << pad_right(c.name, 14) << c.summary << "\n";
+  }
+  os << "\n`omega_cli help <command>` or `omega_cli <command> --help` "
+        "prints the command's flags.\n";
+}
+
+/// True when any argument asks for help; commands call this before parsing
+/// so `omega_cli run --help` never trips the strict flag rejection.
+bool wants_help(int argc, char** argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") return true;
+  }
+  return false;
+}
 
 struct CliOptions {
   std::size_t pes = 512;
@@ -168,6 +290,150 @@ int cmd_run(int argc, char** argv) {
   }
   const Omega omega(hw_of(o));
   print_result(omega.run(w, LayerSpec{o.g}, df), w);
+  return 0;
+}
+
+// ---- run-pipeline -----------------------------------------------------------
+
+PhaseSpec parse_phase_arg(const std::string& text, std::size_t index) {
+  std::string name;
+  PhaseEngine engine = PhaseEngine::kDenseDense;
+  std::string order_text;
+  std::vector<std::size_t> tiles;
+  std::size_t out_features = 0;
+  double density = 1.0;
+  bool saw_engine = false;
+  for (const std::string& part : split(text, ',')) {
+    const auto eq = part.find('=');
+    if (eq == std::string::npos) {
+      throw InvalidArgumentError("--phase wants key=value pairs; got \"" +
+                                 part + "\"");
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string val = part.substr(eq + 1);
+    if (key == "name") {
+      name = val;
+    } else if (key == "engine") {
+      engine = phase_engine_from_string(val);
+      saw_engine = true;
+    } else if (key == "order") {
+      order_text = val;
+    } else if (key == "tiles") {
+      for (const std::string& t : split(val, 'x')) {
+        tiles.push_back(static_cast<std::size_t>(std::stoul(t)));
+      }
+    } else if (key == "out") {
+      out_features = static_cast<std::size_t>(std::stoul(val));
+    } else if (key == "density") {
+      density = std::stod(val);
+    } else {
+      throw InvalidArgumentError("unknown --phase key: " + key);
+    }
+  }
+  if (!saw_engine || order_text.empty()) {
+    throw InvalidArgumentError("each --phase needs engine= and order=");
+  }
+  // Shared assembly (omega/pipeline.hpp): tile-dim mapping and name
+  // defaulting stay identical between the CLI and the service v2 parser.
+  return assemble_phase_spec(std::move(name), engine, order_text, tiles,
+                             out_features, density, index);
+}
+
+int cmd_run_pipeline(int argc, char** argv) {
+  if (argc < 3) {
+    throw InvalidArgumentError("run-pipeline needs <dataset> and --phase");
+  }
+  PipelineSpec spec;
+  std::size_t pes = 512;
+  std::size_t bw = 0;
+  double scale = 1.0;
+  std::vector<InterPhase> boundaries;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw InvalidArgumentError("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--phase") {
+      spec.phases.push_back(parse_phase_arg(next(), spec.phases.size()));
+    } else if (a == "--inter") {
+      for (const std::string& b : split(next(), ',')) {
+        boundaries.push_back(inter_phase_from_string(b));
+      }
+    } else if (a == "--pe-fractions") {
+      for (const std::string& f : split(next(), ',')) {
+        spec.pe_fractions.push_back(std::stod(f));
+      }
+    } else if (a == "--in-features") {
+      spec.in_features = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--pes") {
+      pes = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--bw") {
+      bw = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--scale") {
+      scale = std::stod(next());
+    } else {
+      throw InvalidArgumentError("unknown flag: " + a);
+    }
+  }
+  if (spec.phases.empty()) {
+    throw InvalidArgumentError("run-pipeline needs at least one --phase");
+  }
+  // Boundaries default to Seq between every adjacent pair.
+  spec.boundaries = boundaries.empty()
+                        ? std::vector<InterPhase>(spec.phases.size() - 1,
+                                                  InterPhase::kSequential)
+                        : std::move(boundaries);
+
+  SynthesisOptions so;
+  so.scale = scale;
+  const GnnWorkload w = synthesize_workload(dataset_by_name(argv[2]), so);
+  AcceleratorConfig hw;
+  hw.num_pes = pes;
+  if (bw > 0) {
+    hw.distribution_bandwidth = bw;
+    hw.reduction_bandwidth = bw;
+  }
+  const Omega omega(hw);
+  const PipelineResult r = omega.run_pipeline(w, spec);
+
+  std::cout << "workload:  " << w.name << " (V=" << with_commas(w.num_vertices())
+            << ", E=" << with_commas(w.num_edges()) << ", F=" << w.in_features
+            << ")\n"
+            << "pipeline:  " << spec.to_string() << "\n"
+            << "cycles:    " << with_commas(r.cycles) << "\n"
+            << "energy:    " << fixed(r.energy.on_chip_pj() / 1e6, 3)
+            << " uJ on-chip + " << fixed(r.energy.dram_pj / 1e6, 3)
+            << " uJ DRAM\n\n";
+  TextTable phases({"phase", "engine", "dims", "PEs", "cycles", "MACs",
+                    "util"});
+  for (const PhaseOutcome& p : r.phases) {
+    phases.add_row({p.name, to_string(p.engine),
+                    std::to_string(p.in_features) + "->" +
+                        std::to_string(p.out_features),
+                    std::to_string(p.pes), with_commas(p.result.cycles),
+                    with_commas(p.result.macs),
+                    fixed(100 * p.dynamic_utilization(), 1) + "%"});
+  }
+  std::cout << phases;
+  if (!r.boundaries.empty()) {
+    TextTable bt({"boundary", "inter", "granularity", "chunks", "Pel",
+                  "buffer", "notes"});
+    for (std::size_t b = 0; b < r.boundaries.size(); ++b) {
+      const BoundaryOutcome& bo = r.boundaries[b];
+      std::string notes;
+      if (bo.overlapped) notes += "overlapped";
+      if (bo.spilled) notes += std::string(notes.empty() ? "" : ", ") +
+                               "spilled to DRAM";
+      if (notes.empty()) notes = "-";
+      bt.add_row({r.phases[b].name + "->" + r.phases[b + 1].name,
+                  to_string(bo.inter), to_string(bo.granularity),
+                  std::to_string(bo.pipeline_chunks),
+                  with_commas(bo.pipeline_elements),
+                  with_commas(bo.buffer_elements), notes});
+    }
+    std::cout << "\n" << bt;
+  }
   return 0;
 }
 
@@ -543,32 +809,53 @@ int cmd_pattern(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string cmd = argc >= 2 ? argv[1] : "";
   try {
-    if (argc < 2) {
-      std::cerr << "usage: omega_cli "
-                   "{run|pattern|search-model|run-model|list|serve|batch|"
-                   "client} ...\n"
-                   "  serve  [--registry N] [--threads N] [--socket PATH]  "
-                   "NDJSON mapping service (stdin/stdout or unix socket)\n"
-                   "  batch  <file|->                                      "
-                   "replay a request file through an in-process service\n"
-                   "  client --socket PATH [file|-]                        "
-                   "send requests to a running serve --socket daemon\n";
+    if (cmd.empty() || cmd == "--help" || cmd == "-h") {
+      print_global_usage(cmd.empty() ? std::cerr : std::cout);
+      return cmd.empty() ? 2 : 0;
+    }
+    if (cmd == "help") {
+      if (argc >= 3) {
+        if (const CommandHelp* h = find_command(argv[2])) {
+          std::cout << h->usage;
+          return 0;
+        }
+        std::cerr << "unknown command: " << argv[2] << "\n\n";
+        print_global_usage(std::cerr);
+        return 2;
+      }
+      print_global_usage(std::cout);
+      return 0;
+    }
+    const CommandHelp* help = find_command(cmd);
+    if (help == nullptr) {
+      std::cerr << "unknown command: " << cmd << "\n\n";
+      print_global_usage(std::cerr);
       return 2;
     }
-    const std::string cmd = argv[1];
+    if (wants_help(argc, argv, 2)) {
+      std::cout << help->usage;
+      return 0;
+    }
     if (cmd == "list") return cmd_list();
     if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "run-pipeline") return cmd_run_pipeline(argc, argv);
     if (cmd == "pattern") return cmd_pattern(argc, argv);
     if (cmd == "search-model") return cmd_search_model(argc, argv);
     if (cmd == "run-model") return cmd_run_model(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "batch") return cmd_batch(argc, argv);
     if (cmd == "client") return cmd_client(argc, argv);
-    std::cerr << "unknown command: " << cmd << "\n";
+    // A kCommands entry without a dispatch line above is a programming
+    // error — fail loudly instead of falling through to some command.
+    std::cerr << "error: command \"" << cmd << "\" is listed but not wired\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
+    if (find_command(cmd) != nullptr) {
+      std::cerr << "(see `omega_cli help " << cmd << "` for the flags)\n";
+    }
     return 1;
   }
 }
