@@ -14,7 +14,11 @@
 //        OMEGA_DSE_BASELINE (uncached-baseline sample size, default 1024),
 //        OMEGA_DSE_JSON (output path, default BENCH_dse.json),
 //        --dse-only (DSE + model sweeps only; skip the micro benches),
-//        --dse-skip (micro benches only; skip both sweeps).
+//        --dse-skip (micro benches only; skip both sweeps),
+//        --repeat N (timed repeats per sweep path, median-of-N after one
+//        warmup run; default 1),
+//        OMEGA_DSE_GATE_MIN_SPEEDUP (fail unless batched beats the scalar
+//        context path by this factor; 0/unset = report only).
 //
 // The model sweep (run_model_sweep) measures model-level DSE: a multi-layer
 // GCN searched with a per-layer mapping (one shared WorkloadContext,
@@ -34,6 +38,7 @@
 
 #include "bench_common.hpp"
 #include "dataflow/enumerate.hpp"
+#include "engine/eval_core.hpp"
 #include "dse/model_search.hpp"
 #include "dse/search.hpp"
 #include "graph/generators.hpp"
@@ -100,40 +105,50 @@ void BM_MappingSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_MappingSearch)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
-// ---- DSE sweep: cached vs uncached candidates/sec ---------------------------
+// ---- DSE sweep: scalar / delta / batched candidates/sec ---------------------
 
 struct SweepTiming {
-  double seconds = 0.0;
+  double seconds = 0.0;  // median over the timed repeats
   double candidates_per_sec = 0.0;
   std::size_t evaluated = 0;
 };
 
-/// Evaluates every candidate (in parallel) and accumulates a fingerprint of
-/// the results so the two code paths can be checked for bit-identity.
-template <typename Eval>
-SweepTiming time_sweep(const std::vector<DataflowDescriptor>& candidates,
-                       std::vector<std::uint64_t>* cycles_out, Eval&& eval) {
-  cycles_out->assign(candidates.size(), 0);
-  const auto t0 = std::chrono::steady_clock::now();
-  parallel_blocks(candidates.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      try {
-        (*cycles_out)[i] = eval(candidates[i]).cycles;
-      } catch (const Error&) {
-        (*cycles_out)[i] = 0;  // infeasible candidates count as evaluated
-      }
+/// Runs `pass` once as warmup (also filling *cycles_out with the parity
+/// fingerprint), then `repeat` timed times, reporting the median. The
+/// warmup run warms whatever memo layer the pass uses, so every path is
+/// measured warm under the same protocol — and every timed repeat must
+/// reproduce the warmup fingerprint bit-for-bit (caching may change
+/// timing, never results).
+template <typename Pass>
+SweepTiming time_sweep(std::size_t n, std::size_t repeat,
+                       std::vector<std::uint64_t>* cycles_out, Pass&& pass) {
+  cycles_out->assign(n, 0);
+  pass(*cycles_out);
+  std::vector<double> secs;
+  secs.reserve(repeat);
+  std::vector<std::uint64_t> scratch(n);
+  for (std::size_t r = 0; r < repeat; ++r) {
+    std::fill(scratch.begin(), scratch.end(), 0);
+    const auto t0 = std::chrono::steady_clock::now();
+    pass(scratch);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (scratch != *cycles_out) {
+      throw Error("sweep repeat diverged from its warmup results");
     }
-  });
-  const auto t1 = std::chrono::steady_clock::now();
+    secs.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  std::sort(secs.begin(), secs.end());
   SweepTiming t;
-  t.evaluated = candidates.size();
-  t.seconds = std::chrono::duration<double>(t1 - t0).count();
+  t.evaluated = n;
+  t.seconds = secs.size() % 2 == 1
+                  ? secs[secs.size() / 2]
+                  : 0.5 * (secs[secs.size() / 2 - 1] + secs[secs.size() / 2]);
   t.candidates_per_sec =
-      t.seconds > 0.0 ? static_cast<double>(t.evaluated) / t.seconds : 0.0;
+      t.seconds > 0.0 ? static_cast<double>(n) / t.seconds : 0.0;
   return t;
 }
 
-int run_dse_sweep() {
+int run_dse_sweep(std::size_t repeat) {
   const std::size_t scale = env_or("OMEGA_DSE_SCALE", 16);
   const std::size_t edge_budget = env_or("OMEGA_DSE_EDGES", 524288);
   const std::size_t max_candidates = env_or("OMEGA_DSE_CANDIDATES", 16384);
@@ -181,51 +196,138 @@ int run_dse_sweep() {
   }
   std::cout << "candidates: " << candidates.size() << " (of " << population
             << " generated; uncached baseline on " << baseline.size()
-            << ")\n";
+            << "; median of " << repeat << " after warmup)\n";
 
   // Pre-PR code path: every candidate pays its own transpose + schedule +
   // full phase simulations.
   std::vector<std::uint64_t> uncached_cycles;
-  const SweepTiming uncached =
-      time_sweep(baseline, &uncached_cycles,
-                 [&](const DataflowDescriptor& df) {
-                   return omega.run(w, layer, df);
-                 });
+  const SweepTiming uncached = time_sweep(
+      baseline.size(), repeat, &uncached_cycles,
+      [&](std::vector<std::uint64_t>& out) {
+        parallel_blocks(baseline.size(),
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            try {
+                              out[i] = omega.run(w, layer, baseline[i]).cycles;
+                            } catch (const Error&) {
+                              out[i] = 0;  // infeasible still counts
+                            }
+                          }
+                        });
+      });
 
-  // Reuse layer: one context shared by the whole sweep.
+  // Scalar through the reuse layer: one context shared by the whole sweep
+  // (the pre-delta hot path, kept as the oracle).
   const WorkloadContext context(w.adjacency);
   (void)context.reverse_graph();  // pre-warm, as search_mappings does
-  std::vector<std::uint64_t> cached_cycles;
-  const SweepTiming cached =
-      time_sweep(candidates, &cached_cycles,
-                 [&](const DataflowDescriptor& df) {
-                   return omega.run(w, layer, df, context);
-                 });
+  std::vector<std::uint64_t> scalar_cycles;
+  const SweepTiming scalar = time_sweep(
+      candidates.size(), repeat, &scalar_cycles,
+      [&](std::vector<std::uint64_t>& out) {
+        parallel_blocks(candidates.size(),
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            try {
+                              out[i] =
+                                  omega.run(w, layer, candidates[i], context)
+                                      .cycles;
+                            } catch (const Error&) {
+                              out[i] = 0;
+                            }
+                          }
+                        });
+      });
 
-  // Parity: the cached results on the baseline indices must be bit-identical
-  // to the uncached ones (schedule_cache_test checks every result field;
-  // this guards end-to-end cycles).
-  std::vector<std::uint64_t> cached_on_baseline;
+  // Delta core: per-candidate evaluation through the plan's term cache.
+  const auto plan = EvalPlan::obtain(omega, w, layer, context);
+  std::vector<std::uint64_t> delta_cycles;
+  const SweepTiming delta = time_sweep(
+      candidates.size(), repeat, &delta_cycles,
+      [&](std::vector<std::uint64_t>& out) {
+        parallel_blocks(candidates.size(),
+                        [&](std::size_t begin, std::size_t end) {
+                          DeltaState state;
+                          for (std::size_t i = begin; i < end; ++i) {
+                            const EvalOutcome o =
+                                plan->evaluate_one(candidates[i], state);
+                            out[i] = o.ok ? o.cycles : 0;
+                          }
+                        });
+      });
+
+  // Batched core: struct-of-arrays evaluation of whole candidate blocks —
+  // the path search_mappings drives by default.
+  std::vector<std::uint64_t> batched_cycles;
+  const SweepTiming batched = time_sweep(
+      candidates.size(), repeat, &batched_cycles,
+      [&](std::vector<std::uint64_t>& out) {
+        parallel_blocks(candidates.size(),
+                        [&](std::size_t begin, std::size_t end) {
+                          DeltaState state;
+                          const std::size_t n = end - begin;
+                          std::vector<const DataflowDescriptor*> dfs(n);
+                          std::vector<EvalOutcome> outs(n);
+                          for (std::size_t j = 0; j < n; ++j) {
+                            dfs[j] = &candidates[begin + j];
+                          }
+                          plan->evaluate_batch({dfs.data(), n}, outs.data(),
+                                               state);
+                          for (std::size_t j = 0; j < n; ++j) {
+                            out[begin + j] =
+                                outs[j].ok ? outs[j].cycles : 0;
+                          }
+                        });
+      });
+
+  // Parity gates: the scalar results on the baseline indices must be
+  // bit-identical to the context-free runs, and delta/batched must be
+  // bit-identical to scalar over the full sweep.
+  std::vector<std::uint64_t> scalar_on_baseline;
   for (std::size_t i = 0; i < baseline.size(); ++i) {
-    cached_on_baseline.push_back(cached_cycles[stride_sample_index(
+    scalar_on_baseline.push_back(scalar_cycles[stride_sample_index(
         i, candidates.size(), baseline.size())]);
   }
-  const bool identical = uncached_cycles == cached_on_baseline;
+  const bool identical = uncached_cycles == scalar_on_baseline &&
+                         delta_cycles == scalar_cycles &&
+                         batched_cycles == scalar_cycles;
   const double speedup = uncached.candidates_per_sec > 0.0
-                             ? cached.candidates_per_sec /
+                             ? scalar.candidates_per_sec /
                                    uncached.candidates_per_sec
                              : 0.0;
-  std::cout << "uncached: " << fixed(uncached.candidates_per_sec, 1)
-            << " candidates/sec (" << baseline.size() << " in "
-            << fixed(uncached.seconds, 3) << " s)\n"
-            << "cached:   " << fixed(cached.candidates_per_sec, 1)
-            << " candidates/sec (" << candidates.size() << " in "
-            << fixed(cached.seconds, 3) << " s; "
-            << context.phase_cache_size() << " phase sims, "
+  const double batched_vs_scalar =
+      scalar.candidates_per_sec > 0.0
+          ? batched.candidates_per_sec / scalar.candidates_per_sec
+          : 0.0;
+  const auto report = [](const char* name, const SweepTiming& t,
+                         std::size_t n) {
+    std::cout << name << fixed(t.candidates_per_sec, 1)
+              << " candidates/sec (" << n << " in " << fixed(t.seconds, 3)
+              << " s)\n";
+  };
+  report("uncached: ", uncached, baseline.size());
+  report("scalar:   ", scalar, candidates.size());
+  report("delta:    ", delta, candidates.size());
+  report("batched:  ", batched, candidates.size());
+  std::cout << "  (" << context.phase_cache_size() << " phase sims, "
+            << plan->term_count() << " terms ("
+            << plan->term_timeline_bytes() / (1024 * 1024)
+            << " MiB chunked timelines), "
             << context.schedule_cache_size() << " schedules)\n"
-            << "speedup:  " << fixed(speedup, 2) << "x\n"
+            << "speedup:  " << fixed(speedup, 2)
+            << "x scalar vs uncached, " << fixed(batched_vs_scalar, 2)
+            << "x batched vs scalar\n"
             << "parity:   " << (identical ? "bit-identical" : "MISMATCH")
             << "\n";
+
+  // CI perf gate: the batched core must beat the scalar context path by at
+  // least this factor (unset/0 = report only).
+  const std::size_t gate = env_or("OMEGA_DSE_GATE_MIN_SPEEDUP", 0);
+  bool gate_ok = true;
+  if (gate > 0 && batched_vs_scalar < static_cast<double>(gate)) {
+    std::cout << "PERF GATE FAILED: batched " << fixed(batched_vs_scalar, 2)
+              << "x < required " << gate << "x\n";
+    gate_ok = false;
+  }
 
   std::ofstream json(json_path);
   if (json) {
@@ -242,24 +344,31 @@ int run_dse_sweep() {
     jw.member("candidates", static_cast<std::uint64_t>(candidates.size()));
     jw.member("baseline_candidates",
               static_cast<std::uint64_t>(baseline.size()));
+    jw.member("repeat", static_cast<std::uint64_t>(repeat));
     jw.member("phase_sims",
               static_cast<std::uint64_t>(context.phase_cache_size()));
+    jw.member("terms", static_cast<std::uint64_t>(plan->term_count()));
+    jw.member("term_timeline_bytes",
+              static_cast<std::uint64_t>(plan->term_timeline_bytes()));
     jw.member("threads", static_cast<std::uint64_t>(default_thread_count()));
-    jw.key("uncached").begin_object();
-    jw.member("seconds", uncached.seconds);
-    jw.member("candidates_per_sec", uncached.candidates_per_sec);
-    jw.end_object();
-    jw.key("cached").begin_object();
-    jw.member("seconds", cached.seconds);
-    jw.member("candidates_per_sec", cached.candidates_per_sec);
-    jw.end_object();
+    const auto emit_timing = [&](const char* name, const SweepTiming& t) {
+      jw.key(name).begin_object();
+      jw.member("seconds", t.seconds);
+      jw.member("candidates_per_sec", t.candidates_per_sec);
+      jw.end_object();
+    };
+    emit_timing("uncached", uncached);
+    emit_timing("cached", scalar);  // historical key: the scalar context path
+    emit_timing("delta", delta);
+    emit_timing("batched", batched);
     jw.member("speedup", speedup);
+    jw.member("batched_speedup_vs_scalar", batched_vs_scalar);
     jw.member("parity", identical ? "bit-identical" : "mismatch");
     jw.end_object();
     json << jw.str() << "\n";
     std::cout << "(json: " << json_path << ")\n";
   }
-  return identical ? 0 : 1;
+  return identical && gate_ok ? 0 : 1;
 }
 
 // ---- Model sweep: per-layer heterogeneous mappings vs best fixed pattern ----
@@ -651,12 +760,26 @@ int main(int argc, char** argv) {
       }
     }
   };
+  // Timed repeats per sweep path (median-of-N after one warmup run).
+  std::size_t repeat = 1;
+  const auto consume_value_flag = [&](const char* flag, std::size_t* value) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], flag) == 0) {
+        *value = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::atoll(argv[i + 1])));
+        for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+        argc -= 2;
+        return;
+      }
+    }
+  };
   bool pipeline_only = false;  // N-phase core study only (CI pipeline-smoke)
   consume_flag("--dse-only", &dse_only);
   consume_flag("--dse-skip", &dse_skip);
   consume_flag("--model-only", &model_only);
   consume_flag("--model-skip", &model_skip);
   consume_flag("--pipeline-only", &pipeline_only);
+  consume_value_flag("--repeat", &repeat);
   if (pipeline_only) {
     try {
       return run_pipeline_study();
@@ -668,7 +791,7 @@ int main(int argc, char** argv) {
   int rc = 0;
   if (!dse_skip && !model_only) {
     try {
-      rc = run_dse_sweep();
+      rc = run_dse_sweep(repeat);
     } catch (const std::exception& e) {
       std::cerr << "dse sweep failed: " << e.what() << "\n";
       rc = 1;

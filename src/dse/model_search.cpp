@@ -239,6 +239,7 @@ ModelSearchResult search_model_mappings(const Omega& omega,
     out.generated += lr.search.generated;
     out.evaluated += lr.search.evaluated;
     out.pruned += lr.search.pruned;
+    out.eval.merge(lr.search.eval);
     out.layers.push_back(std::move(lr));
   }
 

@@ -98,6 +98,7 @@ struct ModelSearchResult {
   std::size_t generated = 0;              // sum over layers
   std::size_t evaluated = 0;              // candidates fully run
   std::size_t pruned = 0;                 // culled by the lower bound
+  EvalStats eval;                         // merged eval-core counters
   bool budget_exhausted = false;          // a candidate/time budget tripped
 
   [[nodiscard]] const ModelCandidate& best() const;

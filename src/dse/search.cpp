@@ -1,6 +1,7 @@
 #include "dse/search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <limits>
@@ -8,6 +9,7 @@
 #include <optional>
 
 #include "dataflow/enumerate.hpp"
+#include "engine/eval_core.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -20,6 +22,24 @@ const char* to_string(Objective o) {
     case Objective::kEnergyDelayProduct: return "EDP";
   }
   return "?";
+}
+
+const char* to_string(EvalPath p) {
+  switch (p) {
+    case EvalPath::kBatched: return "batched";
+    case EvalPath::kDelta: return "delta";
+    case EvalPath::kScalar: return "scalar";
+  }
+  return "?";
+}
+
+void EvalStats::merge(const EvalStats& other) {
+  term_requests += other.term_requests;
+  term_builds += other.term_builds;
+  delta_hits += other.delta_hits;
+  batches += other.batches;
+  batched_candidates += other.batched_candidates;
+  max_batch = std::max(max_batch, other.max_batch);
 }
 
 const Candidate& SearchResult::best() const {
@@ -298,27 +318,79 @@ SearchResult search_mappings(const Omega& omega, const GnnWorkload& workload,
               });
   }
 
+  // Delta/batched evaluation core: one plan per (substrate, layer), cached
+  // in the context, so model-level searches reuse terms across calls. The
+  // plan-level counters are cumulative; snapshot them so result.eval reports
+  // this sweep's share only.
+  std::shared_ptr<const EvalPlan> plan;
+  std::uint64_t plan_requests0 = 0;
+  std::uint64_t plan_builds0 = 0;
+  if (options.eval_path != EvalPath::kScalar) {
+    plan = EvalPlan::obtain(omega, workload, layer, context);
+    plan_requests0 = plan->term_requests();
+    plan_builds0 = plan->term_builds();
+  }
+  std::atomic<std::uint64_t> delta_hits{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> batched_candidates{0};
+  std::atomic<std::uint64_t> max_batch{0};
+
   std::vector<Candidate> evaluated(selected);
   std::vector<char> ok(selected, 0);
+  const auto record = [&](std::size_t i, const DataflowDescriptor& df,
+                          std::uint64_t cycles, double pj) {
+    evaluated[i].dataflow = df;
+    evaluated[i].cycles = cycles;
+    evaluated[i].on_chip_pj = pj;
+    evaluated[i].score = score_of(options.objective, cycles, pj);
+    ok[i] = 1;
+  };
   const auto evaluate_range = [&](std::size_t from, std::size_t to) {
     parallel_blocks(
         to - from,
         [&](std::size_t begin, std::size_t end) {
-          for (std::size_t j = begin; j < end; ++j) {
-            const std::size_t i = eval_order[from + j];
-            try {
+          if (options.eval_path == EvalPath::kScalar) {
+            for (std::size_t j = begin; j < end; ++j) {
+              const std::size_t i = eval_order[from + j];
+              try {
+                const DataflowDescriptor& df = candidate_at(i);
+                const RunResult r = omega.run(workload, layer, df, context);
+                record(i, df, r.cycles, r.energy.on_chip_pj());
+              } catch (const Error&) {
+                ok[i] = 0;  // infeasible under this substrate; skip
+              }
+            }
+            return;
+          }
+          DeltaState state;  // per-block: delta slots never cross threads
+          if (options.eval_path == EvalPath::kDelta) {
+            for (std::size_t j = begin; j < end; ++j) {
+              const std::size_t i = eval_order[from + j];
               const DataflowDescriptor& df = candidate_at(i);
-              const RunResult r = omega.run(workload, layer, df, context);
-              evaluated[i].dataflow = df;
-              evaluated[i].cycles = r.cycles;
-              evaluated[i].on_chip_pj = r.energy.on_chip_pj();
-              evaluated[i].score =
-                  score_of(options.objective, r.cycles, r.energy.on_chip_pj());
-              ok[i] = 1;
-            } catch (const Error&) {
-              ok[i] = 0;  // infeasible under this substrate; skip
+              const EvalOutcome o = plan->evaluate_one(df, state);
+              if (o.ok) record(i, df, o.cycles, o.on_chip_pj);
+            }
+          } else {
+            const std::size_t n = end - begin;
+            std::vector<const DataflowDescriptor*> dfs(n);
+            std::vector<EvalOutcome> outs(n);
+            for (std::size_t j = 0; j < n; ++j) {
+              dfs[j] = &candidate_at(eval_order[from + begin + j]);
+            }
+            plan->evaluate_batch({dfs.data(), n}, outs.data(), state);
+            for (std::size_t j = 0; j < n; ++j) {
+              const std::size_t i = eval_order[from + begin + j];
+              if (outs[j].ok) record(i, *dfs[j], outs[j].cycles,
+                                     outs[j].on_chip_pj);
+            }
+            batches.fetch_add(1, std::memory_order_relaxed);
+            batched_candidates.fetch_add(n, std::memory_order_relaxed);
+            std::uint64_t cur = max_batch.load(std::memory_order_relaxed);
+            while (cur < n && !max_batch.compare_exchange_weak(
+                                  cur, n, std::memory_order_relaxed)) {
             }
           }
+          delta_hits.fetch_add(state.delta_hits, std::memory_order_relaxed);
         },
         options.threads);
   };
@@ -345,6 +417,16 @@ SearchResult search_mappings(const Omega& omega, const GnnWorkload& workload,
     while (keep < selected && bounds[eval_order[keep]] <= incumbent) ++keep;
     result.pruned = selected - keep;
     evaluate_range(seed, keep);
+  }
+
+  if (plan != nullptr) {
+    result.eval.term_requests = plan->term_requests() - plan_requests0;
+    result.eval.term_builds = plan->term_builds() - plan_builds0;
+    result.eval.delta_hits = delta_hits.load(std::memory_order_relaxed);
+    result.eval.batches = batches.load(std::memory_order_relaxed);
+    result.eval.batched_candidates =
+        batched_candidates.load(std::memory_order_relaxed);
+    result.eval.max_batch = max_batch.load(std::memory_order_relaxed);
   }
 
   std::vector<Candidate> valid;

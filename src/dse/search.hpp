@@ -20,6 +20,32 @@ enum class Objective : std::uint8_t {
 
 [[nodiscard]] const char* to_string(Objective o);
 
+/// Which evaluation core the sweep drives. All three return bit-identical
+/// candidate metrics (and therefore identical ranked/Pareto output) across
+/// thread counts — the scalar path is kept alive as the differential oracle
+/// for the delta/batched cores (tests/eval_core_test.cpp).
+enum class EvalPath : std::uint8_t {
+  kBatched = 0,  // SoA batch evaluation over each parallel block (default)
+  kDelta = 1,    // per-candidate delta evaluation through the term cache
+  kScalar = 2,   // full Omega::run per candidate (the oracle)
+};
+
+[[nodiscard]] const char* to_string(EvalPath p);
+
+/// Evaluation-core observability for one sweep (SearchResult::eval).
+/// term_requests/term_builds are deterministic for a given candidate set;
+/// delta_hits and the batch stats depend on the parallel block layout and
+/// therefore on the thread count / machine (report them, never golden them).
+struct EvalStats {
+  std::uint64_t term_requests = 0;  // phase-term lookups issued
+  std::uint64_t term_builds = 0;    // lookups that ran a phase simulation
+  std::uint64_t delta_hits = 0;     // lookups served by a delta slot (L1)
+  std::uint64_t batches = 0;        // evaluate_batch calls
+  std::uint64_t batched_candidates = 0;  // candidates routed through batches
+  std::uint64_t max_batch = 0;      // largest single batch
+  void merge(const EvalStats& other);
+};
+
 struct SearchOptions {
   Objective objective = Objective::kRuntime;
   bool include_seq = true;
@@ -46,6 +72,9 @@ struct SearchOptions {
   /// seed scores, so results are identical across thread counts.
   bool prune = false;
   std::size_t prune_seed = 64;
+  /// Evaluation core (see EvalPath). Batched/delta require no caller setup:
+  /// the plan is obtained from (and cached in) the sweep's WorkloadContext.
+  EvalPath eval_path = EvalPath::kBatched;
   /// Fully bound descriptors appended to the candidate population and
   /// always evaluated: they bypass the max_candidates subsample and are
   /// exempt from the lower-bound cull (their bound is treated as zero).
@@ -75,6 +104,7 @@ struct SearchResult {
   std::size_t generated = 0;      // candidates produced by the generator
   std::size_t evaluated = 0;      // candidates actually run
   std::size_t pruned = 0;         // culled by the lower bound, never run
+  EvalStats eval;                 // evaluation-core counters for this sweep
 
   [[nodiscard]] const Candidate& best() const;
 };

@@ -1,0 +1,217 @@
+// Delta + batched candidate evaluation: the DSE hot path.
+//
+// A sweep's candidates differ from their neighbors in one or two descriptor
+// fields, and the full Omega::run pipeline re-derives everything per
+// candidate: PE/bandwidth split, feature widths, the boundary plan, two
+// engine configs, two phase simulations (memoized by string key — built,
+// hashed and compared per candidate), the PP composition, the traffic sum
+// and the energy model. An EvalPlan factors one candidate evaluation into
+// exactly two *phase terms* — the memoizable units — plus O(1) composition:
+//
+//   cycles  = compose(term_first, term_second)   (PP overlap or sat-add)
+//   traffic = term_first.traffic + term_second.traffic
+//   energy  = compute_energy(traffic, em, partition_bytes(boundary))
+//
+// Each term is keyed by the descriptor fields it actually depends on (its
+// engine config: tile dims, loop order, the InterPhase-derived flag set,
+// the PE/bandwidth split, widths, chunk grid — see key_of in eval_core.cpp
+// for the exact field->term dependency map) and cached in a POD-keyed hash
+// map on the plan, so a single-field mutation invalidates at most the terms
+// whose key embeds that field. The plan itself is cached in the
+// WorkloadContext keyed by everything outside the descriptor (substrate +
+// energy model + layer shape), so repeated searches over one workload reuse
+// all terms across calls.
+//
+// Two access tiers sit above the shared map:
+//  * DeltaState — a per-evaluation-block L1: the last term per engine slot.
+//    Neighboring candidates that leave one phase untouched (the common case
+//    in tiling sweeps: the agg x cmb cross product mutates one side at a
+//    time) hit the slot without touching the map or hashing the key.
+//  * evaluate_batch — struct-of-arrays evaluation of a candidate block:
+//    pass 1 derives every candidate's term specs into parallel arrays,
+//    pass 2 resolves terms (delta slot -> shared map -> simulate), pass 3
+//    composes cycles/energy in a tight loop over the resolved arrays.
+//
+// Parity contract: for every descriptor, evaluate_one/evaluate_batch return
+// bit-identical (cycles, on_chip_pj) to Omega::run with the same context,
+// and `ok == false` exactly when Omega::run throws Error. The scalar path
+// stays alive behind SearchOptions::eval_path as the differential oracle;
+// tests/eval_core_test.cpp fuzzes single-field mutations against it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/gemm_engine.hpp"
+#include "engine/schedule_cache.hpp"
+#include "engine/spmm_engine.hpp"
+#include "omega/omega.hpp"
+
+namespace omega {
+
+/// One candidate's evaluation result, reduced to what the search ranks on.
+/// `ok == false` mirrors Omega::run throwing (infeasible candidate); the
+/// other fields are zero then.
+struct EvalOutcome {
+  std::uint64_t cycles = 0;
+  double on_chip_pj = 0.0;
+  bool ok = false;
+};
+
+/// POD signature of one phase term — the numeric mirror of the engines'
+/// string memo keys (same fields, no formatting/hashing of digits per
+/// candidate). w[0] tags the engine so spmm/gemm keys can never collide.
+struct EvalTermKey {
+  std::array<std::uint64_t, 22> w{};
+  [[nodiscard]] bool operator==(const EvalTermKey&) const = default;
+};
+
+/// Byte budget for *chunked* phase-term timelines held by one EvalPlan.
+/// The legacy engine memo refuses chunk grids past kPhaseMemoMaxChunks on
+/// the assumption that giant timelines are near-unique; sweep profiles show
+/// the opposite — candidates that differ only in fields outside a phase's
+/// key share its grid, and re-simulating those terms dominates the hot
+/// path. The plan therefore admits big-chunk terms until their estimated
+/// timeline footprint (two u64 vectors per term) reaches this budget; past
+/// it, new big terms fall back to uncached builds (results identical, the
+/// DeltaState slot is then their only cache).
+inline constexpr std::size_t kTermTimelineBudgetBytes = 512ull << 20;
+
+struct EvalTermKeyHash {
+  [[nodiscard]] std::size_t operator()(const EvalTermKey& k) const noexcept {
+    // FNV-1a over the words; the fields are small integers, so the byte-wise
+    // avalanche matters more than speed here (the map is behind the L1).
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const std::uint64_t w : k.w) {
+      h ^= w;
+      h *= 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Per-evaluation-block working state: the last resolved term per engine
+/// slot (0 = spmm, 1 = gemm) plus reusable batch scratch. One DeltaState
+/// per parallel block — never shared across threads. A null `term` with
+/// `valid == true` caches "this term's phase config is infeasible".
+struct DeltaState {
+  struct Slot {
+    EvalTermKey key;
+    std::shared_ptr<const PhaseResult> term;
+    bool valid = false;
+  };
+  std::array<Slot, 2> slots;
+  std::uint64_t delta_hits = 0;  // term requests served by a slot
+
+  // evaluate_batch scratch (SoA arrays), reused across batches to keep the
+  // hot loop allocation-free after the first call.
+  struct Scratch;
+  std::shared_ptr<Scratch> scratch;
+};
+
+/// A per-(workload, substrate, layer) evaluation plan. Obtain through
+/// EvalPlan::obtain (cached in the WorkloadContext); all methods are const
+/// and thread-safe. Counter semantics: term_requests/term_builds/term_count
+/// are deterministic for a given evaluated-candidate set (builds happen
+/// once per distinct key); delta-hit counts live on the caller's DeltaState
+/// because block layout is thread-count-dependent.
+class EvalPlan final : public EvalPlanBase {
+ public:
+  /// The context-cached plan for (omega's substrate + energy model,
+  /// workload, layer). `context` must be bound to `workload.adjacency`.
+  [[nodiscard]] static std::shared_ptr<const EvalPlan> obtain(
+      const Omega& omega, const GnnWorkload& workload, const LayerSpec& layer,
+      const WorkloadContext& context);
+
+  /// Evaluates one candidate through the term cache. Bit-identical to
+  /// Omega::run (see the parity contract above).
+  [[nodiscard]] EvalOutcome evaluate_one(const DataflowDescriptor& df,
+                                         DeltaState& state) const;
+
+  /// Struct-of-arrays evaluation of a candidate block: writes one
+  /// EvalOutcome per input descriptor pointer. Outcomes are identical to
+  /// calling evaluate_one per candidate in order (the batch only
+  /// restructures the passes).
+  void evaluate_batch(std::span<const DataflowDescriptor* const> dfs,
+                      EvalOutcome* out, DeltaState& state) const;
+
+  // EvalPlanBase observability.
+  [[nodiscard]] std::size_t term_count() const override;
+  [[nodiscard]] std::uint64_t term_requests() const override {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t term_builds() const override {
+    return builds_.load(std::memory_order_relaxed);
+  }
+
+  /// Estimated bytes of chunked-term timelines admitted against
+  /// kTermTimelineBudgetBytes (small-grid terms are not counted).
+  [[nodiscard]] std::size_t term_timeline_bytes() const;
+
+ private:
+  friend struct DeltaState::Scratch;  // batch scratch holds TermSpecs arrays
+  EvalPlan() = default;
+
+  /// Fully derived engine configs for one candidate (the term specs) plus
+  /// the O(1) composition inputs. `feasible == false` short-circuits the
+  /// term passes (precheck failed — exactly the throws Omega::run performs
+  /// before reaching the engines).
+  struct TermSpecs {
+    SpmmPhaseConfig spmm;
+    GemmPhaseConfig gemm;
+    bool feasible = false;
+    bool pp = false;          // compose by chunk overlap instead of sat-add
+    bool spmm_first = false;  // execution order of the two terms
+    std::size_t partition_bytes = 0;
+  };
+
+  [[nodiscard]] bool derive(const DataflowDescriptor& df, TermSpecs* ts) const;
+  [[nodiscard]] std::shared_ptr<const PhaseResult> resolve_spmm(
+      const SpmmPhaseConfig& cfg, DeltaState& state) const;
+  [[nodiscard]] std::shared_ptr<const PhaseResult> resolve_gemm(
+      const GemmPhaseConfig& cfg, DeltaState& state) const;
+  /// `timeline_bytes == 0` marks a small-grid term (always admitted, like
+  /// the legacy memo); nonzero is the estimated footprint of a chunked
+  /// term's timelines, admitted against kTermTimelineBudgetBytes.
+  [[nodiscard]] std::shared_ptr<const PhaseResult> resolve_term(
+      const EvalTermKey& key, std::size_t slot_idx,
+      const std::function<std::shared_ptr<const PhaseResult>()>& build,
+      std::size_t timeline_bytes, DeltaState& state) const;
+  [[nodiscard]] static EvalOutcome compose(
+      const TermSpecs& ts, const PhaseResult& first,
+      const PhaseResult& second, const EnergyModel& em);
+
+  struct TermEntry {
+    std::once_flag once;
+    // Null after a failed build: the engines reject this config
+    // (infeasible), cached so every revisit fails without re-simulating.
+    std::shared_ptr<const PhaseResult> result;
+  };
+
+  // Workload / substrate bindings (all layer- and descriptor-invariant).
+  const CSRGraph* graph_ = nullptr;
+  const WorkloadContext* context_ = nullptr;
+  AcceleratorConfig hw_;
+  EnergyModel em_;
+  std::size_t v_ = 0;
+  std::size_t f_ = 0;  // resolved input width
+  std::size_t g_ = 0;  // output width
+  bool dims_ok_ = false;
+
+  mutable std::mutex term_mutex_;
+  mutable std::unordered_map<EvalTermKey, std::shared_ptr<TermEntry>,
+                             EvalTermKeyHash>
+      terms_;
+  mutable std::size_t timeline_bytes_ = 0;  // guarded by term_mutex_
+  mutable std::atomic<std::uint64_t> requests_{0};
+  mutable std::atomic<std::uint64_t> builds_{0};
+};
+
+}  // namespace omega

@@ -106,6 +106,18 @@ PhaseResult run_gemm_phase(const GemmPhaseConfig& cfg) {
   return run_gemm_phase_impl(cfg);
 }
 
+std::shared_ptr<const PhaseResult> run_gemm_phase_shared(
+    const GemmPhaseConfig& cfg) {
+  const bool memoizable =
+      cfg.chunk_target == ChunkTarget::kNone ||
+      cfg.chunks.num_chunks() <= kPhaseMemoMaxChunks;
+  if (cfg.context != nullptr && memoizable) {
+    return cfg.context->phase_result(memo_key(cfg),
+                                     [&] { return run_gemm_phase_impl(cfg); });
+  }
+  return std::make_shared<const PhaseResult>(run_gemm_phase_impl(cfg));
+}
+
 namespace {
 
 PhaseResult run_gemm_phase_impl(const GemmPhaseConfig& cfg) {

@@ -9,6 +9,8 @@
 // cycle accounting (see DESIGN.md "Cost-model semantics").
 #pragma once
 
+#include <memory>
+
 #include "arch/accelerator.hpp"
 #include "dataflow/intra.hpp"
 #include "engine/phase_result.hpp"
@@ -80,6 +82,15 @@ struct GemmPhaseConfig {
 };
 
 [[nodiscard]] PhaseResult run_gemm_phase(const GemmPhaseConfig& cfg);
+
+/// Like run_gemm_phase, but hands back the memo's shared entry instead of
+/// copying the PhaseResult out of it. The copy is what the by-value path
+/// pays per candidate (chunked results carry O(chunks) timeline vectors);
+/// the delta-evaluation core (engine/eval_core.hpp) holds terms by pointer,
+/// so it must not pay it. Uncached configs build a fresh shared result —
+/// bit-identical either way.
+[[nodiscard]] std::shared_ptr<const PhaseResult> run_gemm_phase_shared(
+    const GemmPhaseConfig& cfg);
 
 /// ceil(a / b) with b >= 1.
 [[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {

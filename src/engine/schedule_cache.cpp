@@ -111,4 +111,44 @@ std::size_t WorkloadContext::phase_memo_overflow() const {
   return phase_memo_overflow_;
 }
 
+std::shared_ptr<EvalPlanBase> WorkloadContext::eval_plan(
+    const std::string& signature,
+    const std::function<std::shared_ptr<EvalPlanBase>()>& build) const {
+  std::shared_ptr<PlanEntry> entry;
+  {
+    const std::scoped_lock lock(mutex_);
+    auto& slot = eval_plans_[signature];
+    if (!slot) slot = std::make_shared<PlanEntry>();
+    entry = slot;
+  }
+  std::call_once(entry->once, [&] { entry->plan = build(); });
+  return entry->plan;
+}
+
+std::size_t WorkloadContext::eval_plan_count() const {
+  const std::scoped_lock lock(mutex_);
+  return eval_plans_.size();
+}
+
+ContextEvalStats WorkloadContext::eval_stats() const {
+  // Snapshot the plan pointers under the lock, then read their counters
+  // outside it (the counters are atomics on the plans themselves).
+  std::vector<std::shared_ptr<EvalPlanBase>> plans;
+  {
+    const std::scoped_lock lock(mutex_);
+    plans.reserve(eval_plans_.size());
+    for (const auto& [sig, entry] : eval_plans_) {
+      if (entry != nullptr && entry->plan != nullptr) plans.push_back(entry->plan);
+    }
+  }
+  ContextEvalStats s;
+  s.plans = plans.size();
+  for (const auto& p : plans) {
+    s.terms += p->term_count();
+    s.term_requests += p->term_requests();
+    s.term_builds += p->term_builds();
+  }
+  return s;
+}
+
 }  // namespace omega

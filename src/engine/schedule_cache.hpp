@@ -74,6 +74,32 @@ struct LaneSchedule {
                                                std::size_t lanes,
                                                std::size_t lane_width);
 
+/// Interface the context uses to hold delta-evaluation plans without
+/// depending on the DSE layer (engine/eval_core.hpp implements it; the
+/// concrete EvalPlan factors a candidate evaluation into phase terms and
+/// memoizes them). The counters feed the service `stats` response and the
+/// search observability — every one of them is deterministic for a given
+/// request sequence (term builds happen once per distinct key, and the set
+/// of evaluated candidates is thread-count-invariant).
+class EvalPlanBase {
+ public:
+  virtual ~EvalPlanBase() = default;
+  /// Distinct phase terms resident in the plan's term memo.
+  [[nodiscard]] virtual std::size_t term_count() const = 0;
+  /// Term lookups served (2 per feasible candidate evaluation).
+  [[nodiscard]] virtual std::uint64_t term_requests() const = 0;
+  /// Term lookups that had to run a phase simulation (memo misses).
+  [[nodiscard]] virtual std::uint64_t term_builds() const = 0;
+};
+
+/// Aggregated per-context plan counters; see WorkloadContext::eval_stats.
+struct ContextEvalStats {
+  std::uint64_t plans = 0;          // distinct (substrate, layer) plans
+  std::uint64_t terms = 0;          // resident terms across all plans
+  std::uint64_t term_requests = 0;
+  std::uint64_t term_builds = 0;
+};
+
 /// Per-workload memo shared by all candidates of a sweep. Construct once per
 /// (graph, sweep) and pass to Omega::run; candidates that share a walk
 /// direction and (lanes, lane_width) reuse one schedule, and all scatter
@@ -114,6 +140,21 @@ class WorkloadContext {
   /// reached (observability for long-lived service contexts).
   [[nodiscard]] std::size_t phase_memo_overflow() const;
 
+  /// Memoized delta-evaluation plan. `signature` captures everything the
+  /// plan depends on besides the graph (substrate + energy model + layer
+  /// shape — see EvalPlan::obtain); `build` runs at most once per
+  /// signature. Same once-entry discipline as phase_result: concurrent
+  /// misses on different signatures build in parallel.
+  [[nodiscard]] std::shared_ptr<EvalPlanBase> eval_plan(
+      const std::string& signature,
+      const std::function<std::shared_ptr<EvalPlanBase>()>& build) const;
+
+  /// Number of distinct plans resident (observability / tests).
+  [[nodiscard]] std::size_t eval_plan_count() const;
+
+  /// Counter aggregate over the resident plans (service `stats` response).
+  [[nodiscard]] ContextEvalStats eval_stats() const;
+
  private:
   struct Key {
     bool gather;
@@ -140,6 +181,10 @@ class WorkloadContext {
     std::once_flag once;
     std::shared_ptr<const PhaseResult> result;
   };
+  struct PlanEntry {
+    std::once_flag once;
+    std::shared_ptr<EvalPlanBase> plan;
+  };
 
   const CSRGraph* adjacency_;
   mutable std::shared_ptr<const CSRGraph> reverse_;  // pinned on first use
@@ -148,6 +193,8 @@ class WorkloadContext {
   mutable std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> schedules_;
   mutable std::unordered_map<std::string, std::shared_ptr<PhaseEntry>>
       phase_results_;
+  mutable std::unordered_map<std::string, std::shared_ptr<PlanEntry>>
+      eval_plans_;
   mutable std::size_t phase_memo_overflow_ = 0;  // guarded by mutex_
 };
 

@@ -97,6 +97,20 @@ PhaseResult run_spmm_phase(const SpmmPhaseConfig& cfg) {
   return run_spmm_phase_impl(cfg);
 }
 
+std::shared_ptr<const PhaseResult> run_spmm_phase_shared(
+    const SpmmPhaseConfig& cfg) {
+  OMEGA_CHECK(cfg.context == nullptr || &cfg.context->graph() == cfg.graph,
+              "WorkloadContext is bound to a different graph");
+  const bool memoizable =
+      cfg.chunk_target == ChunkTarget::kNone ||
+      cfg.chunks.num_chunks() <= kPhaseMemoMaxChunks;
+  if (cfg.context != nullptr && memoizable) {
+    return cfg.context->phase_result(memo_key(cfg),
+                                     [&] { return run_spmm_phase_impl(cfg); });
+  }
+  return std::make_shared<const PhaseResult>(run_spmm_phase_impl(cfg));
+}
+
 void SpmmPhaseConfig::validate() const {
   OMEGA_CHECK(graph != nullptr, "SpMM phase needs a graph");
   order.validate(GnnPhase::kAggregation);

@@ -73,4 +73,8 @@ struct SpmmPhaseConfig {
 
 [[nodiscard]] PhaseResult run_spmm_phase(const SpmmPhaseConfig& cfg);
 
+/// Shared-entry variant of run_spmm_phase; see run_gemm_phase_shared.
+[[nodiscard]] std::shared_ptr<const PhaseResult> run_spmm_phase_shared(
+    const SpmmPhaseConfig& cfg);
+
 }  // namespace omega

@@ -247,59 +247,55 @@ ModelComposition ModelComposer::compose(const std::vector<RunResult>& layers,
       const std::vector<std::uint64_t> profile = output_row_profile(
           prev, prev_done_abs, prev_finish, &prod_row_block);
 
-      // Consumer: which producer row does each first-phase chunk need, and
-      // when does the chunk begin relative to the layer's start?
+      // Consumer: which producer row does each first-phase chunk need?
       std::vector<std::size_t> dep_rows;
-      std::vector<std::uint64_t> begin;
       dep_rows.reserve(chunks);
-      begin.reserve(chunks);
       const std::size_t rb =
           std::min(std::max<std::size_t>(grid.row_block, 1), grid.rows);
       for (std::size_t i = 0; i < chunks; ++i) {
         const std::size_t rblk = row_block_of(grid, i);
         const std::size_t last_row = std::min((rblk + 1) * rb, grid.rows) - 1;
         dep_rows.push_back(ac ? dep_prefix_[last_row] : last_row);
-        begin.push_back(
-            sat_sub_u64(head.chunk_completion[i], head.chunk_cycles[i]));
       }
       const std::vector<std::uint64_t> ready = retile_row_completion(
           profile, prev.num_rows, prod_row_block, dep_rows);
 
-      // Earliest start of layer l's first phase: (a) no chunk reads a
-      // producer row before it lands, (b) layer l-1's first phase has
-      // released its array partition, (c) layer l-2 has fully finished —
+      // Floor on the head phase's start: (a) layer l-1's first phase has
+      // released its array partition, (b) layer l-2 has fully finished —
       // at most two layers are ever in flight, which is what makes the
       // pairwise PE and residency gates above sufficient for arbitrarily
       // long overlap chains (without it, a short middle layer would let
       // l's first phase run concurrently with l-2's unchecked drain).
-      std::uint64_t s =
+      std::uint64_t floor =
           sat_add_u64(out.layer_start[l - 1], first_phase(prev).cycles);
-      if (l >= 2) s = std::max(s, out.layer_finish[l - 2]);
-      for (std::size_t i = 0; i < chunks; ++i) {
-        s = std::max(s, sat_sub_u64(ready[i], begin[i]));
-      }
-      s = std::min(s, prev_finish);
+      if (l >= 2) floor = std::max(floor, out.layer_finish[l - 2]);
 
+      // Elastic re-simulation: instead of shifting the whole layer by the
+      // worst chunk's slack (a rigid shift lets one late dependency erase
+      // the overlap every earlier chunk had), re-run the head phase with
+      // each chunk floored at its own dependency's landing time. Chunks
+      // whose rows landed early run back-to-back; a late row stalls only
+      // the chunks behind it. The head's own timeline is back-to-back
+      // (the monotone gate above), so chunk_cycles fully describe it.
+      const std::vector<std::uint64_t> head_done_abs =
+          compose_parallel_pipeline_timeline(ready, head.chunk_cycles, floor);
       // The second phase cannot issue before prev_finish (its partition is
-      // still held by the draining layer), so the layer's internal pipeline
-      // stretches: re-run the intra-layer recurrence with that floor. The
-      // boundary overlaps only when the early first-phase start more than
-      // pays for the stretch; otherwise it serializes.
-      const std::vector<std::uint64_t> done_rel =
-          compose_parallel_pipeline_timeline(head.chunk_completion,
-                                             second_phase(cur).chunk_cycles,
-                                             sat_sub_u64(prev_finish, s));
-      const std::uint64_t overlapped_finish = sat_add_u64(s, done_rel.back());
+      // still held by the draining layer): re-run the intra-layer
+      // recurrence with that floor. The boundary overlaps only when the
+      // early head start more than pays for the stretch.
+      const std::vector<std::uint64_t> done_abs =
+          compose_parallel_pipeline_timeline(
+              head_done_abs, second_phase(cur).chunk_cycles, prev_finish);
+      const std::uint64_t overlapped_finish = done_abs.back();
       if (overlapped_finish < seq_finish) {
         b.overlapped = true;
         b.saved_cycles = seq_finish - overlapped_finish;
         ++out.overlapped_boundaries;
-        start = s;
+        // First head chunk issues at max(its dependency, the floor); cap at
+        // prev_finish to keep layer starts monotone in degenerate cases.
+        start = std::min(std::max(ready.front(), floor), prev_finish);
         finish = overlapped_finish;
-        cur_done_abs.reserve(done_rel.size());
-        for (const std::uint64_t d : done_rel) {
-          cur_done_abs.push_back(sat_add_u64(start, d));
-        }
+        cur_done_abs = done_abs;
       } else {
         b.reason = "dependencies leave no overlap window";
       }

@@ -175,6 +175,8 @@ ChunkSpec transpose_chunks(const ChunkSpec& c) {
   return t;
 }
 
+}  // namespace
+
 EnergyBreakdown compute_energy(const TrafficCounters& traffic,
                                const EnergyModel& em,
                                std::size_t partition_bytes) {
@@ -190,8 +192,6 @@ EnergyBreakdown compute_energy(const TrafficCounters& traffic,
   e.dram_pj = static_cast<double>(traffic.dram.total()) * em.dram_access_pj;
   return e;
 }
-
-}  // namespace
 
 std::optional<std::string> PipelineSpec::validation_error() const {
   if (phases.empty()) return "pipeline needs at least one phase";

@@ -201,6 +201,16 @@ struct PipelineResult {
                                             double weight_density,
                                             std::size_t index);
 
+/// Prices a traffic profile through the energy model: per-category GB
+/// accesses, RF, DRAM, and the PP intermediate-partition buffer (sized
+/// `partition_bytes`; 0 when no boundary buffers). This is the single
+/// energy-accounting function behind Omega::run, run_pipeline, and the
+/// delta-evaluation core (engine/eval_core.hpp) — their parity contract
+/// requires pricing summed traffic identically.
+[[nodiscard]] EnergyBreakdown compute_energy(const TrafficCounters& traffic,
+                                             const EnergyModel& em,
+                                             std::size_t partition_bytes);
+
 /// Synthetic CSR pattern of W^T for a sparse-weight phase: `out_features`
 /// rows, each holding max(1, round(density * in_features)) evenly spaced
 /// column ids in [0, in_features). Deterministic — the cost model only

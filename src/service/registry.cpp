@@ -1,5 +1,7 @@
 #include "service/registry.hpp"
 
+#include <vector>
+
 #include "util/error.hpp"
 
 namespace omega::service {
@@ -87,6 +89,30 @@ RegistryStats WorkloadRegistry::stats() const {
   s.resident = entries_.size();
   s.capacity = capacity_;
   return s;
+}
+
+ContextEvalStats WorkloadRegistry::eval_stats() const {
+  // Snapshot the entry pointers under the lock, then aggregate outside it:
+  // each context's eval_stats() takes that context's own mutex.
+  std::vector<std::shared_ptr<const WorkloadEntry>> resident;
+  {
+    const std::scoped_lock lock(mutex_);
+    resident.reserve(entries_.size());
+    for (const auto& [key, e] : entries_) {
+      if (e.slot != nullptr && e.slot->entry != nullptr) {
+        resident.push_back(e.slot->entry);
+      }
+    }
+  }
+  ContextEvalStats total;
+  for (const auto& entry : resident) {
+    const ContextEvalStats s = entry->context.eval_stats();
+    total.plans += s.plans;
+    total.terms += s.terms;
+    total.term_requests += s.term_requests;
+    total.term_builds += s.term_builds;
+  }
+  return total;
 }
 
 }  // namespace omega::service

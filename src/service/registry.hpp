@@ -65,6 +65,12 @@ class WorkloadRegistry {
 
   [[nodiscard]] RegistryStats stats() const;
 
+  /// Evaluation-core counters summed over the resident entries' contexts
+  /// (plans / terms / term requests / term builds — all deterministic for a
+  /// given request sequence; see EvalPlanBase). Entries still mid-build
+  /// contribute nothing yet.
+  [[nodiscard]] ContextEvalStats eval_stats() const;
+
  private:
   struct Slot {
     std::once_flag once;

@@ -40,6 +40,16 @@ std::string MappingService::handle(const Request& request) {
     w.member("resident", static_cast<std::uint64_t>(s.resident));
     w.member("capacity", static_cast<std::uint64_t>(s.capacity));
     w.end_object();
+    // Evaluation-core counters (only the deterministic ones: delta hits and
+    // batch shapes depend on the serving machine's thread layout and stay
+    // out of golden-able responses — the CLI prints those instead).
+    const ContextEvalStats e = registry_.eval_stats();
+    w.key("eval").begin_object();
+    w.member("plans", e.plans);
+    w.member("terms", e.terms);
+    w.member("term_requests", e.term_requests);
+    w.member("term_builds", e.term_builds);
+    w.end_object();
     w.end_object();
     return w.str();
   }

@@ -113,7 +113,7 @@ std::size_t ThreadPool::worker_count() const noexcept {
 void ThreadPool::run_blocks(std::size_t n, BlockFn fn, void* ctx,
                             std::size_t max_threads, std::size_t grain) {
   if (n == 0) return;
-  const std::size_t participants =
+  std::size_t participants =
       std::min(n, max_threads == 0 ? impl_->workers.size() + 1
                                    : std::max<std::size_t>(max_threads, 1));
   if (grain == 0) {
@@ -121,6 +121,11 @@ void ThreadPool::run_blocks(std::size_t n, BlockFn fn, void* ctx,
     // unevenly priced iterations without per-index dispatch overhead.
     grain = std::max<std::size_t>(1, n / (participants * 8));
   }
+  // A caller-provided grain can leave fewer blocks than participants
+  // (e.g. n=40, grain=32 -> 2 blocks). Waking more workers than blocks
+  // wastes slots: the surplus workers claim nothing but still contend on
+  // the job counter and must be drained before the barrier releases.
+  participants = std::min(participants, (n + grain - 1) / grain);
   if (participants <= 1 || impl_->workers.empty()) {
     fn(ctx, 0, n);
     return;

@@ -1,0 +1,283 @@
+// Delta/batched evaluation core vs the scalar oracle (engine/eval_core.hpp).
+//
+// The parity contract under test: for every descriptor — valid or not —
+// EvalPlan::evaluate_one and evaluate_batch return bit-identical
+// (cycles, on_chip_pj) to Omega::run through the same WorkloadContext, and
+// ok == false exactly when Omega::run throws Error. The fuzz walks random
+// base descriptors plus single-field mutations (the neighborhood structure
+// delta slots are built for), reusing one DeltaState throughout so stale
+// slots from a previous candidate can never leak into the next.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "dse/search.hpp"
+#include "engine/eval_core.hpp"
+#include "graph/generators.hpp"
+#include "omega/omega.hpp"
+#include "util/error.hpp"
+
+namespace omega {
+namespace {
+
+GnnWorkload fuzz_workload() {
+  Rng rng(29);
+  GnnWorkload w;
+  w.name = "fuzz";
+  w.adjacency = rmat(7, 800, rng).with_self_loops().gcn_normalized();
+  w.in_features = 24;
+  return w;
+}
+
+AcceleratorConfig small_hw() {
+  AcceleratorConfig hw;
+  hw.num_pes = 64;
+  return hw;
+}
+
+EvalOutcome oracle(const Omega& omega, const GnnWorkload& w,
+                   const LayerSpec& layer, const DataflowDescriptor& df,
+                   const WorkloadContext& context) {
+  EvalOutcome o;
+  try {
+    const RunResult r = omega.run(w, layer, df, context);
+    o.cycles = r.cycles;
+    o.on_chip_pj = r.energy.on_chip_pj();
+    o.ok = true;
+  } catch (const Error&) {
+    o.ok = false;
+  }
+  return o;
+}
+
+/// Mutates exactly one descriptor field. Mutants may be invalid (bad tile
+/// shapes, infeasible order pairs, PP fraction at the boundary) — the
+/// contract covers those too: both paths must agree the candidate is
+/// infeasible.
+DataflowDescriptor mutate_one_field(DataflowDescriptor df, std::mt19937& rng) {
+  const auto pick = [&](std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(rng);
+  };
+  const auto nudge_tile = [&](std::size_t& t) {
+    if (pick(2) == 0) {
+      t = t * 2;
+    } else {
+      t = std::max<std::size_t>(1, t / 2);
+    }
+  };
+  switch (pick(9)) {
+    case 0:
+      df.inter = static_cast<InterPhase>(pick(4));
+      break;
+    case 1:
+      df.phase_order = df.phase_order == PhaseOrder::kAC ? PhaseOrder::kCA
+                                                         : PhaseOrder::kAC;
+      break;
+    case 2: nudge_tile(df.agg.tiles.v); break;
+    case 3: nudge_tile(df.agg.tiles.n); break;
+    case 4: nudge_tile(df.agg.tiles.f); break;
+    case 5: nudge_tile(df.cmb.tiles.v); break;
+    case 6: nudge_tile(df.cmb.tiles.f); break;
+    case 7: nudge_tile(df.cmb.tiles.g); break;
+    default: {
+      constexpr double kFracs[] = {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+      df.pp_agg_pe_fraction = kFracs[pick(7)];
+      break;
+    }
+  }
+  return df;
+}
+
+TEST(EvalCoreFuzz, SingleFieldMutationsMatchScalarOracle) {
+  const GnnWorkload w = fuzz_workload();
+  const LayerSpec layer{16};
+  const Omega omega(small_hw());
+  const WorkloadContext context(w.adjacency);
+  (void)context.reverse_graph();
+
+  SearchOptions gen;
+  gen.include_ca = true;
+  const std::vector<DataflowDescriptor> base = enumerate_search_candidates(
+      gen, dims_of(w, layer), omega.config().num_pes);
+  ASSERT_GT(base.size(), 100u);
+
+  const auto plan = EvalPlan::obtain(omega, w, layer, context);
+  ASSERT_NE(plan, nullptr);
+
+  std::mt19937 rng(20240807);
+  DeltaState state;  // reused across all cases: stale slots must never leak
+  std::vector<DataflowDescriptor> mutants;
+  std::vector<EvalOutcome> expected;
+  std::size_t cases = 0;
+  std::size_t feasible = 0;
+  std::size_t infeasible = 0;
+  while (cases < 4200) {
+    const DataflowDescriptor& b =
+        base[std::uniform_int_distribution<std::size_t>(0, base.size() - 1)(
+            rng)];
+    const DataflowDescriptor m = mutate_one_field(b, rng);
+    for (const DataflowDescriptor* df : {&b, &m}) {
+      const EvalOutcome want = oracle(omega, w, layer, *df, context);
+      const EvalOutcome got = plan->evaluate_one(*df, state);
+      ASSERT_EQ(got.ok, want.ok) << df->to_string();
+      if (want.ok) {
+        ASSERT_EQ(got.cycles, want.cycles) << df->to_string();
+        ASSERT_EQ(got.on_chip_pj, want.on_chip_pj) << df->to_string();
+        ++feasible;
+      } else {
+        ASSERT_EQ(got.cycles, 0u);
+        ++infeasible;
+      }
+      mutants.push_back(*df);
+      expected.push_back(want);
+      ++cases;
+    }
+  }
+  // The neighborhood must exercise both verdicts, or the fuzz proves less
+  // than it claims.
+  EXPECT_GT(feasible, 100u);
+  EXPECT_GT(infeasible, 100u);
+  EXPECT_GT(state.delta_hits, 0u);
+  EXPECT_GE(plan->term_requests(), 2 * feasible);
+  EXPECT_LE(plan->term_builds(), plan->term_requests());
+
+  // Batch pass over the exact same population: evaluate_batch must
+  // reproduce the per-candidate outcomes regardless of batch boundaries.
+  std::vector<const DataflowDescriptor*> ptrs;
+  ptrs.reserve(mutants.size());
+  for (const DataflowDescriptor& df : mutants) ptrs.push_back(&df);
+  std::vector<EvalOutcome> out(ptrs.size());
+  for (std::size_t from = 0; from < ptrs.size(); from += 257) {
+    const std::size_t n = std::min<std::size_t>(257, ptrs.size() - from);
+    plan->evaluate_batch({ptrs.data() + from, n}, out.data() + from, state);
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i].ok, expected[i].ok) << mutants[i].to_string();
+    ASSERT_EQ(out[i].cycles, expected[i].cycles) << mutants[i].to_string();
+    ASSERT_EQ(out[i].on_chip_pj, expected[i].on_chip_pj)
+        << mutants[i].to_string();
+  }
+}
+
+TEST(EvalCoreFuzz, PlanIsCachedPerContextSignature) {
+  const GnnWorkload w = fuzz_workload();
+  const LayerSpec layer{16};
+  const Omega omega(small_hw());
+  const WorkloadContext context(w.adjacency);
+  const auto a = EvalPlan::obtain(omega, w, layer, context);
+  const auto b = EvalPlan::obtain(omega, w, layer, context);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(context.eval_plan_count(), 1u);
+  // A different layer shape is a different plan.
+  const auto c = EvalPlan::obtain(omega, w, LayerSpec{8}, context);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(context.eval_plan_count(), 2u);
+}
+
+/// Ranked + Pareto output of search_mappings must be bit-identical across
+/// the three evaluation paths, all four inter-phase modes, and thread
+/// counts — the acceptance gate of the delta core.
+class EvalCoreSearchParity : public ::testing::TestWithParam<InterPhase> {};
+
+void expect_same_candidates(const std::vector<Candidate>& a,
+                            const std::vector<Candidate>& b,
+                            const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cycles, b[i].cycles);
+    EXPECT_EQ(a[i].on_chip_pj, b[i].on_chip_pj);
+    EXPECT_EQ(a[i].score, b[i].score);
+    EXPECT_EQ(a[i].dataflow.to_string(), b[i].dataflow.to_string());
+  }
+}
+
+TEST_P(EvalCoreSearchParity, RankedAndParetoIdenticalAcrossPathsAndThreads) {
+  const GnnWorkload w = fuzz_workload();
+  const LayerSpec layer{16};
+  const Omega omega(small_hw());
+
+  SearchOptions base;
+  base.include_seq = GetParam() == InterPhase::kSequential;
+  base.include_sp_generic = GetParam() == InterPhase::kSPGeneric;
+  base.include_sp_optimized = GetParam() == InterPhase::kSPOptimized;
+  base.include_pp = GetParam() == InterPhase::kParallelPipeline;
+  base.include_ca = true;
+  base.top_k = 32;
+
+  SearchOptions scalar = base;
+  scalar.eval_path = EvalPath::kScalar;
+  scalar.threads = 1;
+  const SearchResult want = search_mappings(omega, w, layer, scalar);
+  ASSERT_GT(want.evaluated, 0u);
+
+  for (const EvalPath path : {EvalPath::kDelta, EvalPath::kBatched}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SearchOptions so = base;
+      so.eval_path = path;
+      so.threads = threads;
+      const SearchResult got = search_mappings(omega, w, layer, so);
+      const std::string label = std::string(to_string(path)) + "/t" +
+                                std::to_string(threads);
+      EXPECT_EQ(got.generated, want.generated) << label;
+      EXPECT_EQ(got.evaluated, want.evaluated) << label;
+      expect_same_candidates(want.ranked, got.ranked, label + "/ranked");
+      expect_same_candidates(want.pareto, got.pareto, label + "/pareto");
+      if (path == EvalPath::kBatched) {
+        EXPECT_GT(got.eval.batches, 0u) << label;
+        EXPECT_EQ(got.eval.batched_candidates, got.generated) << label;
+        EXPECT_GT(got.eval.max_batch, 0u) << label;
+      } else {
+        EXPECT_EQ(got.eval.batches, 0u) << label;
+      }
+      EXPECT_GT(got.eval.term_requests, 0u) << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInterPhaseModes, EvalCoreSearchParity,
+                         ::testing::Values(InterPhase::kSequential,
+                                           InterPhase::kSPGeneric,
+                                           InterPhase::kSPOptimized,
+                                           InterPhase::kParallelPipeline));
+
+TEST(EvalCoreSearch, PrunedBatchedSearchMatchesScalarBest) {
+  const GnnWorkload w = fuzz_workload();
+  const LayerSpec layer{16};
+  const Omega omega(small_hw());
+
+  SearchOptions scalar;
+  scalar.include_ca = true;
+  scalar.eval_path = EvalPath::kScalar;
+  const SearchResult want = search_mappings(omega, w, layer, scalar);
+
+  SearchOptions pruned = scalar;
+  pruned.eval_path = EvalPath::kBatched;
+  pruned.prune = true;
+  const SearchResult got = search_mappings(omega, w, layer, pruned);
+  EXPECT_EQ(got.best().cycles, want.best().cycles);
+  EXPECT_EQ(got.best().dataflow.to_string(), want.best().dataflow.to_string());
+}
+
+TEST(EvalCoreStats, ContextAggregatesPlanCounters) {
+  const GnnWorkload w = fuzz_workload();
+  const LayerSpec layer{16};
+  const Omega omega(small_hw());
+  const WorkloadContext context(w.adjacency);
+
+  SearchOptions so;
+  so.max_candidates = 256;
+  const SearchResult r = search_mappings(omega, w, layer, so, &context);
+  ASSERT_GT(r.evaluated, 0u);
+
+  const ContextEvalStats stats = context.eval_stats();
+  EXPECT_EQ(stats.plans, 1u);
+  EXPECT_GT(stats.terms, 0u);
+  EXPECT_EQ(stats.term_requests, r.eval.term_requests);
+  EXPECT_EQ(stats.term_builds, r.eval.term_builds);
+  EXPECT_LE(stats.term_builds, stats.term_requests);
+}
+
+}  // namespace
+}  // namespace omega

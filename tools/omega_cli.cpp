@@ -136,6 +136,7 @@ constexpr CommandHelp kCommands[] = {
      "  --allocation mac|even    budget split across layers\n"
      "  --compose sequential|pipelined\n"
      "  --no-prune               disable lower-bound pruning\n"
+     "  --eval-path batched|delta|scalar  evaluation core (default batched)\n"
      "  --pes N --scale X --json PATH\n"},
     {"run-model", "replay one pattern over every model layer",
      "usage: omega_cli run-model <dataset> <pattern> [flags]\n"
@@ -487,6 +488,12 @@ int cmd_search_model(int argc, char** argv) {
       else throw InvalidArgumentError("unknown allocation: " + al);
     } else if (a == "--no-prune") {
       mso.prune = false;
+    } else if (a == "--eval-path") {
+      const std::string p = to_lower(next());
+      if (p == "batched") mso.layer.eval_path = EvalPath::kBatched;
+      else if (p == "delta") mso.layer.eval_path = EvalPath::kDelta;
+      else if (p == "scalar") mso.layer.eval_path = EvalPath::kScalar;
+      else throw InvalidArgumentError("unknown eval path: " + p);
     } else if (a == "--compose") {
       mso.compose = compose_from_string(to_lower(next()));
     } else if (a == "--json") {
@@ -542,6 +549,16 @@ int cmd_search_model(int argc, char** argv) {
             << " uJ on-chip (" << r.evaluated << " evaluated, " << r.pruned
             << " pruned of " << r.generated << " generated"
             << (r.budget_exhausted ? "; budget exhausted" : "") << ")\n";
+  if (mso.layer.eval_path != EvalPath::kScalar) {
+    // Delta-hit and batch-shape numbers vary with the machine's thread
+    // layout — informational here, never part of golden output.
+    std::cout << "eval core: " << to_string(mso.layer.eval_path) << " path, "
+              << with_commas(r.eval.term_requests) << " term requests ("
+              << with_commas(r.eval.term_builds) << " built, "
+              << with_commas(r.eval.delta_hits) << " delta hits), "
+              << with_commas(r.eval.batches) << " batches (max "
+              << with_commas(r.eval.max_batch) << ")\n";
+  }
   if (mso.compose == ModelCompose::kPipelined) {
     const double pipe_speedup =
         best.composed_cycles > 0
@@ -603,6 +620,14 @@ int cmd_search_model(int argc, char** argv) {
     jw.member("evaluated", static_cast<std::uint64_t>(r.evaluated));
     jw.member("pruned", static_cast<std::uint64_t>(r.pruned));
     jw.member("generated", static_cast<std::uint64_t>(r.generated));
+    jw.member("eval_path", to_string(mso.layer.eval_path));
+    jw.key("eval").begin_object();
+    jw.member("term_requests", r.eval.term_requests);
+    jw.member("term_builds", r.eval.term_builds);
+    jw.member("delta_hits", r.eval.delta_hits);
+    jw.member("batches", r.eval.batches);
+    jw.member("max_batch", r.eval.max_batch);
+    jw.end_object();
     if (fixed_run) {
       jw.key("best_fixed").begin_object();
       jw.member("name", fixed_run->name);
