@@ -29,6 +29,12 @@
 // default 25), OMEGA_MODEL_WIDTHS (hidden widths, default "128,32,8"),
 // OMEGA_MODEL_CANDIDATES (per-layer cap, default 4096), OMEGA_MODEL_JSON
 // (default BENCH_model_dse.json), --model-only / --model-skip.
+//
+// --pipeline-dse runs the N-phase search sweep (run_pipeline_dse_sweep): an
+// EDP search over a 3-phase GAT-style chain, gating prune-parity (pruned
+// best == unpruned best) and scalar/delta/batched path parity, writing
+// BENCH_pipeline_dse.json. Knobs: OMEGA_PDSE_SCALE_PCT, OMEGA_PDSE_CANDIDATES,
+// OMEGA_PDSE_JSON.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -40,6 +46,7 @@
 #include "dataflow/enumerate.hpp"
 #include "engine/eval_core.hpp"
 #include "dse/model_search.hpp"
+#include "dse/pipeline_search.hpp"
 #include "dse/search.hpp"
 #include "graph/generators.hpp"
 #include "omega/pipeline.hpp"
@@ -743,6 +750,169 @@ int run_pipeline_study() {
   return parity_ok && three_ok && monotone_ok ? 0 : 1;
 }
 
+// ---- Pipeline DSE sweep: N-phase search path --------------------------------
+
+/// Gates (exit code): on a 3-phase GAT-style chain (dense score ->
+/// sparse-dense aggregation -> sparse-weight transform), the EDP-pruned
+/// search must return the same best candidate (key, cycles, energy, score)
+/// as the unpruned one — the lossless-pruning contract of
+/// dse/pipeline_search.hpp — and the scalar / delta / batched evaluation
+/// paths must produce bit-identical ranked + Pareto sets. Throughput of the
+/// three paths and the pruning win are reported and written to
+/// BENCH_pipeline_dse.json. Knobs: OMEGA_PDSE_SCALE_PCT (Cora scale in
+/// percent, default 25), OMEGA_PDSE_CANDIDATES (cap, default 512),
+/// OMEGA_PDSE_JSON (output path).
+int run_pipeline_dse_sweep() {
+  const std::size_t scale_pct = env_or("OMEGA_PDSE_SCALE_PCT", 25);
+  const std::size_t cap = env_or("OMEGA_PDSE_CANDIDATES", 512);
+  const std::string json_path =
+      env_or_str("OMEGA_PDSE_JSON", "BENCH_pipeline_dse.json");
+
+  std::cout << "\n== pipeline DSE sweep: N-phase mapping search ==\n";
+  SynthesisOptions so;
+  so.scale = static_cast<double>(scale_pct) / 100.0;
+  const GnnWorkload w = synthesize_workload(dataset_by_name("Cora"), so);
+  const Omega omega(default_accelerator());
+
+  PipelineChainSpec chain;
+  chain.phases = {{.name = "score",
+                   .engine = PhaseEngine::kDenseDense,
+                   .out_features = 16},
+                  {.name = "agg", .engine = PhaseEngine::kSparseDense},
+                  {.name = "xform",
+                   .engine = PhaseEngine::kSparseSparse,
+                   .out_features = 8,
+                   .weight_density = 0.5}};
+  std::cout << "workload: " << w.name << " (V=" << w.num_vertices()
+            << ", E=" << w.num_edges() << ")\nchain: " << chain.to_string()
+            << "\ncap: " << cap << " candidates, objective EDP\n";
+
+  PipelineSearchOptions base;
+  base.objective = Objective::kEnergyDelayProduct;
+  base.max_candidates = cap;
+  const WorkloadContext context(w.adjacency);
+
+  const auto timed = [&](const PipelineSearchOptions& o) {
+    const auto t0 = std::chrono::steady_clock::now();
+    PipelineSearchResult r = search_pipeline_mappings(omega, w, chain, o,
+                                                      &context);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::pair<PipelineSearchResult, double>(
+        std::move(r), std::chrono::duration<double>(t1 - t0).count());
+  };
+
+  PipelineSearchOptions scalar_opt = base;
+  scalar_opt.eval_path = EvalPath::kScalar;
+  PipelineSearchOptions delta_opt = base;
+  delta_opt.eval_path = EvalPath::kDelta;
+  PipelineSearchOptions pruned_opt = base;
+  pruned_opt.prune = true;
+
+  const auto [batched, batched_s] = timed(base);
+  const auto [scalar, scalar_s] = timed(scalar_opt);
+  const auto [delta, delta_s] = timed(delta_opt);
+  const auto [pruned, pruned_s] = timed(pruned_opt);
+
+  // Path parity: the three evaluation cores must agree bit-for-bit on the
+  // ranked list and the Pareto frontier.
+  const auto same_sets = [](const PipelineSearchResult& a,
+                            const PipelineSearchResult& b) {
+    const auto same_entry = [](const RankedPipelineCandidate& x,
+                               const RankedPipelineCandidate& y) {
+      return x.key == y.key && x.cycles == y.cycles &&
+             x.on_chip_pj == y.on_chip_pj && x.score == y.score;
+    };
+    if (a.ranked.size() != b.ranked.size() ||
+        a.pareto.size() != b.pareto.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+      if (!same_entry(a.ranked[i], b.ranked[i])) return false;
+    }
+    for (std::size_t i = 0; i < a.pareto.size(); ++i) {
+      if (!same_entry(a.pareto[i], b.pareto[i])) return false;
+    }
+    return true;
+  };
+  const bool path_parity =
+      same_sets(batched, scalar) && same_sets(batched, delta);
+
+  // Prune parity: the lossless-bound contract — same best, fewer
+  // evaluations.
+  const RankedPipelineCandidate& ub = batched.best();
+  const RankedPipelineCandidate& pb = pruned.best();
+  const bool prune_parity = ub.key == pb.key && ub.cycles == pb.cycles &&
+                            ub.on_chip_pj == pb.on_chip_pj &&
+                            ub.score == pb.score;
+
+  const auto rate = [](const PipelineSearchResult& r, double s) {
+    return s > 0.0
+               ? static_cast<double>(r.evaluated + r.pruned) / s
+               : 0.0;
+  };
+  std::cout << "batched: " << fixed(rate(batched, batched_s), 1)
+            << " candidates/sec (" << batched.evaluated << " in "
+            << fixed(batched_s, 3) << " s)\n"
+            << "scalar:  " << fixed(rate(scalar, scalar_s), 1)
+            << " candidates/sec\n"
+            << "delta:   " << fixed(rate(delta, delta_s), 1)
+            << " candidates/sec\n"
+            << "pruned:  " << fixed(rate(pruned, pruned_s), 1)
+            << " candidates/sec (" << pruned.evaluated << " evaluated + "
+            << pruned.pruned << " culled)\n"
+            << "path parity:  "
+            << (path_parity ? "bit-identical" : "MISMATCH")
+            << " across scalar/delta/batched\n"
+            << "prune parity: " << (prune_parity ? "same best" : "MISMATCH")
+            << " (best " << pb.key << ", " << with_commas(pb.cycles)
+            << " cycles)\n"
+            << "eval core: " << with_commas(batched.eval.term_requests)
+            << " term requests (" << with_commas(batched.eval.term_builds)
+            << " built)\n";
+
+  std::ofstream json(json_path);
+  if (json) {
+    JsonWriter jw(2);
+    jw.begin_object();
+    jw.member("bench", "pipeline_dse_sweep");
+    jw.member("workload", w.name);
+    jw.member("vertices", static_cast<std::uint64_t>(w.num_vertices()));
+    jw.member("edges", static_cast<std::uint64_t>(w.num_edges()));
+    jw.member("chain", chain.to_string());
+    jw.member("cap", static_cast<std::uint64_t>(cap));
+    jw.member("generated", static_cast<std::uint64_t>(batched.generated));
+    const auto emit_path = [&](const char* name,
+                               const PipelineSearchResult& r, double s) {
+      jw.key(name).begin_object();
+      jw.member("seconds", s);
+      jw.member("evaluated", static_cast<std::uint64_t>(r.evaluated));
+      jw.member("culled", static_cast<std::uint64_t>(r.pruned));
+      jw.member("candidates_per_sec", rate(r, s));
+      jw.end_object();
+    };
+    emit_path("batched", batched, batched_s);
+    emit_path("scalar", scalar, scalar_s);
+    emit_path("delta", delta, delta_s);
+    emit_path("pruned", pruned, pruned_s);
+    jw.member("path_parity", path_parity ? "bit-identical" : "mismatch");
+    jw.member("prune_parity", prune_parity ? "same best" : "mismatch");
+    jw.key("best").begin_object();
+    jw.member("pipeline", pb.key);
+    jw.member("cycles", pb.cycles);
+    jw.member("on_chip_pj", pb.on_chip_pj);
+    jw.member("score", pb.score);
+    jw.end_object();
+    jw.key("eval").begin_object();
+    jw.member("term_requests", batched.eval.term_requests);
+    jw.member("term_builds", batched.eval.term_builds);
+    jw.end_object();
+    jw.end_object();
+    json << jw.str() << "\n";
+    std::cout << "(json: " << json_path << ")\n";
+  }
+  return path_parity && prune_parity ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -774,17 +944,27 @@ int main(int argc, char** argv) {
     }
   };
   bool pipeline_only = false;  // N-phase core study only (CI pipeline-smoke)
+  bool pipeline_dse = false;   // N-phase search sweep only (CI pipeline-DSE)
   consume_flag("--dse-only", &dse_only);
   consume_flag("--dse-skip", &dse_skip);
   consume_flag("--model-only", &model_only);
   consume_flag("--model-skip", &model_skip);
   consume_flag("--pipeline-only", &pipeline_only);
+  consume_flag("--pipeline-dse", &pipeline_dse);
   consume_value_flag("--repeat", &repeat);
   if (pipeline_only) {
     try {
       return run_pipeline_study();
     } catch (const std::exception& e) {
       std::cerr << "pipeline study failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (pipeline_dse) {
+    try {
+      return run_pipeline_dse_sweep();
+    } catch (const std::exception& e) {
+      std::cerr << "pipeline DSE sweep failed: " << e.what() << "\n";
       return 1;
     }
   }

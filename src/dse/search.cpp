@@ -1,17 +1,12 @@
 #include "dse/search.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <bit>
 #include <cmath>
-#include <limits>
-#include <numeric>
-#include <optional>
 
 #include "dataflow/enumerate.hpp"
-#include "engine/eval_core.hpp"
+#include "dse/pipeline_search.hpp"
 #include "util/error.hpp"
-#include "util/parallel.hpp"
 
 namespace omega {
 
@@ -156,16 +151,6 @@ void generate_for_pair(const SearchOptions& opt, const WorkloadDims& dims,
   }
 }
 
-double score_of(Objective obj, std::uint64_t cycles, double pj) {
-  switch (obj) {
-    case Objective::kRuntime: return static_cast<double>(cycles);
-    case Objective::kEnergy: return pj;
-    case Objective::kEnergyDelayProduct:
-      return static_cast<double>(cycles) * pj;
-  }
-  return static_cast<double>(cycles);
-}
-
 std::uint64_t ceil_div_u64(std::uint64_t a, std::uint64_t b) {
   return b == 0 ? a : (a + b - 1) / b;
 }
@@ -245,231 +230,90 @@ std::vector<DataflowDescriptor> enumerate_search_candidates(
   return candidates;
 }
 
+// Thin adapter over the N-phase pipeline searcher: the two-phase layer is
+// expressed as one chain per phase order, the legacy options map onto
+// PipelineSearchOptions, and ranked/Pareto entries come back through each
+// candidate's preserved legacy descriptor — bit-identical to the historic
+// implementation (tests/pipeline_dse_test.cpp pins the parity).
 SearchResult search_mappings(const Omega& omega, const GnnWorkload& workload,
                              const LayerSpec& layer,
                              const SearchOptions& options,
                              const WorkloadContext* shared_context) {
-  const WorkloadDims dims = dims_of(workload, layer);
   const std::size_t pes = omega.config().num_pes;
-  const std::vector<DataflowDescriptor> candidates =
-      enumerate_search_candidates(options, dims, pes);
+
+  // Chain projections of the two phase orders. The probe descriptor only
+  // fixes engines and widths — Seq with all-temporal unit tiles is valid for
+  // any workload, and only its chain projection survives.
+  DataflowDescriptor probe;
+  probe.inter = InterPhase::kSequential;
+  probe.phase_order = PhaseOrder::kAC;
+  probe.agg.phase = GnnPhase::kAggregation;
+  probe.agg.order = LoopOrder(Dim::kV, Dim::kN, Dim::kF);
+  probe.cmb.phase = GnnPhase::kCombination;
+  probe.cmb.order = LoopOrder(Dim::kV, Dim::kF, Dim::kG);
+  std::vector<PipelineChainSpec> chains;
+  chains.push_back(PipelineChainSpec::of(two_phase_pipeline(probe, layer)));
+  bool has_ca_extra = false;
+  for (const DataflowDescriptor& df : options.extra_candidates) {
+    has_ca_extra |= df.phase_order == PhaseOrder::kCA;
+  }
+  if (options.include_ca || has_ca_extra) {
+    probe.phase_order = PhaseOrder::kCA;
+    chains.push_back(PipelineChainSpec::of(two_phase_pipeline(probe, layer)));
+  }
+
+  PipelineSearchOptions popt;
+  popt.objective = options.objective;
+  popt.include_seq = options.include_seq;
+  popt.include_sp_generic = options.include_sp_generic;
+  popt.include_sp_optimized = options.include_sp_optimized;
+  popt.include_pp = options.include_pp;
+  popt.pp_fractions = options.pp_fractions;
+  popt.min_static_utilization = options.min_static_utilization;
+  popt.max_candidates = options.max_candidates;
+  popt.threads = options.threads;
+  popt.top_k = options.top_k;
+  // The legacy contract prunes the runtime objective only; the pipeline
+  // searcher prunes every objective, so gate here.
+  popt.prune = options.prune && options.objective == Objective::kRuntime;
+  popt.prune_seed = options.prune_seed;
+  popt.eval_path = options.eval_path;
+  popt.seed_table5 = false;
+  // CA extras without include_ca evaluate against a bind-only CA chain that
+  // contributes no enumerated population.
+  popt.enumerate_chains = options.include_ca ? 0 : 1;
+  for (const DataflowDescriptor& df : options.extra_candidates) {
+    const std::size_t chain_index = df.phase_order == PhaseOrder::kCA ? 1 : 0;
+    popt.extra_candidates.push_back(
+        lower_two_phase_candidate(df, chain_index, layer, pes));
+  }
+
+  const PipelineSearchResult pr = search_pipeline_mappings(
+      omega, workload, chains, popt, shared_context);
 
   SearchResult result;
-  result.generated = candidates.size() + options.extra_candidates.size();
-
-  // Deterministic stride subsampling under a candidate cap — by index, so
-  // no DataflowDescriptor is copied to build the sample. Caller-provided
-  // extra candidates ride along after the sample, outside the cap.
-  const bool capped = options.max_candidates > 0 &&
-                      candidates.size() > options.max_candidates;
-  const std::size_t sampled =
-      capped ? options.max_candidates : candidates.size();
-  const std::size_t selected = sampled + options.extra_candidates.size();
-  const auto candidate_at = [&](std::size_t i) -> const DataflowDescriptor& {
-    if (i >= sampled) return options.extra_candidates[i - sampled];
-    return candidates[capped ? stride_sample_index(i, candidates.size(),
-                                                   sampled)
-                             : i];
+  result.generated = pr.generated;
+  result.evaluated = pr.evaluated;
+  result.pruned = pr.pruned;
+  result.eval = pr.eval;
+  const auto convert = [](const RankedPipelineCandidate& rc) {
+    OMEGA_CHECK(rc.candidate.legacy.has_value(),
+                "two-phase adapter: candidate without a legacy descriptor");
+    Candidate c;
+    c.dataflow = *rc.candidate.legacy;
+    c.cycles = rc.cycles;
+    c.on_chip_pj = rc.on_chip_pj;
+    c.score = rc.score;
+    return c;
   };
-
-  // Per-workload evaluation-reuse memo: one transpose, one lane schedule per
-  // (walk, lanes, lane_width) across every candidate. Pre-warm the reverse
-  // adjacency so sweep threads do not race to build it on first touch.
-  // Model-level search hands in one context shared across every layer.
-  std::optional<WorkloadContext> own_context;
-  if (shared_context == nullptr) {
-    own_context.emplace(workload.adjacency);
+  result.ranked.reserve(pr.ranked.size());
+  for (const RankedPipelineCandidate& rc : pr.ranked) {
+    result.ranked.push_back(convert(rc));
   }
-  const WorkloadContext& context =
-      shared_context != nullptr ? *shared_context : *own_context;
-  for (std::size_t i = 0; i < selected; ++i) {
-    const LoopOrder& order = candidate_at(i).agg.order;
-    if (order.depth_of(Dim::kV) > order.depth_of(Dim::kN)) {  // scatter
-      (void)context.reverse_graph();
-      break;
-    }
+  result.pareto.reserve(pr.pareto.size());
+  for (const RankedPipelineCandidate& rc : pr.pareto) {
+    result.pareto.push_back(convert(rc));
   }
-
-  // Evaluation order: identity without pruning; with pruning, ascending
-  // ideal-MAC bound with index tie-break, so the seed pass sees the most
-  // promising candidates first and the incumbent is tight. Both orders are
-  // deterministic functions of the candidate population alone.
-  const bool prune =
-      options.prune && options.objective == Objective::kRuntime && selected > 0;
-  std::vector<std::size_t> eval_order(selected);
-  std::iota(eval_order.begin(), eval_order.end(), std::size_t{0});
-  std::vector<std::uint64_t> bounds;
-  if (prune) {
-    const std::uint64_t edges = workload.num_edges();
-    bounds.resize(selected);
-    for (std::size_t i = 0; i < selected; ++i) {
-      // Extra candidates carry a zero bound: they sort to the front of the
-      // evaluation order and the cull condition (bound <= incumbent) can
-      // never drop them, honoring their "always evaluated" contract.
-      bounds[i] = i >= sampled
-                      ? 0
-                      : ideal_mac_cycle_bound(candidate_at(i), pes, edges,
-                                              dims);
-    }
-    std::sort(eval_order.begin(), eval_order.end(),
-              [&](std::size_t a, std::size_t b) {
-                if (bounds[a] != bounds[b]) return bounds[a] < bounds[b];
-                return a < b;
-              });
-  }
-
-  // Delta/batched evaluation core: one plan per (substrate, layer), cached
-  // in the context, so model-level searches reuse terms across calls. The
-  // plan-level counters are cumulative; snapshot them so result.eval reports
-  // this sweep's share only.
-  std::shared_ptr<const EvalPlan> plan;
-  std::uint64_t plan_requests0 = 0;
-  std::uint64_t plan_builds0 = 0;
-  if (options.eval_path != EvalPath::kScalar) {
-    plan = EvalPlan::obtain(omega, workload, layer, context);
-    plan_requests0 = plan->term_requests();
-    plan_builds0 = plan->term_builds();
-  }
-  std::atomic<std::uint64_t> delta_hits{0};
-  std::atomic<std::uint64_t> batches{0};
-  std::atomic<std::uint64_t> batched_candidates{0};
-  std::atomic<std::uint64_t> max_batch{0};
-
-  std::vector<Candidate> evaluated(selected);
-  std::vector<char> ok(selected, 0);
-  const auto record = [&](std::size_t i, const DataflowDescriptor& df,
-                          std::uint64_t cycles, double pj) {
-    evaluated[i].dataflow = df;
-    evaluated[i].cycles = cycles;
-    evaluated[i].on_chip_pj = pj;
-    evaluated[i].score = score_of(options.objective, cycles, pj);
-    ok[i] = 1;
-  };
-  const auto evaluate_range = [&](std::size_t from, std::size_t to) {
-    parallel_blocks(
-        to - from,
-        [&](std::size_t begin, std::size_t end) {
-          if (options.eval_path == EvalPath::kScalar) {
-            for (std::size_t j = begin; j < end; ++j) {
-              const std::size_t i = eval_order[from + j];
-              try {
-                const DataflowDescriptor& df = candidate_at(i);
-                const RunResult r = omega.run(workload, layer, df, context);
-                record(i, df, r.cycles, r.energy.on_chip_pj());
-              } catch (const Error&) {
-                ok[i] = 0;  // infeasible under this substrate; skip
-              }
-            }
-            return;
-          }
-          DeltaState state;  // per-block: delta slots never cross threads
-          if (options.eval_path == EvalPath::kDelta) {
-            for (std::size_t j = begin; j < end; ++j) {
-              const std::size_t i = eval_order[from + j];
-              const DataflowDescriptor& df = candidate_at(i);
-              const EvalOutcome o = plan->evaluate_one(df, state);
-              if (o.ok) record(i, df, o.cycles, o.on_chip_pj);
-            }
-          } else {
-            const std::size_t n = end - begin;
-            std::vector<const DataflowDescriptor*> dfs(n);
-            std::vector<EvalOutcome> outs(n);
-            for (std::size_t j = 0; j < n; ++j) {
-              dfs[j] = &candidate_at(eval_order[from + begin + j]);
-            }
-            plan->evaluate_batch({dfs.data(), n}, outs.data(), state);
-            for (std::size_t j = 0; j < n; ++j) {
-              const std::size_t i = eval_order[from + begin + j];
-              if (outs[j].ok) record(i, *dfs[j], outs[j].cycles,
-                                     outs[j].on_chip_pj);
-            }
-            batches.fetch_add(1, std::memory_order_relaxed);
-            batched_candidates.fetch_add(n, std::memory_order_relaxed);
-            std::uint64_t cur = max_batch.load(std::memory_order_relaxed);
-            while (cur < n && !max_batch.compare_exchange_weak(
-                                  cur, n, std::memory_order_relaxed)) {
-            }
-          }
-          delta_hits.fetch_add(state.delta_hits, std::memory_order_relaxed);
-        },
-        options.threads);
-  };
-
-  if (!prune) {
-    evaluate_range(0, selected);
-  } else {
-    // Seed pass: the prune_seed candidates with the smallest bounds, fully
-    // evaluated. The incumbent is reduced after the barrier, in index order,
-    // so it does not depend on thread scheduling.
-    const std::size_t seed =
-        std::min(std::max<std::size_t>(options.prune_seed, 1), selected);
-    evaluate_range(0, seed);
-    std::uint64_t incumbent = std::numeric_limits<std::uint64_t>::max();
-    for (std::size_t j = 0; j < seed; ++j) {
-      const std::size_t i = eval_order[j];
-      if (ok[i]) incumbent = std::min(incumbent, evaluated[i].cycles);
-    }
-    // Cull pass: a candidate whose *lower bound* already exceeds the
-    // incumbent's achieved cycles cannot beat the best (ties survive, so
-    // tie-breaking stays identical to the unpruned search). eval_order is
-    // bound-ascending, so survivors are a prefix.
-    std::size_t keep = seed;
-    while (keep < selected && bounds[eval_order[keep]] <= incumbent) ++keep;
-    result.pruned = selected - keep;
-    evaluate_range(seed, keep);
-  }
-
-  if (plan != nullptr) {
-    result.eval.term_requests = plan->term_requests() - plan_requests0;
-    result.eval.term_builds = plan->term_builds() - plan_builds0;
-    result.eval.delta_hits = delta_hits.load(std::memory_order_relaxed);
-    result.eval.batches = batches.load(std::memory_order_relaxed);
-    result.eval.batched_candidates =
-        batched_candidates.load(std::memory_order_relaxed);
-    result.eval.max_batch = max_batch.load(std::memory_order_relaxed);
-  }
-
-  std::vector<Candidate> valid;
-  valid.reserve(evaluated.size());
-  for (std::size_t i = 0; i < evaluated.size(); ++i) {
-    if (ok[i]) valid.push_back(std::move(evaluated[i]));
-  }
-  result.evaluated = valid.size();
-
-  std::sort(valid.begin(), valid.end(), candidate_order);
-  // An extra candidate may duplicate a sampled one; identical descriptors
-  // produce identical metrics and sort adjacent, so one unique pass drops
-  // the copies from the ranked list and the frontier.
-  valid.erase(std::unique(valid.begin(), valid.end(),
-                          [](const Candidate& a, const Candidate& b) {
-                            return a.cycles == b.cycles &&
-                                   a.on_chip_pj == b.on_chip_pj &&
-                                   a.dataflow.to_string() ==
-                                       b.dataflow.to_string();
-                          }),
-              valid.end());
-
-  // Pareto frontier over (cycles, energy). The candidate_order tail keeps
-  // the frontier's representative for tied (cycles, energy) points
-  // deterministic across platforms.
-  std::vector<Candidate> by_cycles = valid;
-  std::sort(by_cycles.begin(), by_cycles.end(),
-            [](const Candidate& a, const Candidate& b) {
-              if (a.cycles != b.cycles) return a.cycles < b.cycles;
-              if (a.on_chip_pj != b.on_chip_pj)
-                return a.on_chip_pj < b.on_chip_pj;
-              return a.dataflow.to_string() < b.dataflow.to_string();
-            });
-  double best_energy = std::numeric_limits<double>::infinity();
-  for (const auto& c : by_cycles) {
-    if (c.on_chip_pj < best_energy) {
-      best_energy = c.on_chip_pj;
-      result.pareto.push_back(c);
-    }
-  }
-
-  if (valid.size() > options.top_k) valid.resize(options.top_k);
-  result.ranked = std::move(valid);
   return result;
 }
 

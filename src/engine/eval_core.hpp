@@ -37,6 +37,11 @@
 // and `ok == false` exactly when Omega::run throws Error. The scalar path
 // stays alive behind SearchOptions::eval_path as the differential oracle;
 // tests/eval_core_test.cpp fuzzes single-field mutations against it.
+//
+// PipelineEvalPlan (below) generalizes the same factoring to N-phase chains
+// for the pipeline-space DSE: one term per chain position, (N-1) boundary
+// compositions, the same TermStore/delta-slot machinery, and the same
+// parity contract against Omega::run_pipeline.
 #pragma once
 
 #include <array>
@@ -53,6 +58,7 @@
 #include "engine/schedule_cache.hpp"
 #include "engine/spmm_engine.hpp"
 #include "omega/omega.hpp"
+#include "omega/pipeline.hpp"
 
 namespace omega {
 
@@ -116,6 +122,52 @@ struct DeltaState {
   std::shared_ptr<Scratch> scratch;
 };
 
+/// The shared term memo behind an evaluation plan: a POD-keyed map of
+/// once-built phase results, the chunked-timeline byte budget, and the
+/// request/build counters. Thread-safe; one store per plan, shared between
+/// the two-phase EvalPlan and the N-phase PipelineEvalPlan so the admission
+/// policy and counter semantics cannot drift between them.
+class TermStore {
+ public:
+  /// Resolves a term through (delta slot -> map -> build). `timeline_bytes
+  /// == 0` marks a small-grid term (always admitted, like the legacy
+  /// engine memo); nonzero is the estimated footprint of a chunked term's
+  /// timelines, admitted against kTermTimelineBudgetBytes. `slot` is the
+  /// caller's per-block L1 for this term position; `delta_hits` counts the
+  /// requests it served.
+  [[nodiscard]] std::shared_ptr<const PhaseResult> resolve(
+      const EvalTermKey& key, DeltaState::Slot& slot,
+      const std::function<std::shared_ptr<const PhaseResult>()>& build,
+      std::size_t timeline_bytes, std::uint64_t& delta_hits) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t builds() const {
+    return builds_.load(std::memory_order_relaxed);
+  }
+  /// Estimated bytes of chunked-term timelines admitted against
+  /// kTermTimelineBudgetBytes (small-grid terms are not counted).
+  [[nodiscard]] std::size_t timeline_bytes() const;
+
+ private:
+  struct TermEntry {
+    std::once_flag once;
+    // Null after a failed build: the engines reject this config
+    // (infeasible), cached so every revisit fails without re-simulating.
+    std::shared_ptr<const PhaseResult> result;
+  };
+
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<EvalTermKey, std::shared_ptr<TermEntry>,
+                             EvalTermKeyHash>
+      terms_;
+  mutable std::size_t timeline_bytes_ = 0;  // guarded by mutex_
+  mutable std::atomic<std::uint64_t> requests_{0};
+  mutable std::atomic<std::uint64_t> builds_{0};
+};
+
 /// A per-(workload, substrate, layer) evaluation plan. Obtain through
 /// EvalPlan::obtain (cached in the WorkloadContext); all methods are const
 /// and thread-safe. Counter semantics: term_requests/term_builds/term_count
@@ -143,17 +195,21 @@ class EvalPlan final : public EvalPlanBase {
                       EvalOutcome* out, DeltaState& state) const;
 
   // EvalPlanBase observability.
-  [[nodiscard]] std::size_t term_count() const override;
+  [[nodiscard]] std::size_t term_count() const override {
+    return store_.size();
+  }
   [[nodiscard]] std::uint64_t term_requests() const override {
-    return requests_.load(std::memory_order_relaxed);
+    return store_.requests();
   }
   [[nodiscard]] std::uint64_t term_builds() const override {
-    return builds_.load(std::memory_order_relaxed);
+    return store_.builds();
   }
 
   /// Estimated bytes of chunked-term timelines admitted against
   /// kTermTimelineBudgetBytes (small-grid terms are not counted).
-  [[nodiscard]] std::size_t term_timeline_bytes() const;
+  [[nodiscard]] std::size_t term_timeline_bytes() const {
+    return store_.timeline_bytes();
+  }
 
  private:
   friend struct DeltaState::Scratch;  // batch scratch holds TermSpecs arrays
@@ -177,23 +233,9 @@ class EvalPlan final : public EvalPlanBase {
       const SpmmPhaseConfig& cfg, DeltaState& state) const;
   [[nodiscard]] std::shared_ptr<const PhaseResult> resolve_gemm(
       const GemmPhaseConfig& cfg, DeltaState& state) const;
-  /// `timeline_bytes == 0` marks a small-grid term (always admitted, like
-  /// the legacy memo); nonzero is the estimated footprint of a chunked
-  /// term's timelines, admitted against kTermTimelineBudgetBytes.
-  [[nodiscard]] std::shared_ptr<const PhaseResult> resolve_term(
-      const EvalTermKey& key, std::size_t slot_idx,
-      const std::function<std::shared_ptr<const PhaseResult>()>& build,
-      std::size_t timeline_bytes, DeltaState& state) const;
   [[nodiscard]] static EvalOutcome compose(
       const TermSpecs& ts, const PhaseResult& first,
       const PhaseResult& second, const EnergyModel& em);
-
-  struct TermEntry {
-    std::once_flag once;
-    // Null after a failed build: the engines reject this config
-    // (infeasible), cached so every revisit fails without re-simulating.
-    std::shared_ptr<const PhaseResult> result;
-  };
 
   // Workload / substrate bindings (all layer- and descriptor-invariant).
   const CSRGraph* graph_ = nullptr;
@@ -205,13 +247,127 @@ class EvalPlan final : public EvalPlanBase {
   std::size_t g_ = 0;  // output width
   bool dims_ok_ = false;
 
-  mutable std::mutex term_mutex_;
-  mutable std::unordered_map<EvalTermKey, std::shared_ptr<TermEntry>,
-                             EvalTermKeyHash>
-      terms_;
-  mutable std::size_t timeline_bytes_ = 0;  // guarded by term_mutex_
-  mutable std::atomic<std::uint64_t> requests_{0};
-  mutable std::atomic<std::uint64_t> builds_{0};
+  TermStore store_;
+};
+
+/// Per-evaluation-block working state for N-phase pipeline evaluation: one
+/// delta slot per phase POSITION (consecutive candidates that leave phase i
+/// untouched hit slot i without hashing its key) plus reusable batch
+/// scratch. One state per parallel block — never shared across threads.
+struct PipelineDeltaState {
+  std::vector<DeltaState::Slot> slots;  // sized to the plan's phase count
+  std::uint64_t delta_hits = 0;         // term requests served by a slot
+
+  struct Scratch;
+  std::shared_ptr<Scratch> scratch;
+};
+
+/// The N-phase generalization of EvalPlan: one candidate evaluation factors
+/// into N phase terms — one per chain position — plus (N-1) boundary
+/// compositions (PP pairs overlap chunk-by-chunk, everything else
+/// sat-adds), all resolved through the same TermStore machinery. The plan
+/// is keyed by the *chain* (engines, widths, densities — everything a
+/// pipeline sweep holds fixed) so per-candidate work reduces to deriving
+/// engine configs from the binding (dataflows, boundaries, PE fractions)
+/// and resolving cached terms; sparse-weight W^T CSRs are built once per
+/// chain phase here instead of once per candidate as in run_pipeline.
+///
+/// Parity contract (the pipeline sibling of EvalPlan's): for every binding,
+/// evaluate_one/evaluate_batch return bit-identical (cycles, on_chip_pj) to
+/// Omega::run_pipeline on the bound spec with the same context, and
+/// `ok == false` exactly when run_pipeline throws Error.
+class PipelineEvalPlan final : public EvalPlanBase {
+ public:
+  /// The context-cached plan for (omega's substrate + energy model,
+  /// workload, chain). `context` must be bound to `workload.adjacency`. A
+  /// chain that can never evaluate (chain_error, empty workload) still
+  /// yields a plan — every candidate then reports ok == false, mirroring
+  /// run_pipeline throwing on each.
+  [[nodiscard]] static std::shared_ptr<const PipelineEvalPlan> obtain(
+      const Omega& omega, const GnnWorkload& workload,
+      const PipelineChainSpec& chain, const WorkloadContext& context);
+
+  /// Evaluates one candidate binding through the term cache.
+  [[nodiscard]] EvalOutcome evaluate_one(const PipelineBindingView& binding,
+                                         PipelineDeltaState& state) const;
+
+  /// Struct-of-arrays evaluation of a binding block: writes one EvalOutcome
+  /// per input binding. Outcomes are identical to calling evaluate_one per
+  /// binding in order (the batch only restructures the passes).
+  void evaluate_batch(std::span<const PipelineBindingView> bindings,
+                      EvalOutcome* out, PipelineDeltaState& state) const;
+
+  [[nodiscard]] std::size_t phase_count() const { return statics_.size(); }
+
+  // EvalPlanBase observability.
+  [[nodiscard]] std::size_t term_count() const override {
+    return store_.size();
+  }
+  [[nodiscard]] std::uint64_t term_requests() const override {
+    return store_.requests();
+  }
+  [[nodiscard]] std::uint64_t term_builds() const override {
+    return store_.builds();
+  }
+  [[nodiscard]] std::size_t term_timeline_bytes() const {
+    return store_.timeline_bytes();
+  }
+
+ private:
+  friend struct PipelineDeltaState::Scratch;  // scratch holds term arrays
+  PipelineEvalPlan() = default;
+
+  /// Chain-invariant per-phase facts, resolved once at obtain time.
+  struct PhaseStatic {
+    PhaseEngine engine = PhaseEngine::kDenseDense;
+    std::size_t in_w = 0;
+    std::size_t out_w = 0;
+    /// Distinguishes which graph a sparse term runs on in its key (spare
+    /// word w[19]): 0 = the workload adjacency, 1 + i = phase i's W^T. Two
+    /// sparse-weight phases can share every keyed config field while
+    /// walking different weight patterns.
+    std::uint64_t graph_tag = 0;
+    std::shared_ptr<const CSRGraph> wcsr;  // sparse-weight phases only
+  };
+
+  /// One phase's fully derived engine config (the term spec). Exactly one
+  /// of spmm/gemm is meaningful per `is_gemm`; sparse-weight phases derive
+  /// a transposed spmm config like run_pipeline.
+  struct PhaseTerm {
+    bool is_gemm = false;
+    std::uint64_t graph_tag = 0;
+    SpmmPhaseConfig spmm;
+    GemmPhaseConfig gemm;
+  };
+  /// Per-candidate composition inputs. `feasible == false` short-circuits
+  /// the term passes (precheck failed — exactly the throws run_pipeline
+  /// performs before reaching the engines).
+  struct CandidateMeta {
+    bool feasible = false;
+    std::size_t partition_bytes = 0;
+  };
+
+  [[nodiscard]] bool derive(const PipelineBindingView& binding,
+                            PhaseTerm* terms, CandidateMeta* meta) const;
+  [[nodiscard]] std::shared_ptr<const PhaseResult> resolve_phase(
+      const PhaseTerm& term, std::size_t phase_idx,
+      PipelineDeltaState& state) const;
+  [[nodiscard]] EvalOutcome compose(
+      const PipelineBindingView& binding,
+      const std::shared_ptr<const PhaseResult>* results,
+      std::size_t partition_bytes) const;
+  void ensure_state(PipelineDeltaState& state) const;
+
+  // Workload / substrate / chain bindings (all binding-invariant).
+  const CSRGraph* graph_ = nullptr;
+  const WorkloadContext* context_ = nullptr;
+  AcceleratorConfig hw_;
+  EnergyModel em_;
+  std::size_t v_ = 0;
+  std::vector<PhaseStatic> statics_;
+  bool chain_ok_ = false;
+
+  TermStore store_;
 };
 
 }  // namespace omega

@@ -43,22 +43,30 @@ InterPhase inter_phase_from_string(const std::string& s) {
                              " (want Seq | SPg | SP | PP)");
 }
 
-HandoffRole PhaseSpec::producer_role() const {
-  // What this phase PRODUCES: the sparse-dense phase emits V x Feat with
+HandoffRole phase_producer_role(PhaseEngine e, const LoopOrder& order) {
+  // What the phase PRODUCES: the sparse-dense phase emits V x Feat with
   // contraction N; the dense/sparse-weight phases emit V x G with
   // contraction F (same role split as the classic AC/CA analysis).
-  return engine == PhaseEngine::kSparseDense
-             ? HandoffRole{dataflow.order, Dim::kV, Dim::kF, Dim::kN}
-             : HandoffRole{dataflow.order, Dim::kV, Dim::kG, Dim::kF};
+  return e == PhaseEngine::kSparseDense
+             ? HandoffRole{order, Dim::kV, Dim::kF, Dim::kN}
+             : HandoffRole{order, Dim::kV, Dim::kG, Dim::kF};
+}
+
+HandoffRole phase_consumer_role(PhaseEngine e, const LoopOrder& order) {
+  // What the phase CONSUMES: the sparse-dense phase reads intermediate
+  // rows through its N loop and columns through its feature loop (the
+  // classic CA consumer); the dense phases read V x F as their A operand.
+  return e == PhaseEngine::kSparseDense
+             ? HandoffRole{order, Dim::kN, Dim::kF, Dim::kV}
+             : HandoffRole{order, Dim::kV, Dim::kF, Dim::kG};
+}
+
+HandoffRole PhaseSpec::producer_role() const {
+  return phase_producer_role(engine, dataflow.order);
 }
 
 HandoffRole PhaseSpec::consumer_role() const {
-  // What this phase CONSUMES: the sparse-dense phase reads intermediate
-  // rows through its N loop and columns through its feature loop (the
-  // classic CA consumer); the dense phases read V x F as their A operand.
-  return engine == PhaseEngine::kSparseDense
-             ? HandoffRole{dataflow.order, Dim::kN, Dim::kF, Dim::kV}
-             : HandoffRole{dataflow.order, Dim::kV, Dim::kF, Dim::kG};
+  return phase_consumer_role(engine, dataflow.order);
 }
 
 std::string PhaseSpec::to_string() const {
@@ -97,48 +105,88 @@ std::string PipelineSpec::to_string() const {
 
 namespace {
 
-/// Generalized SP-Optimized constraints (Table II row 2): both phases keep
-/// the intermediate tile resident in the PE register files, so the producer
-/// must accumulate temporally, the consumer must stream its third dim
-/// temporally, both must traverse the shared tile in the same major with
-/// the third dim innermost, and the row/col tiles must match across the
-/// pair. Reduces exactly to the classic sp_optimized_error pairs for the
-/// two-phase descriptor.
-std::optional<std::string> sp_optimized_pair_error(const PhaseSpec& prod,
-                                                   const PhaseSpec& cons) {
-  const HandoffRole p = prod.producer_role();
-  const HandoffRole c = cons.consumer_role();
-  const std::string where =
-      prod.to_string() + " ->SP-> " + cons.to_string() + ": ";
+/// Which generalized SP-Optimized constraint (Table II row 2) a pair
+/// violates. The single rule set behind both the boolean hot-path check and
+/// the message-building validation path, so the two cannot drift.
+enum class SpoViolation : std::uint8_t {
+  kNone = 0,
+  kProducerContractionNotInnermost,
+  kConsumerThirdNotInnermost,
+  kMajorMismatch,
+  kProducerContractionSpatial,
+  kConsumerThirdSpatial,
+  kTileMismatch,
+};
+
+SpoViolation spo_pair_violation(PhaseEngine prod_engine,
+                                const IntraPhaseDataflow& prod,
+                                PhaseEngine cons_engine,
+                                const IntraPhaseDataflow& cons) {
+  const HandoffRole p = phase_producer_role(prod_engine, prod.order);
+  const HandoffRole c = phase_consumer_role(cons_engine, cons.order);
   if (p.order.depth_of(p.third) != 2) {
-    return where + "SP-Optimized needs the producer's contraction (" +
-           std::string(1, dim_letter(p.third)) +
-           ") innermost so accumulated data never leaves the PEs";
+    return SpoViolation::kProducerContractionNotInnermost;
   }
   if (c.order.depth_of(c.third) != 2) {
-    return where + "SP-Optimized streams the consumer's third dim (" +
-           std::string(1, dim_letter(c.third)) +
-           ") temporally over the stationary intermediate (innermost loop)";
+    return SpoViolation::kConsumerThirdNotInnermost;
   }
   const bool p_row_major = p.order.at(0) == p.row;
   const bool c_row_major = c.order.at(0) == c.row;
-  if (p_row_major != c_row_major) {
-    return where + "producer and consumer must traverse the RF-resident "
-                   "intermediate in the same major";
+  if (p_row_major != c_row_major) return SpoViolation::kMajorMismatch;
+  if (prod.tiles.get(p.third) != 1) {
+    return SpoViolation::kProducerContractionSpatial;
   }
-  if (prod.dataflow.tiles.get(p.third) != 1) {
-    return where + "SP-Optimized requires a temporal producer contraction "
-                   "(T_" + std::string(1, dim_letter(p.third)) + " = 1)";
+  if (cons.tiles.get(c.third) != 1) return SpoViolation::kConsumerThirdSpatial;
+  if (prod.tiles.get(p.row) != cons.tiles.get(c.row) ||
+      prod.tiles.get(p.col) != cons.tiles.get(c.col)) {
+    return SpoViolation::kTileMismatch;
   }
-  if (cons.dataflow.tiles.get(c.third) != 1) {
-    return where + "SP-Optimized streams the consumer's third dim "
-                   "temporally (T_" + std::string(1, dim_letter(c.third)) +
-           " = 1)";
-  }
-  if (prod.dataflow.tiles.get(p.row) != cons.dataflow.tiles.get(c.row) ||
-      prod.dataflow.tiles.get(p.col) != cons.dataflow.tiles.get(c.col)) {
-    return where + "SP-Optimized requires matched row/col tiles across the "
-                   "pair (the same intermediate tile stays in the PEs)";
+  return SpoViolation::kNone;
+}
+
+/// Message path over spo_pair_violation: both phases keep the intermediate
+/// tile resident in the PE register files, so the producer must accumulate
+/// temporally, the consumer must stream its third dim temporally, both must
+/// traverse the shared tile in the same major with the third dim innermost,
+/// and the row/col tiles must match across the pair. Reduces exactly to the
+/// classic sp_optimized_error pairs for the two-phase descriptor. `b` is
+/// the boundary index, named in the message; the prefix is built only on
+/// failure (this runs per candidate in validation-heavy callers).
+std::optional<std::string> sp_optimized_pair_error(const PhaseSpec& prod,
+                                                   const PhaseSpec& cons,
+                                                   std::size_t b) {
+  const SpoViolation v = spo_pair_violation(prod.engine, prod.dataflow,
+                                            cons.engine, cons.dataflow);
+  if (v == SpoViolation::kNone) return std::nullopt;
+  const HandoffRole p = phase_producer_role(prod.engine, prod.dataflow.order);
+  const HandoffRole c = phase_consumer_role(cons.engine, cons.dataflow.order);
+  const std::string where = "boundary " + std::to_string(b) + " (" +
+                            prod.to_string() + " ->SP-> " + cons.to_string() +
+                            "): ";
+  switch (v) {
+    case SpoViolation::kNone:
+      break;
+    case SpoViolation::kProducerContractionNotInnermost:
+      return where + "SP-Optimized needs the producer's contraction (" +
+             std::string(1, dim_letter(p.third)) +
+             ") innermost so accumulated data never leaves the PEs";
+    case SpoViolation::kConsumerThirdNotInnermost:
+      return where + "SP-Optimized streams the consumer's third dim (" +
+             std::string(1, dim_letter(c.third)) +
+             ") temporally over the stationary intermediate (innermost loop)";
+    case SpoViolation::kMajorMismatch:
+      return where + "producer and consumer must traverse the RF-resident "
+                     "intermediate in the same major";
+    case SpoViolation::kProducerContractionSpatial:
+      return where + "SP-Optimized requires a temporal producer contraction "
+                     "(T_" + std::string(1, dim_letter(p.third)) + " = 1)";
+    case SpoViolation::kConsumerThirdSpatial:
+      return where + "SP-Optimized streams the consumer's third dim "
+                     "temporally (T_" + std::string(1, dim_letter(c.third)) +
+             " = 1)";
+    case SpoViolation::kTileMismatch:
+      return where + "SP-Optimized requires matched row/col tiles across the "
+                     "pair (the same intermediate tile stays in the PEs)";
   }
   return std::nullopt;
 }
@@ -158,12 +206,13 @@ std::size_t pair_t_col(const PhaseSpec& prod, const PhaseSpec& cons) {
                   cons.dataflow.tiles.get(cons.consumer_role().col));
 }
 
-/// The engine-facing view of a chunk grid for the transposed sparse-weight
-/// problem: Out^T swaps rows/columns, and flipping the traversal major
-/// keeps the FLATTENED chunk order identical (row-major over (R, C) and
-/// column-major over (C, R) enumerate the same (r, c) sequence), which is
-/// what lets a transposed producer timeline compose index-by-index with an
-/// untransposed consumer.
+}  // namespace
+
+// Out^T swaps rows/columns, and flipping the traversal major keeps the
+// FLATTENED chunk order identical (row-major over (R, C) and column-major
+// over (C, R) enumerate the same (r, c) sequence), which is what lets a
+// transposed producer timeline compose index-by-index with an untransposed
+// consumer.
 ChunkSpec transpose_chunks(const ChunkSpec& c) {
   ChunkSpec t;
   t.rows = c.cols;
@@ -175,7 +224,13 @@ ChunkSpec transpose_chunks(const ChunkSpec& c) {
   return t;
 }
 
-}  // namespace
+bool sp_optimized_pair_ok(PhaseEngine prod_engine,
+                          const IntraPhaseDataflow& prod,
+                          PhaseEngine cons_engine,
+                          const IntraPhaseDataflow& cons) {
+  return spo_pair_violation(prod_engine, prod, cons_engine, cons) ==
+         SpoViolation::kNone;
+}
 
 EnergyBreakdown compute_energy(const TrafficCounters& traffic,
                                const EnergyModel& em,
@@ -208,39 +263,44 @@ std::optional<std::string> PipelineSpec::validation_error() const {
       return "pe_fractions entries must be finite and > 0";
     }
   }
-  for (const PhaseSpec& p : phases) {
-    const std::string who = p.to_string() + ": ";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseSpec& p = phases[i];
+    // Prefix built lazily (failure path only): validation runs per candidate
+    // in pipeline sweeps, and the index names WHICH of N phases failed.
+    const auto who = [&] {
+      return "phase " + std::to_string(i) + " (" + p.to_string() + "): ";
+    };
     if (p.dataflow.phase != taxonomy_phase(p.engine)) {
-      return who + "dataflow is expressed in the wrong loop vocabulary for "
-                   "the engine (sparse-dense phases loop over V/N/F, dense "
-                   "and sparse-weight phases over V/F/G)";
+      return who() + "dataflow is expressed in the wrong loop vocabulary for "
+                     "the engine (sparse-dense phases loop over V/N/F, dense "
+                     "and sparse-weight phases over V/F/G)";
     }
     try {
       p.dataflow.validate();
     } catch (const Error& e) {
-      return who + e.what();
+      return who() + e.what();
     }
     if (p.engine == PhaseEngine::kSparseDense) {
       if (p.out_features != 0) {
-        return who + "sparse-dense phases preserve the feature width; leave "
-                     "out_features 0";
+        return who() + "sparse-dense phases preserve the feature width; "
+                       "leave out_features 0";
       }
     } else if (p.out_features == 0) {
-      return who + "dense and sparse-weight phases need out_features >= 1";
+      return who() + "dense and sparse-weight phases need out_features >= 1";
     }
     if (p.engine == PhaseEngine::kSparseSparse) {
       if (!(p.weight_density > 0.0 && p.weight_density <= 1.0)) {
-        return who + "weight_density must lie in (0, 1]";
+        return who() + "weight_density must lie in (0, 1]";
       }
       if (p.dataflow.order.depth_of(Dim::kG) >
           p.dataflow.order.depth_of(Dim::kF)) {
-        return who + "sparse-weight phases walk the compressed W rows "
-                     "G-major over the F contraction; the loop order must "
-                     "place G outside F (got " + p.dataflow.order.letters() +
-               ")";
+        return who() + "sparse-weight phases walk the compressed W rows "
+                       "G-major over the F contraction; the loop order must "
+                       "place G outside F (got " +
+               p.dataflow.order.letters() + ")";
       }
     } else if (p.weight_density != 1.0) {
-      return who + "weight_density only applies to sparse-weight phases";
+      return who() + "weight_density only applies to sparse-weight phases";
     }
   }
   for (std::size_t b = 0; b < boundaries.size(); ++b) {
@@ -250,32 +310,34 @@ std::optional<std::string> PipelineSpec::validation_error() const {
       case InterPhase::kSequential:
         break;
       case InterPhase::kSPOptimized:
-        if (const auto err = sp_optimized_pair_error(prod, cons)) return err;
+        if (const auto err = sp_optimized_pair_error(prod, cons, b)) {
+          return err;
+        }
         break;
       case InterPhase::kSPGeneric:
       case InterPhase::kParallelPipeline: {
         const PipelineAnalysis a =
             analyze_handoff(prod.producer_role(), cons.consumer_role());
         if (!a.feasible) {
-          return prod.to_string() + " ->" +
-                 omega::to_string(boundaries[b]) + "-> " + cons.to_string() +
-                 ": " + a.reason;
+          return "boundary " + std::to_string(b) + " (" + prod.to_string() +
+                 " ->" + omega::to_string(boundaries[b]) + "-> " +
+                 cons.to_string() + "): " + a.reason;
         }
         break;
       }
     }
     if (is_chunked(boundaries[b]) &&
         cons.engine == PhaseEngine::kSparseSparse) {
-      return cons.to_string() +
-             ": a sparse-weight phase cannot consume a chunked intermediate "
+      return "boundary " + std::to_string(b) + " (" + cons.to_string() +
+             "): a sparse-weight phase cannot consume a chunked intermediate "
              "(its walked rows are W rows, not intermediate rows); use Seq "
              "or SP-Optimized upstream";
     }
   }
   for (std::size_t b = 1; b < boundaries.size(); ++b) {
     if (is_chunked(boundaries[b - 1]) && is_chunked(boundaries[b])) {
-      return phases[b].to_string() +
-             ": a phase can stage chunks through at most one adjacent "
+      return "phase " + std::to_string(b) + " (" + phases[b].to_string() +
+             "): a phase can stage chunks through at most one adjacent "
              "boundary (both neighbors are SP-Generic/PP); separate the "
              "chunked boundaries with Seq or SP-Optimized";
     }
@@ -287,6 +349,93 @@ void PipelineSpec::validate() const {
   if (const auto err = validation_error()) {
     throw InvalidDataflowError("pipeline " + to_string() + ": " + *err);
   }
+}
+
+PipelineChainSpec PipelineChainSpec::of(const PipelineSpec& spec) {
+  PipelineChainSpec c;
+  c.in_features = spec.in_features;
+  c.phases.reserve(spec.phases.size());
+  for (const PhaseSpec& p : spec.phases) {
+    c.phases.push_back({p.name, p.engine, p.out_features, p.weight_density});
+  }
+  return c;
+}
+
+std::optional<std::string> PipelineChainSpec::chain_error() const {
+  if (phases.empty()) return "pipeline needs at least one phase";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseChainSpec& p = phases[i];
+    const auto who = [&] {
+      return "phase " + std::to_string(i) + " (" +
+             (p.name.empty() ? std::string("phase") : p.name) + "=" +
+             std::string(omega::to_string(p.engine)) + "): ";
+    };
+    if (p.engine == PhaseEngine::kSparseDense) {
+      if (p.out_features != 0) {
+        return who() + "sparse-dense phases preserve the feature width; "
+                       "leave out_features 0";
+      }
+    } else if (p.out_features == 0) {
+      return who() + "dense and sparse-weight phases need out_features >= 1";
+    }
+    if (p.engine == PhaseEngine::kSparseSparse) {
+      if (!(p.weight_density > 0.0 && p.weight_density <= 1.0)) {
+        return who() + "weight_density must lie in (0, 1]";
+      }
+    } else if (p.weight_density != 1.0) {
+      return who() + "weight_density only applies to sparse-weight phases";
+    }
+  }
+  return std::nullopt;
+}
+
+PipelineSpec PipelineChainSpec::bind(const PipelineBindingView& b) const {
+  const std::size_t n = phases.size();
+  if (b.phases.size() != n || b.boundaries.size() + 1 != n ||
+      (!b.pe_fractions.empty() && b.pe_fractions.size() != n)) {
+    throw InvalidArgumentError(
+        "pipeline binding arity does not match the chain (" +
+        std::to_string(n) + " phases want " + std::to_string(n) +
+        " dataflows, " + std::to_string(n > 0 ? n - 1 : 0) +
+        " boundaries, and 0 or " + std::to_string(n) + " pe_fractions; got " +
+        std::to_string(b.phases.size()) + " / " +
+        std::to_string(b.boundaries.size()) + " / " +
+        std::to_string(b.pe_fractions.size()) + ")");
+  }
+  PipelineSpec s;
+  s.in_features = in_features;
+  s.phases.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.phases[i].name = phases[i].name;
+    s.phases[i].engine = phases[i].engine;
+    s.phases[i].out_features = phases[i].out_features;
+    s.phases[i].weight_density = phases[i].weight_density;
+    s.phases[i].dataflow = b.phases[i];
+  }
+  s.boundaries.assign(b.boundaries.begin(), b.boundaries.end());
+  s.pe_fractions.assign(b.pe_fractions.begin(), b.pe_fractions.end());
+  return s;
+}
+
+std::string PipelineChainSpec::to_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseChainSpec& p = phases[i];
+    if (i > 0) s += " -> ";
+    s += p.name.empty() ? std::string("phase") : p.name;
+    s += "=";
+    s += omega::to_string(p.engine);
+    if (p.out_features > 0 || p.engine == PhaseEngine::kSparseSparse) {
+      s += "(";
+      if (p.out_features > 0) s += "G=" + std::to_string(p.out_features);
+      if (p.engine == PhaseEngine::kSparseSparse) {
+        if (p.out_features > 0) s += ",";
+        s += "d=" + fixed(p.weight_density, 3);
+      }
+      s += ")";
+    }
+  }
+  return s;
 }
 
 PhaseSpec assemble_phase_spec(std::string name, PhaseEngine engine,
@@ -315,17 +464,23 @@ PhaseSpec assemble_phase_spec(std::string name, PhaseEngine engine,
   return p;
 }
 
+std::size_t sparse_weight_nnz_per_row(std::size_t in_features,
+                                      double density) {
+  return std::min<std::size_t>(
+      in_features,
+      std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::llround(density * static_cast<double>(in_features)))));
+}
+
 CSRGraph sparse_weight_csr(std::size_t in_features, std::size_t out_features,
                            double density) {
   OMEGA_CHECK(in_features >= 1 && out_features >= 1,
               "weight matrix extents must be >= 1");
   OMEGA_CHECK(density > 0.0 && density <= 1.0,
               "weight density must lie in (0, 1]");
-  const std::size_t nnz_per_row = std::min<std::size_t>(
-      in_features,
-      std::max<std::size_t>(
-          1, static_cast<std::size_t>(
-                 std::llround(density * static_cast<double>(in_features)))));
+  const std::size_t nnz_per_row =
+      sparse_weight_nnz_per_row(in_features, density);
   // W^T pattern: out_features rows of max(1, round(density * F)) entries.
   // Only the degree profile feeds the cost model (the engines never
   // dereference neighbor ids — traffic is counted per (edge, feature)), so

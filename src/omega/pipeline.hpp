@@ -37,6 +37,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,23 @@ struct PhaseSpec {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Hand-off roles derived from the engine kind and loop order alone —
+/// PhaseSpec::producer_role/consumer_role delegate here, and the DSE eval
+/// core derives boundary plans per candidate without materializing
+/// PhaseSpecs (no name strings on the hot path).
+[[nodiscard]] HandoffRole phase_producer_role(PhaseEngine e,
+                                              const LoopOrder& order);
+[[nodiscard]] HandoffRole phase_consumer_role(PhaseEngine e,
+                                              const LoopOrder& order);
+
+/// Allocation-free SP-Optimized boundary check: true iff
+/// PipelineSpec::validation_error would accept this producer/consumer pair
+/// (same rules as the message-building path, shared so they cannot drift).
+[[nodiscard]] bool sp_optimized_pair_ok(PhaseEngine prod_engine,
+                                        const IntraPhaseDataflow& prod,
+                                        PhaseEngine cons_engine,
+                                        const IntraPhaseDataflow& cons);
+
 /// A complete N-phase pipeline description.
 struct PipelineSpec {
   std::vector<PhaseSpec> phases;          // execution order, >= 1 phase
@@ -123,6 +141,47 @@ struct PipelineSpec {
   void validate() const;
 
   /// e.g. "agg=spmm(VtFsNt) ->PP-> cmb=gemm(VsGsFt,G=16)".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The per-candidate ("binding") half of a PipelineSpec: everything a DSE
+/// sweep varies. The chain half (engines, widths, densities — see
+/// PipelineChainSpec) stays fixed across a sweep, which is what lets the
+/// eval core precompute widths and sparse-weight CSRs once per search.
+struct PipelineBindingView {
+  std::span<const IntraPhaseDataflow> phases;  // one per chain phase
+  std::span<const InterPhase> boundaries;      // phases.size() - 1
+  std::span<const double> pe_fractions;        // empty or one per phase
+};
+
+/// The binding-invariant half of one phase (PhaseSpec minus the dataflow).
+struct PhaseChainSpec {
+  std::string name;  // echoed into bound specs; "phase<i>" when empty
+  PhaseEngine engine = PhaseEngine::kDenseDense;
+  std::size_t out_features = 0;   // 0 for kSparseDense (width-preserving)
+  double weight_density = 1.0;    // kSparseSparse only
+};
+
+/// An N-phase chain: the search-space *shape* a pipeline DSE sweep runs
+/// over. `bind` assembles a full PipelineSpec from a candidate binding.
+struct PipelineChainSpec {
+  std::vector<PhaseChainSpec> phases;
+  std::size_t in_features = 0;  // first-phase input width; 0 = workload's
+
+  /// Chain projection of a full spec (drops the per-phase dataflows).
+  [[nodiscard]] static PipelineChainSpec of(const PipelineSpec& spec);
+
+  /// Binding-invariant validation (arity, per-phase width/density rules —
+  /// the chain-level subset of PipelineSpec::validation_error, with the
+  /// same phase-indexed messages). Dataflow- and boundary-dependent rules
+  /// can only be checked on a bound spec.
+  [[nodiscard]] std::optional<std::string> chain_error() const;
+
+  /// Full spec from a candidate binding; throws InvalidArgumentError on an
+  /// arity mismatch between the binding and the chain.
+  [[nodiscard]] PipelineSpec bind(const PipelineBindingView& binding) const;
+
+  /// e.g. "score=gemm(G=16) -> agg=spmm -> xform=spgemm(G=8,d=0.500)".
   [[nodiscard]] std::string to_string() const;
 };
 
@@ -218,5 +277,19 @@ struct PipelineResult {
 [[nodiscard]] CSRGraph sparse_weight_csr(std::size_t in_features,
                                          std::size_t out_features,
                                          double density);
+
+/// Nonzeros per W^T row in sparse_weight_csr's pattern:
+/// min(F, max(1, round(density * F))). The sparse-weight MAC count is
+/// out_features * nnz_per_row * V — the quantity compulsory-work lower
+/// bounds (DSE pruning) need without materializing the CSR.
+[[nodiscard]] std::size_t sparse_weight_nnz_per_row(std::size_t in_features,
+                                                    double density);
+
+/// Engine-facing chunk grid for the transposed sparse-weight problem: Out^T
+/// swaps rows/columns, and flipping the traversal major keeps the FLATTENED
+/// chunk order identical, which is what lets a transposed producer timeline
+/// compose index-by-index with an untransposed consumer. Shared with the
+/// DSE eval core, whose boundary plans must mirror run_pipeline exactly.
+[[nodiscard]] ChunkSpec transpose_chunks(const ChunkSpec& chunks);
 
 }  // namespace omega

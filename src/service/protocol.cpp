@@ -259,6 +259,91 @@ PipelineSpec parse_pipeline(const JsonValue& v) {
   return spec;
 }
 
+/// v2 search_pipeline: {"phases":[{"name","engine","out_features",
+/// "density"},...],"in_features":N}. The binding half (orders, tiles,
+/// boundaries, fractions) is what the search enumerates, so the chain
+/// carries none of it.
+PipelineChainSpec parse_chain(const JsonValue& v) {
+  if (!v.is_object()) {
+    throw InvalidArgumentError("chain must be an object");
+  }
+  PipelineChainSpec chain;
+  bool saw_phases = false;
+  for (const auto& [key, value] : v.members()) {
+    if (key == "phases") {
+      saw_phases = true;
+      if (!value.is_array()) {
+        throw InvalidArgumentError("chain.phases must be an array");
+      }
+      for (const auto& pv : value.items()) {
+        if (!pv.is_object()) {
+          throw InvalidArgumentError("chain.phases[] must be objects");
+        }
+        PhaseChainSpec phase;
+        bool saw_engine = false;
+        for (const auto& [pk, pval] : pv.members()) {
+          if (pk == "name") {
+            phase.name = string_field(pval, "chain.phases[].name");
+          } else if (pk == "engine") {
+            phase.engine = phase_engine_from_string(
+                string_field(pval, "chain.phases[].engine"));
+            saw_engine = true;
+          } else if (pk == "out_features") {
+            phase.out_features = static_cast<std::size_t>(
+                u64_field(pval, "chain.phases[].out_features"));
+          } else if (pk == "density") {
+            phase.weight_density =
+                double_field(pval, "chain.phases[].density");
+          } else {
+            throw InvalidArgumentError("unknown chain.phases[] key: " + pk);
+          }
+        }
+        if (!saw_engine) {
+          throw InvalidArgumentError("each chain phase needs \"engine\"");
+        }
+        chain.phases.push_back(std::move(phase));
+      }
+    } else if (key == "in_features") {
+      chain.in_features =
+          static_cast<std::size_t>(u64_field(value, "chain.in_features"));
+    } else {
+      throw InvalidArgumentError("unknown chain key: " + key);
+    }
+  }
+  if (!saw_phases || chain.phases.empty()) {
+    throw InvalidArgumentError("chain needs a non-empty \"phases\" array");
+  }
+  return chain;
+}
+
+void parse_pipeline_search_options(const JsonValue& v,
+                                   PipelineSearchOptions& po) {
+  if (!v.is_object()) {
+    throw InvalidArgumentError("options must be an object");
+  }
+  for (const auto& [key, value] : v.members()) {
+    if (key == "objective") {
+      po.objective = parse_objective(string_field(value, "options.objective"));
+    } else if (key == "max_candidates") {
+      po.max_candidates =
+          static_cast<std::size_t>(u64_field(value, "options.max_candidates"));
+    } else if (key == "top_k") {
+      po.top_k = static_cast<std::size_t>(u64_field(value, "options.top_k"));
+    } else if (key == "prune") {
+      po.prune = bool_field(value, "options.prune");
+    } else if (key == "prune_seed") {
+      po.prune_seed =
+          static_cast<std::size_t>(u64_field(value, "options.prune_seed"));
+    } else if (key == "threads") {
+      po.threads = static_cast<std::size_t>(u64_field(value, "options.threads"));
+    } else if (key == "seed_table5") {
+      po.seed_table5 = bool_field(value, "options.seed_table5");
+    } else {
+      throw InvalidArgumentError("unknown options key: " + key);
+    }
+  }
+}
+
 GnnModel parse_model_arch(const std::string& s) {
   const std::string m = to_lower(s);
   if (m == "gcn") return GnnModel::kGCN;
@@ -308,6 +393,7 @@ const char* to_string(RequestKind k) {
     case RequestKind::kSearchMappings: return "search_mappings";
     case RequestKind::kSearchModel: return "search_model";
     case RequestKind::kStats: return "stats";
+    case RequestKind::kSearchPipeline: return "search_pipeline";
   }
   return "?";
 }
@@ -327,6 +413,7 @@ Request parse_request(const std::string& line) {
   if (k == "evaluate") r.kind = RequestKind::kEvaluate;
   else if (k == "search_mappings") r.kind = RequestKind::kSearchMappings;
   else if (k == "search_model") r.kind = RequestKind::kSearchModel;
+  else if (k == "search_pipeline") r.kind = RequestKind::kSearchPipeline;
   else if (k == "stats") r.kind = RequestKind::kStats;
   else throw InvalidArgumentError("unknown request kind: " + k);
 
@@ -341,10 +428,12 @@ Request parse_request(const std::string& line) {
   };
   const bool is_evaluate = r.kind == RequestKind::kEvaluate;
   const bool is_stats = r.kind == RequestKind::kStats;
+  const bool is_search_pipeline = r.kind == RequestKind::kSearchPipeline;
 
   bool saw_workload = false;
   bool saw_out_features = false;
   bool saw_pp_fraction = false;
+  bool saw_chain = false;
   for (const auto& [key, value] : root.members()) {
     if (key == "kind") continue;
     if (key == "id") {
@@ -360,6 +449,10 @@ Request parse_request(const std::string& line) {
       only_for("pipeline", is_evaluate);
       r.pipeline = parse_pipeline(value);
       r.has_pipeline = true;
+    } else if (key == "chain") {
+      only_for("chain", is_search_pipeline);
+      r.chain = parse_chain(value);
+      saw_chain = true;
     } else if (key == "workload") {
       only_for("workload", !is_stats);
       r.workload = parse_workload(value);
@@ -405,9 +498,12 @@ Request parse_request(const std::string& line) {
         parse_model_options(value, r.model_options);
       } else if (r.kind == RequestKind::kSearchMappings) {
         parse_mapping_options(value, r.search);
+      } else if (is_search_pipeline) {
+        parse_pipeline_search_options(value, r.pipeline_search);
       } else {
         throw InvalidArgumentError(
-            "options only applies to search_mappings / search_model");
+            "options only applies to search_mappings / search_model / "
+            "search_pipeline");
       }
     } else if (key == "model") {
       only_for("model", r.kind == RequestKind::kSearchModel);
@@ -471,6 +567,17 @@ Request parse_request(const std::string& line) {
   if (r.kind == RequestKind::kSearchModel && r.widths.empty()) {
     throw InvalidArgumentError(
         "search_model needs model.widths (hidden layer widths)");
+  }
+  if (is_search_pipeline) {
+    // Like evaluate's "pipeline", the N-phase search is a v2 addition.
+    if (r.version < 2) {
+      throw InvalidArgumentError(
+          "search_pipeline requires \"version\":2 (unversioned requests "
+          "speak the v1 two-phase shape)");
+    }
+    if (!saw_chain) {
+      throw InvalidArgumentError("search_pipeline needs a \"chain\"");
+    }
   }
   return r;
 }
@@ -708,6 +815,49 @@ std::string evaluate_pipeline_response(std::uint64_t id,
   }
   w.end_object();  // traffic_gb
   w.end_object();  // result
+  w.end_object();
+  return w.str();
+}
+
+std::string search_pipeline_response(std::uint64_t id,
+                                     const GnnWorkload& workload,
+                                     const PipelineChainSpec& chain,
+                                     const PipelineSearchResult& result,
+                                     std::uint64_t version) {
+  const auto write_ranked = [](JsonWriter& w,
+                               const RankedPipelineCandidate& c) {
+    w.begin_object();
+    w.member("pipeline", c.key);
+    w.member("cycles", c.cycles);
+    w.member("on_chip_pj", c.on_chip_pj);
+    w.member("score", c.score);
+    w.end_object();
+  };
+  JsonWriter w;
+  w.begin_object();
+  w.member("id", id);
+  if (version > 0) w.member("version", version);
+  w.member("ok", true);
+  w.member("kind", "search_pipeline");
+  write_workload_summary(w, workload);
+  w.member("chain", chain.to_string());
+  w.member("generated", static_cast<std::uint64_t>(result.generated));
+  w.member("evaluated", static_cast<std::uint64_t>(result.evaluated));
+  w.member("pruned", static_cast<std::uint64_t>(result.pruned));
+  // Deterministic eval-core counters only (delta hits / batch shapes are
+  // thread-layout dependent and stay out of goldens).
+  w.key("eval").begin_object();
+  w.member("term_requests", result.eval.term_requests);
+  w.member("term_builds", result.eval.term_builds);
+  w.end_object();
+  w.key("best");
+  write_ranked(w, result.best());
+  w.key("ranked").begin_array();
+  for (const RankedPipelineCandidate& c : result.ranked) write_ranked(w, c);
+  w.end_array();
+  w.key("pareto").begin_array();
+  for (const RankedPipelineCandidate& c : result.pareto) write_ranked(w, c);
+  w.end_array();
   w.end_object();
   return w.str();
 }

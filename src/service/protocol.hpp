@@ -28,6 +28,16 @@
 //      {"engine":"spmm","dataflow":"NtFsVt","tiles":[1,4,16]},
 //      {"engine":"spgemm","dataflow":"GsVtFt","out_features":8,
 //       "density":0.5}],"boundaries":["SPg","Seq"]}}
+//
+// and an N-phase mapping search over a chain (dse/pipeline_search.hpp) —
+// the chain fixes engines/widths/densities, the searcher supplies loop
+// orders, tilings, boundary strategies, and PE fractions:
+//
+//   {"id":6,"version":2,"kind":"search_pipeline","workload":{...},
+//    "chain":{"phases":[{"name":"score","engine":"gemm","out_features":16},
+//      {"engine":"spmm"},{"engine":"spgemm","out_features":8,
+//       "density":0.5}]},
+//    "options":{"max_candidates":256,"objective":"edp","prune":true}}
 #pragma once
 
 #include <cstdint>
@@ -35,6 +45,7 @@
 #include <vector>
 
 #include "dse/model_search.hpp"
+#include "dse/pipeline_search.hpp"
 #include "graph/datasets.hpp"
 #include "omega/pipeline.hpp"
 #include "util/json.hpp"
@@ -61,6 +72,7 @@ enum class RequestKind : std::uint8_t {
   kSearchMappings = 1,
   kSearchModel = 2,
   kStats = 3,
+  kSearchPipeline = 4,
 };
 
 [[nodiscard]] const char* to_string(RequestKind k);
@@ -95,6 +107,12 @@ struct Request {
   // dataflow/pattern shape. Exclusive with dataflow/pattern/tiles.
   bool has_pipeline = false;
   PipelineSpec pipeline;
+
+  // search_pipeline (version >= 2): the N-phase chain to search and its
+  // options. The chain carries the engines/widths/densities; the searcher
+  // supplies loop orders, tilings, boundary strategies, and PE fractions.
+  PipelineChainSpec chain;
+  PipelineSearchOptions pipeline_search;
 
   // search_mappings / search_model.
   SearchOptions search;
@@ -150,5 +168,12 @@ struct Request {
                                                 const GnnModelSpec& spec,
                                                 const ModelSearchResult& result,
                                                 std::uint64_t version = 0);
+/// v2 N-phase search response. Only the deterministic eval-core counters
+/// (term requests/builds) are emitted; delta hits and batch shapes depend
+/// on the serving machine's thread layout and stay out of goldens.
+[[nodiscard]] std::string search_pipeline_response(
+    std::uint64_t id, const GnnWorkload& workload,
+    const PipelineChainSpec& chain, const PipelineSearchResult& result,
+    std::uint64_t version);
 
 }  // namespace omega::service

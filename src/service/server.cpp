@@ -110,6 +110,13 @@ std::string MappingService::handle(const Request& request) {
       return search_mappings_response(request.id, workload, r,
                                      request.version);
     }
+    case RequestKind::kSearchPipeline: {
+      const PipelineSearchResult r = search_pipeline_mappings(
+          omega, workload, request.chain, request.pipeline_search,
+          &entry->context);
+      return search_pipeline_response(request.id, workload, request.chain, r,
+                                      request.version);
+    }
     case RequestKind::kSearchModel: {
       GnnModelSpec spec;
       spec.model = request.model;

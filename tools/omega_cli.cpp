@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "dse/model_search.hpp"
+#include "dse/pipeline_search.hpp"
 #include "graph/datasets.hpp"
 #include "graph/stats.hpp"
 #include "omega/omega.hpp"
@@ -116,6 +117,33 @@ constexpr CommandHelp kCommands[] = {
      "    --phase name=xform,engine=spgemm,order=GsVtFt,tiles=1x1x8,out=8,"
      "density=0.5 \\\n"
      "    --inter SPg,Seq\n"},
+    {"search-pipeline", "mapping search over an N-phase pipeline chain",
+     "usage: omega_cli search-pipeline <dataset> --phase <spec> [--phase ...] "
+     "[flags]\n"
+     "  Searches the mapping space of an N-phase chain "
+     "(dse/pipeline_search.hpp):\n"
+     "  the chain fixes engines/widths/densities, the searcher enumerates "
+     "loop\n"
+     "  orders, tilings, boundary strategies, and PP PE fractions. Each\n"
+     "  --phase is a comma-separated key=value list:\n"
+     "    name=<label>       free-form phase label (default phaseN)\n"
+     "    engine=<kind>      spmm | gemm | spgemm (sparse-weight)\n"
+     "    out=N              output feature width (gemm/spgemm)\n"
+     "    density=D          weight density in (0,1] (spgemm only)\n"
+     "flags:\n"
+     "  --objective runtime|energy|edp\n"
+     "  --budget N           candidate cap (deterministic subsample; 0 = "
+     "all)\n"
+     "  --top-k N            ranked entries to keep (default 16)\n"
+     "  --prune              lossless lower-bound pruning (any objective)\n"
+     "  --no-seeds           drop the Table V seed compositions\n"
+     "  --eval-path batched|delta|scalar  evaluation core (default batched)\n"
+     "  --threads N --pes N --bw N --scale X --in-features N --json PATH\n"
+     "example:\n"
+     "  omega_cli search-pipeline Cora --scale 0.25 \\\n"
+     "    --phase name=score,engine=gemm,out=16 --phase engine=spmm \\\n"
+     "    --phase name=xform,engine=spgemm,out=8,density=0.5 \\\n"
+     "    --objective edp --budget 512 --prune\n"},
     {"pattern", "evaluate a named Table V configuration",
      "usage: omega_cli pattern <dataset> <name> [flags]\n"
      "  Binds the named Table V pattern's tile sizes to the workload and\n"
@@ -434,6 +462,191 @@ int cmd_run_pipeline(int argc, char** argv) {
                   with_commas(bo.buffer_elements), notes});
     }
     std::cout << "\n" << bt;
+  }
+  return 0;
+}
+
+// ---- search-pipeline --------------------------------------------------------
+
+PhaseChainSpec parse_chain_phase_arg(const std::string& text) {
+  PhaseChainSpec p;
+  bool saw_engine = false;
+  for (const std::string& part : split(text, ',')) {
+    const auto eq = part.find('=');
+    if (eq == std::string::npos) {
+      throw InvalidArgumentError("--phase wants key=value pairs; got \"" +
+                                 part + "\"");
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string val = part.substr(eq + 1);
+    if (key == "name") {
+      p.name = val;
+    } else if (key == "engine") {
+      p.engine = phase_engine_from_string(val);
+      saw_engine = true;
+    } else if (key == "out") {
+      p.out_features = static_cast<std::size_t>(std::stoul(val));
+    } else if (key == "density") {
+      p.weight_density = std::stod(val);
+    } else {
+      throw InvalidArgumentError(
+          "unknown --phase key for search-pipeline: " + key +
+          " (the chain fixes engine/out/density; the searcher supplies "
+          "orders and tiles)");
+    }
+  }
+  if (!saw_engine) {
+    throw InvalidArgumentError("each --phase needs engine=");
+  }
+  return p;
+}
+
+int cmd_search_pipeline(int argc, char** argv) {
+  if (argc < 3) {
+    throw InvalidArgumentError("search-pipeline needs <dataset> and --phase");
+  }
+  PipelineChainSpec chain;
+  PipelineSearchOptions pso;
+  std::size_t pes = 512;
+  std::size_t bw = 0;
+  double scale = 1.0;
+  std::string json_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw InvalidArgumentError("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--phase") {
+      chain.phases.push_back(parse_chain_phase_arg(next()));
+    } else if (a == "--objective") {
+      const std::string o = to_lower(next());
+      if (o == "runtime") pso.objective = Objective::kRuntime;
+      else if (o == "energy") pso.objective = Objective::kEnergy;
+      else if (o == "edp") pso.objective = Objective::kEnergyDelayProduct;
+      else throw InvalidArgumentError("unknown objective: " + o);
+    } else if (a == "--budget") {
+      pso.max_candidates = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--top-k") {
+      pso.top_k = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--prune") {
+      pso.prune = true;
+    } else if (a == "--no-seeds") {
+      pso.seed_table5 = false;
+    } else if (a == "--eval-path") {
+      const std::string p = to_lower(next());
+      if (p == "batched") pso.eval_path = EvalPath::kBatched;
+      else if (p == "delta") pso.eval_path = EvalPath::kDelta;
+      else if (p == "scalar") pso.eval_path = EvalPath::kScalar;
+      else throw InvalidArgumentError("unknown eval path: " + p);
+    } else if (a == "--threads") {
+      pso.threads = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--in-features") {
+      chain.in_features = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--pes") {
+      pes = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--bw") {
+      bw = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--scale") {
+      scale = std::stod(next());
+    } else if (a == "--json") {
+      json_path = next();
+    } else {
+      throw InvalidArgumentError("unknown flag: " + a);
+    }
+  }
+  if (chain.phases.empty()) {
+    throw InvalidArgumentError("search-pipeline needs at least one --phase");
+  }
+
+  SynthesisOptions so;
+  so.scale = scale;
+  const GnnWorkload w = synthesize_workload(dataset_by_name(argv[2]), so);
+  AcceleratorConfig hw;
+  hw.num_pes = pes;
+  if (bw > 0) {
+    hw.distribution_bandwidth = bw;
+    hw.reduction_bandwidth = bw;
+  }
+  const Omega omega(hw);
+
+  std::cout << "pipeline mapping search on " << w.name << " (V="
+            << with_commas(w.num_vertices()) << ", E="
+            << with_commas(w.num_edges()) << ", F=" << w.in_features << ")\n"
+            << "chain:     " << chain.to_string() << "\n"
+            << "objective: " << to_string(pso.objective)
+            << (pso.prune ? ", pruned" : "")
+            << (pso.seed_table5 ? ", Table V seeded" : "") << "\n\n";
+
+  const PipelineSearchResult r = search_pipeline_mappings(omega, w, chain, pso);
+  if (r.ranked.empty()) {
+    std::cout << "no feasible candidate (" << r.generated << " generated)\n";
+    return 1;
+  }
+
+  TextTable t({"#", "pipeline", "cycles", "energy (uJ)", "score"});
+  for (std::size_t i = 0; i < r.ranked.size(); ++i) {
+    const RankedPipelineCandidate& c = r.ranked[i];
+    t.add_row({std::to_string(i), c.key, with_commas(c.cycles),
+               fixed(c.on_chip_pj / 1e6, 3), fixed(c.score, 6)});
+  }
+  std::cout << t;
+  std::cout << "\nbest: " << r.best().key << " at "
+            << with_commas(r.best().cycles) << " cycles, "
+            << fixed(r.best().on_chip_pj / 1e6, 3) << " uJ on-chip ("
+            << r.evaluated << " evaluated, " << r.pruned << " pruned of "
+            << r.generated << " generated; Pareto "
+            << r.pareto.size() << ")\n";
+  if (pso.eval_path != EvalPath::kScalar) {
+    // Delta-hit and batch-shape numbers vary with the machine's thread
+    // layout — informational here, never part of golden output.
+    std::cout << "eval core: " << to_string(pso.eval_path) << " path, "
+              << with_commas(r.eval.term_requests) << " term requests ("
+              << with_commas(r.eval.term_builds) << " built, "
+              << with_commas(r.eval.delta_hits) << " delta hits), "
+              << with_commas(r.eval.batches) << " batches (max "
+              << with_commas(r.eval.max_batch) << ")\n";
+  }
+
+  if (!json_path.empty()) {
+    JsonWriter jw(2);
+    jw.begin_object();
+    jw.member("workload", w.name);
+    jw.member("chain", chain.to_string());
+    jw.member("objective", to_string(pso.objective));
+    jw.member("generated", static_cast<std::uint64_t>(r.generated));
+    jw.member("evaluated", static_cast<std::uint64_t>(r.evaluated));
+    jw.member("pruned", static_cast<std::uint64_t>(r.pruned));
+    jw.key("ranked").begin_array();
+    for (const RankedPipelineCandidate& c : r.ranked) {
+      jw.begin_object();
+      jw.member("pipeline", c.key);
+      jw.member("cycles", c.cycles);
+      jw.member("on_chip_pj", c.on_chip_pj);
+      jw.member("score", c.score);
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.key("pareto").begin_array();
+    for (const RankedPipelineCandidate& c : r.pareto) {
+      jw.begin_object();
+      jw.member("pipeline", c.key);
+      jw.member("cycles", c.cycles);
+      jw.member("on_chip_pj", c.on_chip_pj);
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.key("eval").begin_object();
+    jw.member("term_requests", r.eval.term_requests);
+    jw.member("term_builds", r.eval.term_builds);
+    jw.member("delta_hits", r.eval.delta_hits);
+    jw.member("batches", r.eval.batches);
+    jw.member("max_batch", r.eval.max_batch);
+    jw.end_object();
+    jw.end_object();
+    std::ofstream json(json_path);
+    json << jw.str() << "\n";
+    std::cout << "(json: " << json_path << ")\n";
   }
   return 0;
 }
@@ -867,6 +1080,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(argc, argv);
     if (cmd == "run-pipeline") return cmd_run_pipeline(argc, argv);
     if (cmd == "pattern") return cmd_pattern(argc, argv);
+    if (cmd == "search-pipeline") return cmd_search_pipeline(argc, argv);
     if (cmd == "search-model") return cmd_search_model(argc, argv);
     if (cmd == "run-model") return cmd_run_model(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
