@@ -7,6 +7,7 @@
 //   OMEGA_BENCH_OUTDIR  directory for CSV dumps (default ./bench_results)
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -14,6 +15,7 @@
 
 #include "graph/datasets.hpp"
 #include "graph/stats.hpp"
+#include "obs/quantile.hpp"
 #include "omega/omega.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -80,6 +82,28 @@ inline void emit(const std::string& title, const TextTable& table,
   if (write_file_if_possible(path, table.to_csv())) {
     std::cout << "(csv: " << path << ")\n";
   }
+}
+
+/// Median + tail summary of repeated timing samples. Every bench reports
+/// through this one path so "median" and "p99" mean the same thing (the
+/// shared exact-quantile helper, obs/quantile.hpp) across BENCH_*.json
+/// files and the graph-stats percentiles.
+struct RepeatSummary {
+  double median = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+inline RepeatSummary summarize_samples(std::vector<double> samples) {
+  RepeatSummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.median = obs::percentile_sorted(samples, 50.0);
+  s.p99 = obs::percentile_sorted(samples, 99.0);
+  s.min = samples.front();
+  s.max = samples.back();
+  return s;
 }
 
 inline void banner(const std::string& what) {

@@ -115,7 +115,8 @@ BENCHMARK(BM_MappingSearch)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 // ---- DSE sweep: scalar / delta / batched candidates/sec ---------------------
 
 struct SweepTiming {
-  double seconds = 0.0;  // median over the timed repeats
+  double seconds = 0.0;      // median over the timed repeats
+  double p99_seconds = 0.0;  // tail repeat (== median when repeat is small)
   double candidates_per_sec = 0.0;
   std::size_t evaluated = 0;
 };
@@ -144,12 +145,11 @@ SweepTiming time_sweep(std::size_t n, std::size_t repeat,
     }
     secs.push_back(std::chrono::duration<double>(t1 - t0).count());
   }
-  std::sort(secs.begin(), secs.end());
+  const bench::RepeatSummary summary = bench::summarize_samples(secs);
   SweepTiming t;
   t.evaluated = n;
-  t.seconds = secs.size() % 2 == 1
-                  ? secs[secs.size() / 2]
-                  : 0.5 * (secs[secs.size() / 2 - 1] + secs[secs.size() / 2]);
+  t.seconds = summary.median;
+  t.p99_seconds = summary.p99;
   t.candidates_per_sec =
       t.seconds > 0.0 ? static_cast<double>(n) / t.seconds : 0.0;
   return t;
@@ -309,7 +309,7 @@ int run_dse_sweep(std::size_t repeat) {
                          std::size_t n) {
     std::cout << name << fixed(t.candidates_per_sec, 1)
               << " candidates/sec (" << n << " in " << fixed(t.seconds, 3)
-              << " s)\n";
+              << " s median, " << fixed(t.p99_seconds, 3) << " s p99)\n";
   };
   report("uncached: ", uncached, baseline.size());
   report("scalar:   ", scalar, candidates.size());
@@ -361,6 +361,7 @@ int run_dse_sweep(std::size_t repeat) {
     const auto emit_timing = [&](const char* name, const SweepTiming& t) {
       jw.key(name).begin_object();
       jw.member("seconds", t.seconds);
+      jw.member("p99_seconds", t.p99_seconds);
       jw.member("candidates_per_sec", t.candidates_per_sec);
       jw.end_object();
     };

@@ -9,9 +9,11 @@
 #include <limits>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <utility>
 
 #include "dataflow/patterns.hpp"
+#include "obs/trace.hpp"
 #include "engine/eval_core.hpp"
 #include "engine/schedule_cache.hpp"
 #include "omega/tiler.hpp"
@@ -682,6 +684,12 @@ PipelineSearchResult search_pipeline_mappings(
           ? chains.size()
           : std::min(options.enumerate_chains, chains.size());
 
+  // Stage spans (enumerate / prune / evaluate / rank) — no-ops when
+  // options.trace is null; optional<> gives each stage RAII close points
+  // inside this straight-line function.
+  std::optional<obs::ScopedSpan> span;
+  span.emplace(options.trace, "enumerate", "dse");
+
   std::vector<ChainInfo> infos;
   infos.reserve(chains.size());
   for (std::size_t c = 0; c < chains.size(); ++c) {
@@ -787,6 +795,9 @@ PipelineSearchResult search_pipeline_mappings(
       cands[sampled + e] = std::move(extras[e]);
     }
   }
+  span->arg("generated", result.generated);
+  span->arg("selected", selected);
+  span.reset();
 
   std::optional<WorkloadContext> own_context;
   if (shared_context == nullptr) own_context.emplace(workload.adjacency);
@@ -819,6 +830,8 @@ PipelineSearchResult search_pipeline_mappings(
   std::iota(eval_order.begin(), eval_order.end(), std::size_t{0});
   std::vector<double> bounds;
   if (prune) {
+    span.emplace(options.trace, "prune", "dse");
+    span->arg("candidates", selected);
     bounds.resize(selected);
     for (std::size_t i = 0; i < selected; ++i) {
       if (i >= sampled) {
@@ -845,6 +858,7 @@ PipelineSearchResult search_pipeline_mappings(
                 if (bounds[a] != bounds[b]) return bounds[a] < bounds[b];
                 return a < b;
               });
+    span.reset();
   }
 
   // One eval plan per chain, cached in the context; counters are cumulative
@@ -949,6 +963,7 @@ PipelineSearchResult search_pipeline_mappings(
         options.threads);
   };
 
+  span.emplace(options.trace, "evaluate", "dse");
   if (!prune) {
     evaluate_range(0, selected);
   } else {
@@ -984,7 +999,11 @@ PipelineSearchResult search_pipeline_mappings(
         batched_candidates.load(std::memory_order_relaxed);
     result.eval.max_batch = max_batch.load(std::memory_order_relaxed);
   }
+  span->arg("pruned", result.pruned);
+  span->arg("term_builds", result.eval.term_builds);
+  span.reset();
 
+  span.emplace(options.trace, "rank", "dse");
   std::vector<RankedPipelineCandidate> valid;
   valid.reserve(selected);
   for (std::size_t i = 0; i < selected; ++i) {
@@ -1034,6 +1053,8 @@ PipelineSearchResult search_pipeline_mappings(
 
   if (valid.size() > options.top_k) valid.resize(options.top_k);
   result.ranked = std::move(valid);
+  span->arg("evaluated", result.evaluated);
+  span->arg("pareto", result.pareto.size());
   return result;
 }
 

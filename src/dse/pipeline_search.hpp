@@ -103,6 +103,10 @@ struct PipelineSearchOptions {
   /// (The two-phase adapter uses this to evaluate CA extras without
   /// enumerating the CA space when include_ca is off.)
   std::size_t enumerate_chains = 0;
+  /// When non-null, the sweep emits enumerate/prune/evaluate/rank stage
+  /// spans (wall-clock, category "dse") into this collector. Null = zero
+  /// instrumentation cost.
+  obs::TraceCollector* trace = nullptr;
 };
 
 struct RankedPipelineCandidate {

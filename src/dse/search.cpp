@@ -278,6 +278,7 @@ SearchResult search_mappings(const Omega& omega, const GnnWorkload& workload,
   popt.prune = options.prune && options.objective == Objective::kRuntime;
   popt.prune_seed = options.prune_seed;
   popt.eval_path = options.eval_path;
+  popt.trace = options.trace;
   popt.seed_table5 = false;
   // CA extras without include_ca evaluate against a bind-only CA chain that
   // contributes no enumerated population.

@@ -10,6 +10,10 @@
 
 #include "omega/omega.hpp"
 
+namespace omega::obs {
+class TraceCollector;
+}  // namespace omega::obs
+
 namespace omega {
 
 enum class Objective : std::uint8_t {
@@ -81,6 +85,10 @@ struct SearchOptions {
   /// Model-level search seeds these with the Table V pattern bindings so a
   /// budgeted sweep can never lose to a fixed pattern it did not sample.
   std::vector<DataflowDescriptor> extra_candidates;
+  /// When non-null, the sweep emits enumerate/prune/evaluate/rank stage
+  /// spans (wall-clock, category "dse") into this collector. Null = zero
+  /// instrumentation cost.
+  obs::TraceCollector* trace = nullptr;
 };
 
 struct Candidate;

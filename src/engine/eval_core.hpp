@@ -207,7 +207,7 @@ class EvalPlan final : public EvalPlanBase {
 
   /// Estimated bytes of chunked-term timelines admitted against
   /// kTermTimelineBudgetBytes (small-grid terms are not counted).
-  [[nodiscard]] std::size_t term_timeline_bytes() const {
+  [[nodiscard]] std::size_t term_timeline_bytes() const override {
     return store_.timeline_bytes();
   }
 
@@ -309,7 +309,7 @@ class PipelineEvalPlan final : public EvalPlanBase {
   [[nodiscard]] std::uint64_t term_builds() const override {
     return store_.builds();
   }
-  [[nodiscard]] std::size_t term_timeline_bytes() const {
+  [[nodiscard]] std::size_t term_timeline_bytes() const override {
     return store_.timeline_bytes();
   }
 

@@ -147,6 +147,7 @@ ContextEvalStats WorkloadContext::eval_stats() const {
     s.terms += p->term_count();
     s.term_requests += p->term_requests();
     s.term_builds += p->term_builds();
+    s.term_bytes += p->term_timeline_bytes();
   }
   return s;
 }

@@ -3,20 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/error.hpp"
+#include "obs/quantile.hpp"
 
 namespace omega {
 
 double percentile(std::vector<std::size_t> values, double p) {
-  OMEGA_CHECK(!values.empty(), "percentile of empty set");
-  OMEGA_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
-  std::sort(values.begin(), values.end());
-  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-  const auto lo = static_cast<std::size_t>(std::floor(rank));
-  const auto hi = static_cast<std::size_t>(std::ceil(rank));
-  const double frac = rank - std::floor(rank);
-  return static_cast<double>(values[lo]) +
-         frac * (static_cast<double>(values[hi]) - static_cast<double>(values[lo]));
+  // Delegates to the shared exact-quantile helper (obs/quantile.hpp) — one
+  // percentile definition for graph stats, metrics histograms, and the
+  // bench harness.
+  std::vector<double> v(values.begin(), values.end());
+  return obs::percentile(std::move(v), p);
 }
 
 DegreeStats compute_degree_stats(const CSRGraph& g) {

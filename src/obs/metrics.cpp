@@ -1,0 +1,159 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace omega::obs {
+
+// ---- Histogram --------------------------------------------------------------
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value == 0) return 0;
+  const unsigned octave = std::bit_width(value) - 1;  // 2^octave <= value
+  if (octave < kSubBucketBits) return static_cast<std::size_t>(value);
+  const std::uint64_t sub =
+      (value >> (octave - kSubBucketBits)) - kSubBuckets;
+  return kSubBuckets + (octave - kSubBucketBits) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucket_lower_bound(std::size_t index) {
+  if (index < 2 * kSubBuckets) return index;  // exact region
+  const std::size_t shift = (index - kSubBuckets) / kSubBuckets;
+  const std::size_t sub = (index - kSubBuckets) % kSubBuckets;
+  return (static_cast<std::uint64_t>(kSubBuckets) + sub) << shift;
+}
+
+void Histogram::record(std::uint64_t value) {
+  const std::size_t i = bucket_index(value);
+  if (i >= buckets_.size()) buckets_.resize(i + 1, 0);
+  ++buckets_[i];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t Histogram::value_at_percentile(double p) const {
+  OMEGA_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  if (count_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return bucket_lower_bound(i);
+  }
+  return bucket_lower_bound(buckets_.size() - 1);  // p == 100 fallthrough
+}
+
+std::vector<Histogram::Bucket> Histogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] > 0) out.push_back({bucket_lower_bound(i), buckets_[i]});
+  }
+  return out;
+}
+
+// ---- Snapshot ---------------------------------------------------------------
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] = v;
+  for (const auto& [name, h] : other.histograms) histograms[name].merge(h);
+}
+
+void write_metrics_json(const MetricsSnapshot& snapshot, JsonWriter& w) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : snapshot.counters) w.member(name, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : snapshot.gauges) w.member(name, v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    w.key(name).begin_object();
+    w.member("count", h.count());
+    w.member("sum", h.sum());
+    w.member("min", h.min());
+    w.member("max", h.max());
+    w.member("p50", h.value_at_percentile(50.0));
+    w.member("p90", h.value_at_percentile(90.0));
+    w.member("p99", h.value_at_percentile(99.0));
+    w.key("buckets").begin_array();
+    for (const Histogram::Bucket& b : h.nonzero_buckets()) {
+      w.begin_object();
+      w.member("lo", b.lower_bound);
+      w.member("count", b.count);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.try_emplace(std::string(name), 0).first->second;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  counter(name).fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  const std::scoped_lock lock(mutex_);
+  gauges_.insert_or_assign(std::string(name), value);
+}
+
+void MetricsRegistry::observe(std::string_view name, std::uint64_t value) {
+  const std::scoped_lock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name)).first;
+  }
+  it->second.record(value);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  MetricsSnapshot s;
+  for (const auto& [name, v] : counters_) {
+    s.counters.emplace(name, v.load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, v] : gauges_) s.gauges.emplace(name, v);
+  for (const auto& [name, h] : histograms_) s.histograms.emplace(name, h);
+  return s;
+}
+
+std::string MetricsRegistry::to_json(int indent) const {
+  JsonWriter w(indent);
+  write_metrics_json(snapshot(), w);
+  return w.str();
+}
+
+}  // namespace omega::obs

@@ -1,0 +1,134 @@
+// Unified metrics layer: named counters, gauges, and log-bucketed latency
+// histograms behind one registry with a deterministic JSON snapshot.
+//
+// This absorbs the counter structs that used to live in three places
+// (EvalStats in dse/search.hpp, ContextEvalStats in engine/schedule_cache.hpp,
+// and the registry hit/miss totals in service/registry.cpp) into a single
+// dotted namespace — `dse.eval.term_requests`, `service.registry.hits`,
+// `service.request.latency_us` — so the service `metrics` request, the CLI
+// and the benches all read from one place.
+//
+// Determinism contract (DESIGN.md "Observability"):
+//  * counters and gauges exported from the deterministic cores (term
+//    requests/builds, registry hits/misses, plan/term populations) are
+//    byte-identical across thread counts for a given request sequence;
+//  * histograms fed wall-clock samples are NOT deterministic and never
+//    appear in goldened responses — but their *merge* is exact (bucket
+//    counts add), so sharded collection reduces to one histogram with no
+//    dependence on merge order or thread layout;
+//  * snapshots iterate name-sorted maps, so two registries fed the same
+//    multiset of samples render byte-identical JSON.
+//
+// Overhead: a counter add after the first lookup is one relaxed atomic
+// add through a cached handle; a histogram record is a mutex acquire plus
+// one bucket increment (service-request granularity, not the DSE hot loop —
+// the sweep keeps its plain local counters and exports once per sweep).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omega {
+class JsonWriter;
+}
+
+namespace omega::obs {
+
+/// Log-bucketed histogram of unsigned 64-bit samples (HdrHistogram-style):
+/// each power-of-two octave splits into 2^kSubBucketBits linear sub-buckets,
+/// so a recorded value lands in a bucket whose lower bound is within
+/// 2^-kSubBucketBits (12.5%) of it; values below 2^(kSubBucketBits+1) are
+/// bucketed exactly. Merging adds bucket counts — exact and order-free.
+class Histogram {
+ public:
+  static constexpr unsigned kSubBucketBits = 3;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBucketBits;
+
+  /// Flattened bucket index of `value` (0 maps to bucket 0; small values
+  /// map to themselves; see the class comment).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value);
+  /// Smallest value that lands in bucket `index` (the value the quantile
+  /// extraction reports for ranks inside the bucket).
+  [[nodiscard]] static std::uint64_t bucket_lower_bound(std::size_t index);
+
+  void record(std::uint64_t value);
+  /// Exact merge: bucket counts, count/sum add; min/max combine.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+
+  /// Nearest-rank quantile from the buckets: the lower bound of the bucket
+  /// holding the ceil(p/100 * count)-th smallest sample (0 when empty).
+  /// Exact for samples below 2 * kSubBuckets; within 12.5% above.
+  [[nodiscard]] std::uint64_t value_at_percentile(double p) const;
+
+  struct Bucket {
+    std::uint64_t lower_bound = 0;
+    std::uint64_t count = 0;
+  };
+  /// Non-empty buckets, ascending by lower bound.
+  [[nodiscard]] std::vector<Bucket> nonzero_buckets() const;
+
+  [[nodiscard]] bool operator==(const Histogram&) const = default;
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // grown on demand
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+/// Name-sorted point-in-time copy of a registry's contents; what the JSON
+/// emitters and the merge-determinism tests operate on.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  /// Exact merge of another snapshot (counters add, gauges overwrite,
+  /// histograms merge bucket-wise).
+  void merge(const MetricsSnapshot& other);
+};
+
+/// Renders a snapshot as {"counters":{...},"gauges":{...},"histograms":
+/// {name:{count,sum,min,max,p50,p90,p99,buckets:[{lo,count}...]}}} into an
+/// already-open writer position (emits one complete object value).
+void write_metrics_json(const MetricsSnapshot& snapshot, JsonWriter& w);
+
+/// Thread-safe named metrics registry. Names are dotted lowercase paths
+/// (`component.object.event`, units suffixed: `..._us`, `..._bytes`).
+class MetricsRegistry {
+ public:
+  using Counter = std::atomic<std::uint64_t>;
+
+  /// Stable handle to a named counter (node-based map: the reference
+  /// survives later insertions). Cache it on hot paths.
+  [[nodiscard]] Counter& counter(std::string_view name);
+
+  void add(std::string_view name, std::uint64_t delta = 1);
+  void set_gauge(std::string_view name, double value);
+  /// Records one sample into the named histogram.
+  void observe(std::string_view name, std::uint64_t value);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// snapshot() rendered through write_metrics_json; `indent` 0 = one line.
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace omega::obs

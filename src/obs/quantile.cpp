@@ -1,0 +1,25 @@
+#include "obs/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace omega::obs {
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  OMEGA_CHECK(!sorted.empty(), "percentile of empty set");
+  OMEGA_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, p);
+}
+
+}  // namespace omega::obs

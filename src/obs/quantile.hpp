@@ -1,0 +1,23 @@
+// Exact quantile helpers shared by every layer that reports percentiles:
+// graph degree statistics (graph/stats.cpp), the metrics histograms
+// (obs/metrics.hpp), and the benchmark harness (bench/bench_common.hpp).
+// One percentile definition everywhere: sort ascending, rank
+// p/100 * (n - 1), linear interpolation between the floor and ceil ranks —
+// the same convention NumPy's default percentile uses, and the one the
+// degree stats have reported since the seed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace omega::obs {
+
+/// Percentile of an ALREADY ascending-sorted sample; p in [0, 100].
+/// Throws InvalidArgumentError on an empty sample or p out of range.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double p);
+
+/// Sorts a copy of `values` and delegates to percentile_sorted.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+}  // namespace omega::obs

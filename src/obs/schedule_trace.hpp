@@ -1,0 +1,45 @@
+// Deterministic schedule exporter: renders a PipelineResult — the paper's
+// core artifact, per-phase chunk timelines composed across boundaries — as
+// Chrome trace events, one modeled cycle = one trace microsecond.
+//
+// Track layout (all on one pid):
+//   tid 0                "pipeline"  — one event spanning the composed
+//                                      makespan (result.cycles)
+//   tid 1 + i            phase i     — a phase-span event plus per-chunk
+//                                      slices from PhaseResult::chunk_cycles
+//                                      / chunk_completion
+//   tid 1 + phases       "boundaries" — one event per boundary: a zero-
+//                                      duration handoff for serialized
+//                                      boundaries, the overlap window for a
+//                                      PP pair
+//
+// Phase start times replay the engine's own composition rule: serialized
+// segments advance a cursor by the phase's cycles; an overlapped (PP)
+// boundary runs the consumer through compose_parallel_pipeline_timeline
+// against the producer's chunk completions, so the rendered consumer chunks
+// show exactly the dependency stalls the makespan paid. Everything here is
+// a pure function of the PipelineResult — the exported JSON is
+// byte-identical across runs and thread counts (goldenable, unlike
+// wall-clock spans).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/trace.hpp"
+#include "omega/pipeline.hpp"
+
+namespace omega::obs {
+
+struct ScheduleTraceOptions {
+  std::uint32_t pid = 0;
+  /// Per-phase cap on emitted chunk slices; phases with more chunks
+  /// coalesce consecutive runs so giant grids stay loadable. 0 = no chunk
+  /// slices (phase spans only).
+  std::size_t max_chunk_events = 512;
+};
+
+/// Appends the schedule events of `result` to `out`.
+void export_pipeline_trace(const PipelineResult& result, TraceCollector& out,
+                           const ScheduleTraceOptions& options = {});
+
+}  // namespace omega::obs

@@ -1,0 +1,117 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace omega::obs {
+
+void TraceCollector::add(TraceEvent event) {
+  const std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceCollector::name_process(std::uint32_t pid, std::string_view name) {
+  TraceEvent e;
+  e.name = "process_name";
+  e.ph = 'M';
+  e.pid = pid;
+  e.args_str.emplace_back("name", std::string(name));
+  add(std::move(e));
+}
+
+void TraceCollector::name_thread(std::uint32_t pid, std::uint32_t tid,
+                                 std::string_view name) {
+  TraceEvent e;
+  e.name = "thread_name";
+  e.ph = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.args_str.emplace_back("name", std::string(name));
+  add(std::move(e));
+}
+
+std::size_t TraceCollector::size() const {
+  const std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  const std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+std::uint64_t TraceCollector::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::uint32_t TraceCollector::thread_id() {
+  const std::scoped_lock lock(mutex_);
+  const auto [it, inserted] = thread_ids_.try_emplace(
+      std::this_thread::get_id(),
+      static_cast<std::uint32_t>(thread_ids_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+std::string TraceCollector::to_json(int indent) const {
+  const std::vector<TraceEvent> events = this->events();
+  JsonWriter w(indent);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.member("name", e.name);
+    if (!e.cat.empty()) w.member("cat", e.cat);
+    w.member("ph", std::string_view(&e.ph, 1));
+    w.member("ts", e.ts_us);
+    if (e.ph == 'X') w.member("dur", e.dur_us);
+    w.member("pid", static_cast<std::uint64_t>(e.pid));
+    w.member("tid", static_cast<std::uint64_t>(e.tid));
+    if (!e.args_u64.empty() || !e.args_str.empty()) {
+      w.key("args").begin_object();
+      for (const auto& [k, v] : e.args_u64) w.member(k, v);
+      for (const auto& [k, v] : e.args_str) w.member(k, v);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.member("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+void TraceCollector::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write trace file: " + path);
+  out << to_json(2) << "\n";
+}
+
+ScopedSpan::ScopedSpan(TraceCollector* collector, std::string_view name,
+                       std::string_view cat)
+    : collector_(collector) {
+  if (collector_ == nullptr) return;
+  event_.name = std::string(name);
+  event_.cat = std::string(cat);
+  start_us_ = collector_->now_us();
+}
+
+void ScopedSpan::arg(std::string_view key, std::uint64_t value) {
+  if (collector_ == nullptr) return;
+  event_.args_u64.emplace_back(std::string(key), value);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (collector_ == nullptr) return;
+  event_.ts_us = start_us_;
+  event_.dur_us = collector_->now_us() - start_us_;
+  event_.tid = collector_->thread_id();
+  collector_->add(std::move(event_));
+}
+
+}  // namespace omega::obs

@@ -1,0 +1,102 @@
+// Scoped spans and a Chrome trace-event collector (Perfetto-loadable).
+//
+// Two producers feed a TraceCollector:
+//  * ScopedSpan — RAII wall-clock spans around runtime stages (service
+//    request phases, DSE sweep stages). Timestamps are microseconds since
+//    the collector's construction; they vary run to run and are never part
+//    of goldened output.
+//  * obs/schedule_trace.hpp — deterministic *modeled* schedules: a
+//    PipelineResult's per-phase chunk timelines rendered with one modeled
+//    cycle = one trace microsecond. Those events are pure functions of the
+//    result and reproduce byte-identically.
+//
+// The emitted JSON is the Chrome trace-event format's JSON-object flavor:
+// {"traceEvents":[...]} with "X" (complete) duration events and "M"
+// process/thread-name metadata — load it at ui.perfetto.dev or
+// chrome://tracing.
+//
+// Disabled cost: every instrumentation site takes a TraceCollector* that
+// defaults to null; a ScopedSpan over a null collector does no clock read,
+// no allocation and no locking (two pointer checks total).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace omega::obs {
+
+/// One trace event. `ph` is the event type: 'X' = complete (ts + dur),
+/// 'M' = metadata (process_name / thread_name), 'i' = instant.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> args_u64;
+  std::vector<std::pair<std::string, std::string>> args_str;
+};
+
+/// Thread-safe event buffer with a steady-clock epoch and JSON export.
+class TraceCollector {
+ public:
+  TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
+
+  void add(TraceEvent event);
+  /// Emits a process_name / thread_name metadata event (Perfetto labels
+  /// the track with it).
+  void name_process(std::uint32_t pid, std::string_view name);
+  void name_thread(std::uint32_t pid, std::uint32_t tid,
+                   std::string_view name);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::vector<TraceEvent> events() const;  // snapshot copy
+
+  /// Microseconds since construction (span timestamps).
+  [[nodiscard]] std::uint64_t now_us() const;
+  /// Small stable id for the calling thread (first-come numbering).
+  [[nodiscard]] std::uint32_t thread_id();
+
+  /// {"traceEvents":[...]} — `indent` 0 emits one line.
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+  /// Writes to_json(2) to `path`; throws Error when the file cannot open.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, std::uint32_t> thread_ids_;
+};
+
+/// RAII wall-clock span: records one complete event over its lifetime on
+/// the calling thread's track. No-op (and allocation-free) when the
+/// collector is null.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceCollector* collector, std::string_view name,
+             std::string_view cat);
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+  /// Attaches a numeric argument to the event (no-op when disabled).
+  void arg(std::string_view key, std::uint64_t value);
+
+ private:
+  TraceCollector* collector_;
+  TraceEvent event_;
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace omega::obs

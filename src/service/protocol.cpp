@@ -394,6 +394,7 @@ const char* to_string(RequestKind k) {
     case RequestKind::kSearchModel: return "search_model";
     case RequestKind::kStats: return "stats";
     case RequestKind::kSearchPipeline: return "search_pipeline";
+    case RequestKind::kMetrics: return "metrics";
   }
   return "?";
 }
@@ -415,6 +416,7 @@ Request parse_request(const std::string& line) {
   else if (k == "search_model") r.kind = RequestKind::kSearchModel;
   else if (k == "search_pipeline") r.kind = RequestKind::kSearchPipeline;
   else if (k == "stats") r.kind = RequestKind::kStats;
+  else if (k == "metrics") r.kind = RequestKind::kMetrics;
   else throw InvalidArgumentError("unknown request kind: " + k);
 
   // Keys irrelevant to the request kind are rejected, not ignored: a field
@@ -427,7 +429,9 @@ Request parse_request(const std::string& line) {
     }
   };
   const bool is_evaluate = r.kind == RequestKind::kEvaluate;
-  const bool is_stats = r.kind == RequestKind::kStats;
+  // Workload-free kinds: stats and metrics take no substrate either.
+  const bool is_bare = r.kind == RequestKind::kStats ||
+                       r.kind == RequestKind::kMetrics;
   const bool is_search_pipeline = r.kind == RequestKind::kSearchPipeline;
 
   bool saw_workload = false;
@@ -454,15 +458,15 @@ Request parse_request(const std::string& line) {
       r.chain = parse_chain(value);
       saw_chain = true;
     } else if (key == "workload") {
-      only_for("workload", !is_stats);
+      only_for("workload", !is_bare);
       r.workload = parse_workload(value);
       saw_workload = true;
     } else if (key == "pes") {
-      only_for("pes", !is_stats);
+      only_for("pes", !is_bare);
       r.pes = static_cast<std::size_t>(u64_field(value, "pes"));
       if (r.pes == 0) throw InvalidArgumentError("pes must be >= 1");
     } else if (key == "bandwidth") {
-      only_for("bandwidth", !is_stats);
+      only_for("bandwidth", !is_bare);
       r.bandwidth = static_cast<std::size_t>(u64_field(value, "bandwidth"));
     } else if (key == "out_features") {
       // search_model derives every layer's widths from the model spec.
@@ -527,7 +531,7 @@ Request parse_request(const std::string& line) {
     }
   }
 
-  if (!is_stats && !saw_workload) {
+  if (!is_bare && !saw_workload) {
     throw InvalidArgumentError(std::string(to_string(r.kind)) +
                                " needs a \"workload\"");
   }
@@ -579,18 +583,38 @@ Request parse_request(const std::string& line) {
       throw InvalidArgumentError("search_pipeline needs a \"chain\"");
     }
   }
+  if (r.kind == RequestKind::kMetrics && r.version < 2) {
+    throw InvalidArgumentError(
+        "metrics requires \"version\":2 (v1 observability is the stats "
+        "request)");
+  }
   return r;
 }
 
-bool is_stats_request(const std::string& line) {
+namespace {
+
+bool kind_is(const std::string& line, std::initializer_list<const char*> any) {
   try {
     const JsonValue root = JsonValue::parse(line);
     const JsonValue* kind = root.find("kind");
-    return kind != nullptr && kind->is_string() &&
-           kind->as_string() == "stats";
+    if (kind == nullptr || !kind->is_string()) return false;
+    for (const char* k : any) {
+      if (kind->as_string() == k) return true;
+    }
+    return false;
   } catch (const Error&) {
     return false;  // malformed lines get their error response concurrently
   }
+}
+
+}  // namespace
+
+bool is_stats_request(const std::string& line) {
+  return kind_is(line, {"stats"});
+}
+
+bool is_barrier_request(const std::string& line) {
+  return kind_is(line, {"stats", "metrics"});
 }
 
 std::uint64_t peek_request_id(const std::string& line) {

@@ -38,6 +38,11 @@
 //      {"engine":"spmm"},{"engine":"spgemm","out_features":8,
 //       "density":0.5}]},
 //    "options":{"max_candidates":256,"objective":"edp","prune":true}}
+//
+// and a full metrics snapshot (src/obs/metrics.hpp namespace — counters,
+// gauges, latency histograms, registry + eval-core counters):
+//
+//   {"id":7,"version":2,"kind":"metrics"}
 #pragma once
 
 #include <cstdint>
@@ -73,6 +78,11 @@ enum class RequestKind : std::uint8_t {
   kSearchModel = 2,
   kStats = 3,
   kSearchPipeline = 4,
+  /// v2 only: full metrics snapshot (counters / gauges / latency
+  /// histograms from the service's obs registry, plus registry and
+  /// eval-core counters). Latency values are wall-clock and never part of
+  /// goldened output; the counter namespace is deterministic.
+  kMetrics = 5,
 };
 
 [[nodiscard]] const char* to_string(RequestKind k);
@@ -140,6 +150,12 @@ struct Request {
 /// these as dispatch barriers so their registry counters deterministically
 /// reflect every request preceding them in the batch.
 [[nodiscard]] bool is_stats_request(const std::string& line);
+
+/// True for any request kind the server serializes against the surrounding
+/// parallel batch segments (stats and metrics): both read cumulative
+/// counters whose values must deterministically reflect every preceding
+/// request.
+[[nodiscard]] bool is_barrier_request(const std::string& line);
 
 /// Structured error response: {"id":..,"ok":false,"error":{...}}. A
 /// non-zero `version` (the request carried one and parsed far enough to

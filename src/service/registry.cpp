@@ -1,5 +1,6 @@
 #include "service/registry.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "util/error.hpp"
@@ -41,13 +42,15 @@ std::shared_ptr<const WorkloadEntry> WorkloadRegistry::acquire(
     const std::scoped_lock lock(mutex_);
     if (const auto it = entries_.find(key); it != entries_.end()) {
       ++hits_;
+      ++it->second.hits;
+      it->second.last_hit_epoch = epoch_;
       recency_.splice(recency_.begin(), recency_, it->second.lru);
       slot = it->second.slot;
     } else {
       ++misses_;
       recency_.push_front(key);
       slot = std::make_shared<Slot>();
-      entries_.emplace(key, MapEntry{slot, recency_.begin()});
+      entries_.emplace(key, MapEntry{slot, recency_.begin(), 0, epoch_});
       while (entries_.size() > capacity_) {
         // Evict the least-recently-used signature. In-flight acquires hold
         // the slot's shared_ptr, so eviction only drops the cache's ref.
@@ -91,6 +94,37 @@ RegistryStats WorkloadRegistry::stats() const {
   return s;
 }
 
+std::vector<RegistryEntryStats> WorkloadRegistry::entry_stats() const {
+  std::vector<RegistryEntryStats> out;
+  {
+    const std::scoped_lock lock(mutex_);
+    out.reserve(entries_.size());
+    for (const auto& [key, e] : entries_) {
+      RegistryEntryStats r;
+      r.signature = key;
+      r.hits = e.hits;
+      r.last_hit_epoch = e.last_hit_epoch;
+      r.warm = e.slot != nullptr && e.slot->entry != nullptr;
+      out.push_back(std::move(r));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RegistryEntryStats& a, const RegistryEntryStats& b) {
+              return a.signature < b.signature;
+            });
+  return out;
+}
+
+std::uint64_t WorkloadRegistry::epoch() const {
+  const std::scoped_lock lock(mutex_);
+  return epoch_;
+}
+
+void WorkloadRegistry::advance_epoch() {
+  const std::scoped_lock lock(mutex_);
+  ++epoch_;
+}
+
 ContextEvalStats WorkloadRegistry::eval_stats() const {
   // Snapshot the entry pointers under the lock, then aggregate outside it:
   // each context's eval_stats() takes that context's own mutex.
@@ -111,6 +145,7 @@ ContextEvalStats WorkloadRegistry::eval_stats() const {
     total.terms += s.terms;
     total.term_requests += s.term_requests;
     total.term_builds += s.term_builds;
+    total.term_bytes += s.term_bytes;
   }
   return total;
 }

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "engine/schedule_cache.hpp"
 #include "service/protocol.hpp"
@@ -48,6 +49,17 @@ struct RegistryStats {
   std::size_t capacity = 0;
 };
 
+/// Per-resident-entry observability row (v2 stats response / CLI). Hit
+/// counts are deterministic for a given request sequence; last_hit_epoch is
+/// quantized to the registry's stats-barrier epoch (see advance_epoch), so
+/// it too is thread-schedule-invariant.
+struct RegistryEntryStats {
+  std::string signature;
+  std::uint64_t hits = 0;            // acquires served by this entry
+  std::uint64_t last_hit_epoch = 0;  // epoch of the most recent acquire
+  bool warm = false;                 // build completed (vs. mid-build)
+};
+
 /// Thread-safe LRU cache of WorkloadEntry keyed by workload signature.
 /// Capacity 0 disables caching entirely (every acquire builds fresh) — the
 /// service benchmark uses that as its cold baseline.
@@ -71,6 +83,17 @@ class WorkloadRegistry {
   /// contribute nothing yet.
   [[nodiscard]] ContextEvalStats eval_stats() const;
 
+  /// Per-entry rows, signature-sorted (deterministic emission order).
+  [[nodiscard]] std::vector<RegistryEntryStats> entry_stats() const;
+
+  /// Acquire-recency epoch. Starts at 1 and advances only at barrier
+  /// requests (the service calls advance_epoch after serving a stats or
+  /// metrics request, which handle_batch serializes against the
+  /// surrounding parallel segments) — every acquire within a segment
+  /// stamps the same epoch regardless of thread schedule.
+  [[nodiscard]] std::uint64_t epoch() const;
+  void advance_epoch();
+
  private:
   struct Slot {
     std::once_flag once;
@@ -87,11 +110,14 @@ class WorkloadRegistry {
   struct MapEntry {
     std::shared_ptr<Slot> slot;
     std::list<std::string>::iterator lru;
+    std::uint64_t hits = 0;            // acquires served by this entry
+    std::uint64_t last_hit_epoch = 0;  // epoch_ at the most recent acquire
   };
   std::unordered_map<std::string, MapEntry> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t epoch_ = 1;  // advanced only at stats barriers
 };
 
 }  // namespace omega::service

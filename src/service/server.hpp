@@ -17,7 +17,12 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "service/registry.hpp"
+
+namespace omega::obs {
+class TraceCollector;
+}  // namespace omega::obs
 
 namespace omega::service {
 
@@ -27,6 +32,10 @@ struct ServiceOptions {
   /// Concurrent in-flight requests per batch (0 = pool default). Each
   /// request's internal sweep additionally parallelizes on the same pool.
   std::size_t threads = 0;
+  /// When non-null, every request emits parse / registry_lookup / evaluate /
+  /// serialize spans (wall-clock, category "service") into this collector.
+  /// Null = zero instrumentation cost.
+  obs::TraceCollector* trace = nullptr;
 };
 
 class MappingService {
@@ -48,11 +57,20 @@ class MappingService {
 
   [[nodiscard]] const WorkloadRegistry& registry() const { return registry_; }
 
+  /// Service-level metrics (request/response counters, latency histograms;
+  /// naming convention in DESIGN.md "Observability"). The v2 `metrics`
+  /// request snapshots this together with registry and eval-core counters.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
  private:
   [[nodiscard]] std::string handle(const Request& request);
+  [[nodiscard]] std::string metrics_response(const Request& request);
 
   ServiceOptions options_;
   WorkloadRegistry registry_;
+  obs::MetricsRegistry metrics_;
 };
 
 /// Serves NDJSON batches over a Unix domain socket at `path` (created

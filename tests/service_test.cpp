@@ -4,10 +4,12 @@
 // thread counts and across warm/cold registry states.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 #include "util/json.hpp"
 
@@ -563,6 +565,117 @@ TEST(ServeStreamTest, UnixSocketRoundTrip) {
   EXPECT_EQ(JsonValue::parse(lines[0]).find("id")->as_u64(), 21u);
   EXPECT_TRUE(JsonValue::parse(lines[0]).find("ok")->as_bool());
   EXPECT_EQ(JsonValue::parse(lines[1]).find("id")->as_u64(), 22u);
+}
+
+// ---- Observability: v2 metrics request + stats entries ----------------------
+
+TEST(MetricsRequestTest, MetricsRequiresVersionTwo) {
+  EXPECT_THROW(parse_request(R"({"id":1,"kind":"metrics"})"),
+               InvalidArgumentError);
+  EXPECT_THROW(parse_request(R"({"id":1,"version":1,"kind":"metrics"})"),
+               InvalidArgumentError);
+  const Request r =
+      parse_request(R"({"id":1,"version":2,"kind":"metrics"})");
+  EXPECT_EQ(r.kind, RequestKind::kMetrics);
+  EXPECT_TRUE(is_barrier_request(R"({"id":1,"version":2,"kind":"metrics"})"));
+  EXPECT_TRUE(is_barrier_request(R"({"id":1,"kind":"stats"})"));
+  EXPECT_FALSE(is_barrier_request(line_evaluate(1)));
+}
+
+TEST(MetricsRequestTest, SnapshotReflectsPrecedingRequestsDeterministically) {
+  MappingService svc;
+  const auto responses = svc.handle_batch(
+      {line_evaluate(1), line_evaluate(2),
+       R"({"id":3,"version":2,"kind":"metrics"})"});
+  ASSERT_EQ(responses.size(), 3u);
+  const JsonValue m = JsonValue::parse(responses[2]);
+  EXPECT_EQ(m.find("id")->as_u64(), 3u);
+  EXPECT_TRUE(m.find("ok")->as_bool());
+  EXPECT_EQ(m.find("kind")->as_string(), "metrics");
+  const JsonValue* metrics = m.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  // The metrics barrier sees exactly the two preceding evaluates
+  // (the metrics request itself is counted only after its response).
+  EXPECT_EQ(counters->find("service.requests")->as_u64(), 2u);
+  EXPECT_EQ(counters->find("service.requests.evaluate")->as_u64(), 2u);
+  EXPECT_EQ(counters->find("service.responses.ok")->as_u64(), 2u);
+  EXPECT_EQ(counters->find("registry.misses")->as_u64(), 1u);
+  EXPECT_EQ(counters->find("registry.hits")->as_u64(), 1u);
+  const JsonValue* gauges = metrics->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("registry.resident")->as_double(), 1.0);
+  // Latency histograms exist but their values are wall-clock; only their
+  // sample counts are request-sequence-deterministic.
+  const JsonValue* hist = metrics->find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const JsonValue* lat = hist->find("service.latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("count")->as_u64(), 2u);
+}
+
+TEST(MetricsRequestTest, ErrorResponsesCountAsErrors) {
+  MappingService svc;
+  (void)svc.handle_line(
+      R"({"id":1,"kind":"evaluate","workload":{"dataset":"NoSuch"},)"
+      R"("out_features":16,"pattern":"SP2"})");
+  const std::string resp =
+      svc.handle_line(R"({"id":2,"version":2,"kind":"metrics"})");
+  const JsonValue doc = JsonValue::parse(resp);
+  const JsonValue* counters = doc.find("metrics")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("service.responses.error")->as_u64(), 1u);
+}
+
+TEST(StatsV2Test, EntriesAndEpochAppearOnlyInVersionTwo) {
+  MappingService svc;
+  const auto first = svc.handle_batch(
+      {line_evaluate(1), line_evaluate(2),
+       R"({"id":3,"version":2,"kind":"stats"})"});
+  const JsonValue v2 = JsonValue::parse(first[2]);
+  EXPECT_EQ(v2.find("epoch")->as_u64(), 1u);
+  const JsonValue* entries = v2.find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->items().size(), 1u);
+  const JsonValue& entry = entries->items()[0];
+  // Two acquires of the same signature: one miss (hits 0) + one hit.
+  EXPECT_EQ(entry.find("hits")->as_u64(), 1u);
+  EXPECT_EQ(entry.find("last_hit_epoch")->as_u64(), 1u);
+  EXPECT_TRUE(entry.find("warm")->as_bool());
+  EXPECT_FALSE(entry.find("signature")->as_string().empty());
+
+  // The stats barrier advanced the epoch; a later hit stamps epoch 2.
+  const auto second = svc.handle_batch(
+      {line_evaluate(4), R"({"id":5,"version":2,"kind":"stats"})"});
+  const JsonValue again = JsonValue::parse(second[1]);
+  EXPECT_EQ(again.find("epoch")->as_u64(), 2u);
+  const JsonValue& e2 = again.find("entries")->items()[0];
+  EXPECT_EQ(e2.find("hits")->as_u64(), 2u);
+  EXPECT_EQ(e2.find("last_hit_epoch")->as_u64(), 2u);
+
+  // v1 stats keeps the historical shape: no epoch, no entries.
+  const std::string v1 = svc.handle_line(R"({"id":6,"kind":"stats"})");
+  EXPECT_EQ(v1.find("\"epoch\""), std::string::npos);
+  EXPECT_EQ(v1.find("\"entries\""), std::string::npos);
+}
+
+TEST(ServiceTraceTest, RequestSpansLandInTheCollector) {
+  obs::TraceCollector tc;
+  ServiceOptions opts;
+  opts.trace = &tc;
+  MappingService svc(opts);
+  (void)svc.handle_line(line_evaluate(1));
+  // parse + registry_lookup + evaluate + serialize for one request.
+  std::vector<std::string> names;
+  for (const obs::TraceEvent& e : tc.events()) {
+    if (e.ph == 'X' && e.cat == "service") names.push_back(e.name);
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "parse"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "registry_lookup"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "evaluate"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "serialize"), names.end());
 }
 
 }  // namespace

@@ -31,6 +31,14 @@
 //       One-shot: replay a request file through an in-process service.
 //   omega_cli client --socket PATH [file|-]
 //       Send a request file to a running `serve --socket` daemon.
+//   omega_cli metrics --socket PATH
+//       Fetch a v2 metrics snapshot from a running daemon.
+//
+// Observability: run-pipeline / search-pipeline / serve / batch accept
+// --trace PATH and write a Chrome trace-event JSON (load in Perfetto or
+// chrome://tracing). run-pipeline renders the modeled schedule itself
+// (per-phase chunk timelines, boundary overlaps); the others record
+// wall-clock stage spans.
 //
 // Request lines (see DESIGN.md "Mapping service" for the full schema):
 //   {"id":1,"kind":"evaluate","workload":{"dataset":"Cora","scale":0.25},
@@ -57,6 +65,8 @@
 #include "dse/pipeline_search.hpp"
 #include "graph/datasets.hpp"
 #include "graph/stats.hpp"
+#include "obs/schedule_trace.hpp"
+#include "obs/trace.hpp"
 #include "omega/omega.hpp"
 #include "omega/pipeline.hpp"
 #include "service/server.hpp"
@@ -110,6 +120,9 @@ constexpr CommandHelp kCommands[] = {
      "split\n"
      "                       the array proportionally)\n"
      "  --pes N --bw N --scale X --in-features N\n"
+     "  --trace PATH         write the modeled schedule as Chrome\n"
+     "                       trace-event JSON (phase tracks, chunk slices,\n"
+     "                       boundary overlaps; 1 cycle = 1 trace us)\n"
      "example:\n"
      "  omega_cli run-pipeline Cora --scale 0.25 \\\n"
      "    --phase name=score,engine=gemm,order=VsFtGs,tiles=8x1x8,out=16 \\\n"
@@ -139,6 +152,8 @@ constexpr CommandHelp kCommands[] = {
      "  --no-seeds           drop the Table V seed compositions\n"
      "  --eval-path batched|delta|scalar  evaluation core (default batched)\n"
      "  --threads N --pes N --bw N --scale X --in-features N --json PATH\n"
+     "  --trace PATH         write search-stage spans (enumerate / prune /\n"
+     "                       evaluate / rank) as Chrome trace-event JSON\n"
      "example:\n"
      "  omega_cli search-pipeline Cora --scale 0.25 \\\n"
      "    --phase name=score,engine=gemm,out=16 --phase engine=spmm \\\n"
@@ -179,11 +194,21 @@ constexpr CommandHelp kCommands[] = {
      "  --registry N         workload registry capacity\n"
      "  --threads N          worker threads (default hardware)\n"
      "  --socket PATH        serve a Unix domain socket instead of stdio\n"
-     "  --max-connections N  stop after N socket connections (0 = forever)\n"},
+     "  --max-connections N  stop after N socket connections (0 = forever)\n"
+     "  --trace PATH         write per-request spans (parse / registry /\n"
+     "                       evaluate / serialize) as Chrome trace-event\n"
+     "                       JSON when the service exits\n"},
     {"batch", "replay a request file through an in-process service",
-     "usage: omega_cli batch <file|-> [--registry N] [--threads N]\n"},
+     "usage: omega_cli batch <file|-> [--registry N] [--threads N] "
+     "[--trace PATH]\n"},
     {"client", "send requests to a running serve --socket daemon",
      "usage: omega_cli client --socket PATH [file|-]\n"},
+    {"metrics", "fetch a metrics snapshot from a serve --socket daemon",
+     "usage: omega_cli metrics --socket PATH\n"
+     "  Sends {\"id\":1,\"version\":2,\"kind\":\"metrics\"} and prints the\n"
+     "  response: service counters, latency histograms (p50/p90/p99),\n"
+     "  registry hit/miss/eviction counters, and eval-core counters. See\n"
+     "  DESIGN.md \"Observability\" for the metric namespace.\n"},
 };
 
 const CommandHelp* find_command(const std::string& name) {
@@ -376,6 +401,7 @@ int cmd_run_pipeline(int argc, char** argv) {
   std::size_t pes = 512;
   std::size_t bw = 0;
   double scale = 1.0;
+  std::string trace_path;
   std::vector<InterPhase> boundaries;
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
@@ -401,6 +427,8 @@ int cmd_run_pipeline(int argc, char** argv) {
       bw = static_cast<std::size_t>(std::stoul(next()));
     } else if (a == "--scale") {
       scale = std::stod(next());
+    } else if (a == "--trace") {
+      trace_path = next();
     } else {
       throw InvalidArgumentError("unknown flag: " + a);
     }
@@ -463,6 +491,13 @@ int cmd_run_pipeline(int argc, char** argv) {
     }
     std::cout << "\n" << bt;
   }
+  if (!trace_path.empty()) {
+    obs::TraceCollector tc;
+    obs::export_pipeline_trace(r, tc);
+    tc.write_file(trace_path);
+    std::cout << "\n(trace: " << trace_path << ", " << tc.size()
+              << " events — load in Perfetto or chrome://tracing)\n";
+  }
   return 0;
 }
 
@@ -511,6 +546,7 @@ int cmd_search_pipeline(int argc, char** argv) {
   std::size_t bw = 0;
   double scale = 1.0;
   std::string json_path;
+  std::string trace_path;
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
@@ -551,6 +587,8 @@ int cmd_search_pipeline(int argc, char** argv) {
       scale = std::stod(next());
     } else if (a == "--json") {
       json_path = next();
+    } else if (a == "--trace") {
+      trace_path = next();
     } else {
       throw InvalidArgumentError("unknown flag: " + a);
     }
@@ -578,7 +616,16 @@ int cmd_search_pipeline(int argc, char** argv) {
             << (pso.prune ? ", pruned" : "")
             << (pso.seed_table5 ? ", Table V seeded" : "") << "\n\n";
 
+  obs::TraceCollector tc;
+  if (!trace_path.empty()) pso.trace = &tc;
+
   const PipelineSearchResult r = search_pipeline_mappings(omega, w, chain, pso);
+  if (!trace_path.empty()) {
+    tc.name_process(0, "omega.search");
+    tc.write_file(trace_path);
+    std::cout << "(trace: " << trace_path << ", " << tc.size()
+              << " events)\n";
+  }
   if (r.ranked.empty()) {
     std::cout << "no feasible candidate (" << r.generated << " generated)\n";
     return 1;
@@ -952,7 +999,8 @@ int cmd_run_model(int argc, char** argv) {
 service::ServiceOptions parse_service_flags(int argc, char** argv, int first,
                                             std::string* socket_path,
                                             std::size_t* max_connections,
-                                            std::string* input_path) {
+                                            std::string* input_path,
+                                            std::string* trace_path = nullptr) {
   service::ServiceOptions so;
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
@@ -968,6 +1016,8 @@ service::ServiceOptions parse_service_flags(int argc, char** argv, int first,
       *socket_path = next();
     } else if (a == "--max-connections" && max_connections != nullptr) {
       *max_connections = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--trace" && trace_path != nullptr) {
+      *trace_path = next();
     } else if (input_path != nullptr && !starts_with(a, "--")) {
       *input_path = a;
     } else {
@@ -979,26 +1029,41 @@ service::ServiceOptions parse_service_flags(int argc, char** argv, int first,
 
 int cmd_serve(int argc, char** argv) {
   std::string socket_path;
+  std::string trace_path;
   std::size_t max_connections = 0;
-  const service::ServiceOptions so =
+  service::ServiceOptions so =
       parse_service_flags(argc, argv, 2, &socket_path, &max_connections,
-                          nullptr);
+                          nullptr, &trace_path);
+  obs::TraceCollector tc;
+  if (!trace_path.empty()) so.trace = &tc;
   service::MappingService svc(so);
+  int rc = 0;
   if (!socket_path.empty()) {
     std::cerr << "mapping service listening on " << socket_path << "\n";
-    return service::serve_unix_socket(svc, socket_path, max_connections);
+    rc = service::serve_unix_socket(svc, socket_path, max_connections);
+  } else {
+    svc.serve(std::cin, std::cout);
   }
-  svc.serve(std::cin, std::cout);
-  return 0;
+  if (!trace_path.empty()) {
+    tc.name_process(0, "omega.service");
+    tc.write_file(trace_path);
+    std::cerr << "(trace: " << trace_path << ", " << tc.size()
+              << " events)\n";
+  }
+  return rc;
 }
 
 int cmd_batch(int argc, char** argv) {
   std::string input_path;
-  const service::ServiceOptions so =
-      parse_service_flags(argc, argv, 2, nullptr, nullptr, &input_path);
+  std::string trace_path;
+  service::ServiceOptions so =
+      parse_service_flags(argc, argv, 2, nullptr, nullptr, &input_path,
+                          &trace_path);
   if (input_path.empty()) {
     throw InvalidArgumentError("batch needs a request file (or '-')");
   }
+  obs::TraceCollector tc;
+  if (!trace_path.empty()) so.trace = &tc;
   service::MappingService svc(so);
   if (input_path == "-") {
     svc.serve(std::cin, std::cout);
@@ -1007,6 +1072,23 @@ int cmd_batch(int argc, char** argv) {
     if (!in) throw InvalidArgumentError("cannot open " + input_path);
     svc.serve(in, std::cout);
   }
+  if (!trace_path.empty()) {
+    tc.name_process(0, "omega.service");
+    tc.write_file(trace_path);
+    std::cerr << "(trace: " << trace_path << ", " << tc.size()
+              << " events)\n";
+  }
+  return 0;
+}
+
+int cmd_metrics(int argc, char** argv) {
+  std::string socket_path;
+  parse_service_flags(argc, argv, 2, &socket_path, nullptr, nullptr);
+  if (socket_path.empty()) {
+    throw InvalidArgumentError("metrics needs --socket PATH");
+  }
+  std::cout << service::send_to_unix_socket(
+      socket_path, "{\"id\":1,\"version\":2,\"kind\":\"metrics\"}\n");
   return 0;
 }
 
@@ -1086,6 +1168,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "batch") return cmd_batch(argc, argv);
     if (cmd == "client") return cmd_client(argc, argv);
+    if (cmd == "metrics") return cmd_metrics(argc, argv);
     // A kCommands entry without a dispatch line above is a programming
     // error — fail loudly instead of falling through to some command.
     std::cerr << "error: command \"" << cmd << "\" is listed but not wired\n";
