@@ -22,6 +22,7 @@ int main() {
         DataflowPattern p = pattern_by_name(cfg);
         p.pp_agg_pe_fraction = frac;
         const RunResult r = omega.run_pattern(w, eval_layer(), p);
+        // omega-lint: allow(float-eq): 0.5 is an exact grid value from the fractions list
         if (std::string(cfg) == "PP1" && frac == 0.5) {
           base = static_cast<double>(r.cycles);
         }

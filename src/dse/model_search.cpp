@@ -31,6 +31,7 @@ ModelCandidate make_combo(const std::vector<LayerSearchResult>& layers,
     const Candidate& c = layers[l].search.ranked[idx[l]];
     mc.per_layer.push_back(c.dataflow);
     mc.total_cycles = sat_add_u64(mc.total_cycles, c.cycles);
+    // omega-lint: allow(float-accum): layer order is fixed (sequential l loop), sum is deterministic
     mc.total_on_chip_pj += c.on_chip_pj;
   }
   mc.composed_cycles = mc.total_cycles;
@@ -160,9 +161,11 @@ ModelSearchResult search_model_mappings(const Omega& omega,
                                    layer.out_features)));
   }
 
+  // omega-lint: allow(wall-clock): explicit user-supplied time budget; budget_ms=0 (the default) never reads it
   const auto start = std::chrono::steady_clock::now();
   const auto elapsed_ms = [&] {
     return std::chrono::duration<double, std::milli>(
+               // omega-lint: allow(wall-clock): explicit user-supplied time budget
                std::chrono::steady_clock::now() - start)
         .count();
   };

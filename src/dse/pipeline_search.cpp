@@ -369,7 +369,9 @@ std::vector<DataflowDescriptor> classic_population(
 
 std::string PipelineCandidate::key() const {
   if (legacy) return legacy->to_string();
-  std::string s = "c" + std::to_string(chain_index) + "|";
+  std::string s = "c";
+  s += std::to_string(chain_index);
+  s += "|";
   for (std::size_t i = 0; i < phases.size(); ++i) {
     if (i > 0 && i - 1 < boundaries.size()) {
       s += "->";
@@ -499,7 +501,9 @@ double pipeline_energy_lower_bound(std::span<const PipelinePhaseWork> work,
     // traffic, output movement) is binding-dependent and >= 0, so this is a
     // true lower bound on on_chip_pj.
     const double rf_per_mac = w.sparse ? 4.0 : 2.0;
+    // omega-lint: allow(float-accum): phase order is fixed; two terms per phase, deterministic
     pj += static_cast<double>(w.macs) * rf_per_mac * em.rf_access_pj;
+    // omega-lint: allow(float-accum): phase order is fixed; two terms per phase, deterministic
     pj += static_cast<double>(w.meta_gb_elems) * em.gb_access_pj;
   }
   return pj;

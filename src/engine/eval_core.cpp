@@ -7,6 +7,7 @@
 #include "dataflow/descriptor.hpp"
 #include "omega/pipeline.hpp"
 #include "util/error.hpp"
+#include "util/once.hpp"
 #include "util/saturate.hpp"
 
 namespace omega {
@@ -200,14 +201,16 @@ std::shared_ptr<const PhaseResult> TermStore::resolve(
       term = nullptr;
     }
   } else {
-    std::call_once(entry->once, [&] {
+    call_once_caching(entry->once, entry->error, [&] {
       builds_.fetch_add(1, std::memory_order_relaxed);
       try {
         entry->result = build();
       } catch (const Error&) {
         // Leave result null: the config is infeasible (engine validate
         // threw), cached so revisits fail without re-simulating. Exactly
-        // the candidates on which the scalar oracle throws.
+        // the candidates on which the scalar oracle throws. Anything else
+        // (bad_alloc, logic bugs) is memoized by call_once_caching and
+        // rethrown to every caller.
       }
     });
     term = entry->result;

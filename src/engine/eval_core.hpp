@@ -47,6 +47,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -154,6 +155,7 @@ class TermStore {
  private:
   struct TermEntry {
     std::once_flag once;
+    std::exception_ptr error;  // non-Error escape from the build, memoized
     // Null after a failed build: the engines reject this config
     // (infeasible), cached so every revisit fails without re-simulating.
     std::shared_ptr<const PhaseResult> result;

@@ -8,6 +8,7 @@
 
 #include "engine/schedule_cache.hpp"
 #include "util/error.hpp"
+#include "util/saturate.hpp"
 
 namespace omega {
 
@@ -217,16 +218,16 @@ PhaseResult run_gemm_phase_impl(const GemmPhaseConfig& cfg) {
           r.traffic.intermediate_partition.writes += elems;
         else r.traffic.gb_for(cfg.out_category).writes += elems;
         const std::uint64_t cost = ceil_div(elems, out_bw);
-        r.stall_cycles += cost;
-        *sink_cycles += cost;
+        r.stall_cycles = sat_add_u64(r.stall_cycles, cost);
+        *sink_cycles = sat_add_u64(*sink_cycles, cost);
       }
     } else if (!psums_fit_in_rf) {
       // Partial-sum spill: accumulators evicted to the GB psum region.
       r.traffic.gb_for(TrafficCategory::kPsum).writes += elems;
       r.traffic.rf.reads += elems;
       const std::uint64_t cost = ceil_div(elems, cfg.bw_red);
-      r.psum_cycles += cost;
-      *sink_cycles += cost;
+      r.psum_cycles = sat_add_u64(r.psum_cycles, cost);
+      *sink_cycles = sat_add_u64(*sink_cycles, cost);
     }
     // Otherwise the partial sums stay live in the PE register files.
   };
@@ -334,12 +335,13 @@ PhaseResult run_gemm_phase_impl(const GemmPhaseConfig& cfg) {
             if (is_a) {
               if (!cfg.a_from_rf) {
                 serial += ceil_div(elems, a_bw);
-                r.load_cycles += ceil_div(elems, a_bw);
+                r.load_cycles = sat_add_u64(r.load_cycles, ceil_div(elems, a_bw));
               }
               charge_a_read(elems);
             } else {
               serial += ceil_div(elems, cfg.bw_dist);
-              r.load_cycles += ceil_div(elems, cfg.bw_dist);
+              r.load_cycles =
+                  sat_add_u64(r.load_cycles, ceil_div(elems, cfg.bw_dist));
               charge_b_read(elems);
             }
           }
@@ -365,7 +367,7 @@ PhaseResult run_gemm_phase_impl(const GemmPhaseConfig& cfg) {
             r.traffic.gb_for(TrafficCategory::kPsum).reads += out_elems;
             r.traffic.rf.writes += out_elems;
             const std::uint64_t cost = ceil_div(out_elems, cfg.bw_dist);
-            r.psum_cycles += cost;
+            r.psum_cycles = sat_add_u64(r.psum_cycles, cost);
             serial += cost;
           }
           prev_iv = iv;
@@ -379,30 +381,31 @@ PhaseResult run_gemm_phase_impl(const GemmPhaseConfig& cfg) {
         std::uint64_t step = 1;
         if (stream_a > 0) step = std::max(step, stream_a);
         if (stream_b > 0) step = std::max(step, stream_b);
-        if (step > 1) r.stall_cycles += step - 1;
+        if (step > 1) r.stall_cycles = sat_add_u64(r.stall_cycles, step - 1);
 
         // RF accounting: operand reads per MAC plus accumulator RMW per
         // output lane per step (temporal accumulation).
-        r.traffic.rf.reads += 2 * macs;
+        r.traffic.rf.reads += sat_mul_u64(2, macs);
         r.traffic.rf.reads += out_elems;
         r.traffic.rf.writes += out_elems;
 
         r.issue_steps += 1;
-        r.macs += macs;
-        r.active_pe_cycles += macs;  // one PE-cycle per MAC at step cost 1
+        r.macs = sat_add_u64(r.macs, macs);
+        // One PE-cycle per MAC at step cost 1.
+        r.active_pe_cycles = sat_add_u64(r.active_pe_cycles, macs);
         const std::uint64_t total_step = step + serial;
-        r.cycles += total_step;
+        r.cycles = sat_add_u64(r.cycles, total_step);
 
         if (cfg.chunk_target != ChunkTarget::kNone) {
           const std::size_t chunk =
               chunk_rowc[iv] +
               chunk_colc[cfg.chunk_target == ChunkTarget::kMatrixA ? f_idx
                                                                    : ig];
-          r.chunk_cycles[chunk] += total_step;
+          r.chunk_cycles[chunk] = sat_add_u64(r.chunk_cycles[chunk], total_step);
           r.chunk_completion[chunk] = r.cycles;  // last contribution wins
           last_chunk_touched = chunk;
         } else {
-          r.chunk_cycles[0] += total_step;
+          r.chunk_cycles[0] = sat_add_u64(r.chunk_cycles[0], total_step);
           r.chunk_completion[0] = r.cycles;
           last_chunk_touched = 0;
         }
@@ -438,6 +441,7 @@ PhaseResult run_gemm_phase_impl(const GemmPhaseConfig& cfg) {
       const std::uint64_t reps = mid_end - 1;  // walked steps 2 .. mid_end
       if (reps > 0) {
         const std::uint64_t step_cycles = r.cycles - s_cycles;
+        const std::uint64_t walked = sat_mul_u64(reps, step_cycles);
         const Dim walk_dim = loops[walk_level].dim;
 
         // Chunk binning for the replayed steps.
@@ -458,9 +462,10 @@ PhaseResult run_gemm_phase_impl(const GemmPhaseConfig& cfg) {
             fixed_contrib = chunk_rowc[cur_idx[lv]] + chunk_colc[col_idx];
           }
           if (varying == nullptr) {
-            r.chunk_cycles[fixed_contrib] += reps * step_cycles;
+            r.chunk_cycles[fixed_contrib] =
+                sat_add_u64(r.chunk_cycles[fixed_contrib], walked);
             r.chunk_completion[fixed_contrib] =
-                base_cycles + reps * step_cycles;
+                sat_add_u64(base_cycles, walked);
             last_chunk_touched = fixed_contrib;
           } else {
             std::size_t s = 2;
@@ -469,29 +474,36 @@ PhaseResult run_gemm_phase_impl(const GemmPhaseConfig& cfg) {
               std::size_t e = s;
               while (e + 1 <= mid_end && varying[e + 1] == contrib) ++e;
               const std::size_t chunk = fixed_contrib + contrib;
-              r.chunk_cycles[chunk] +=
-                  static_cast<std::uint64_t>(e - s + 1) * step_cycles;
-              r.chunk_completion[chunk] =
-                  base_cycles +
-                  static_cast<std::uint64_t>(e - 1) * step_cycles;
+              r.chunk_cycles[chunk] = sat_add_u64(
+                  r.chunk_cycles[chunk],
+                  sat_mul_u64(static_cast<std::uint64_t>(e - s + 1),
+                              step_cycles));
+              r.chunk_completion[chunk] = sat_add_u64(
+                  base_cycles,
+                  sat_mul_u64(static_cast<std::uint64_t>(e - 1), step_cycles));
               last_chunk_touched = chunk;
               s = e + 1;
             }
           }
         } else {
-          r.chunk_cycles[0] += reps * step_cycles;
-          r.chunk_completion[0] = base_cycles + reps * step_cycles;
+          r.chunk_cycles[0] = sat_add_u64(r.chunk_cycles[0], walked);
+          r.chunk_completion[0] = sat_add_u64(base_cycles, walked);
           last_chunk_touched = 0;
         }
 
         // Replay the scalar deltas of the representative step.
-        r.cycles += reps * step_cycles;
+        r.cycles = sat_add_u64(r.cycles, walked);
         r.issue_steps += reps * (r.issue_steps - s_issue);
-        r.load_cycles += reps * (r.load_cycles - s_load);
-        r.stall_cycles += reps * (r.stall_cycles - s_stall);
-        r.psum_cycles += reps * (r.psum_cycles - s_psum);
-        r.macs += reps * (r.macs - s_macs);
-        r.active_pe_cycles += reps * (r.active_pe_cycles - s_active);
+        r.load_cycles = sat_add_u64(
+            r.load_cycles, sat_mul_u64(reps, r.load_cycles - s_load));
+        r.stall_cycles = sat_add_u64(
+            r.stall_cycles, sat_mul_u64(reps, r.stall_cycles - s_stall));
+        r.psum_cycles = sat_add_u64(
+            r.psum_cycles, sat_mul_u64(reps, r.psum_cycles - s_psum));
+        r.macs = sat_add_u64(r.macs, sat_mul_u64(reps, r.macs - s_macs));
+        r.active_pe_cycles =
+            sat_add_u64(r.active_pe_cycles,
+                        sat_mul_u64(reps, r.active_pe_cycles - s_active));
         const auto replay = [reps](AccessCounts& cur,
                                    const AccessCounts& before) {
           cur.reads += reps * (cur.reads - before.reads);
@@ -533,13 +545,14 @@ PhaseResult run_gemm_phase_impl(const GemmPhaseConfig& cfg) {
   }
   std::uint64_t tail = 0;
   flush_out_visit(&tail);
-  r.cycles += tail;
+  r.cycles = sat_add_u64(r.cycles, tail);
   if (!r.chunk_cycles.empty()) {
-    r.chunk_cycles[last_chunk_touched] += tail;
+    r.chunk_cycles[last_chunk_touched] =
+        sat_add_u64(r.chunk_cycles[last_chunk_touched], tail);
     r.chunk_completion[last_chunk_touched] += tail;
   }
 
-  r.cycles += r.fill_cycles;
+  r.cycles = sat_add_u64(r.cycles, r.fill_cycles);
   r.chunk_cycles.front() += r.fill_cycles;
   // The pipeline fill delays every completion; never-touched chunks (empty
   // grid cells) complete with their predecessors.

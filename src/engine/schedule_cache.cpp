@@ -4,6 +4,8 @@
 
 #include "engine/gemm_engine.hpp"  // ceil_div
 #include "util/error.hpp"
+#include "util/once.hpp"
+#include "util/saturate.hpp"
 
 namespace omega {
 
@@ -40,8 +42,8 @@ WorkloadContext::WorkloadContext(const CSRGraph& adjacency)
 const CSRGraph& WorkloadContext::reverse_graph() const {
   // Pin the shared transpose for the context's lifetime so repeated lookups
   // are a pointer read even if the source graph's cache is later invalidated.
-  std::call_once(reverse_once_,
-                 [&] { reverse_ = adjacency_->shared_transposed(); });
+  call_once_caching(reverse_once_, reverse_error_,
+                    [&] { reverse_ = adjacency_->shared_transposed(); });
   return *reverse_;
 }
 
@@ -55,7 +57,7 @@ std::shared_ptr<const LaneSchedule> WorkloadContext::lane_schedule(
     if (!slot) slot = std::make_shared<Entry>();
     entry = slot;
   }
-  std::call_once(entry->once, [&] {
+  call_once_caching(entry->once, entry->error, [&] {
     const CSRGraph& walk = gather ? graph() : reverse_graph();
     entry->schedule = std::make_shared<const LaneSchedule>(
         build_lane_schedule(walk, lanes, lane_width));
@@ -96,8 +98,12 @@ std::shared_ptr<const PhaseResult> WorkloadContext::phase_result(
   if (entry == nullptr) {
     return std::make_shared<const PhaseResult>(build());
   }
-  std::call_once(entry->once,
-                 [&] { entry->result = std::make_shared<const PhaseResult>(build()); });
+  // Infeasible configs throw Error out of `build`; call_once_caching
+  // memoizes the exception so revisits rethrow without re-running (and
+  // without throwing across the pthread_once boundary — see util/once.hpp).
+  call_once_caching(entry->once, entry->error, [&] {
+    entry->result = std::make_shared<const PhaseResult>(build());
+  });
   return entry->result;
 }
 
@@ -121,7 +127,7 @@ std::shared_ptr<EvalPlanBase> WorkloadContext::eval_plan(
     if (!slot) slot = std::make_shared<PlanEntry>();
     entry = slot;
   }
-  std::call_once(entry->once, [&] { entry->plan = build(); });
+  call_once_caching(entry->once, entry->error, [&] { entry->plan = build(); });
   return entry->plan;
 }
 
@@ -137,6 +143,7 @@ ContextEvalStats WorkloadContext::eval_stats() const {
   {
     const std::scoped_lock lock(mutex_);
     plans.reserve(eval_plans_.size());
+    // omega-lint: allow(unordered-iter): commutative fold (sums of counters), no emission order
     for (const auto& [sig, entry] : eval_plans_) {
       if (entry != nullptr && entry->plan != nullptr) plans.push_back(entry->plan);
     }
@@ -147,7 +154,7 @@ ContextEvalStats WorkloadContext::eval_stats() const {
     s.terms += p->term_count();
     s.term_requests += p->term_requests();
     s.term_builds += p->term_builds();
-    s.term_bytes += p->term_timeline_bytes();
+    s.term_bytes = sat_add_u64(s.term_bytes, p->term_timeline_bytes());
   }
   return s;
 }

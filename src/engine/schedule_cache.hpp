@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -132,9 +133,10 @@ class WorkloadContext {
   /// Memoized full phase simulation. `key` is the engine's config signature
   /// (everything that determines the PhaseResult except the graph, which is
   /// this context's); `build` runs at most once per key. Concurrent misses
-  /// on different keys build in parallel; a throwing build caches nothing,
-  /// so infeasible configs throw on every call exactly like the uncached
-  /// path. Callers must bypass the memo for results whose chunk grid
+  /// on different keys build in parallel; a throwing build memoizes the
+  /// exception and rethrows it on every call — same observable Error as the
+  /// uncached path (builds are deterministic per key), built only once.
+  /// Callers must bypass the memo for results whose chunk grid
   /// exceeds kPhaseMemoMaxChunks: giant grids are near-unique across
   /// candidates, and caching their multi-megabyte timelines trades memory
   /// (gigabytes over a long sweep) for hits that never come.
@@ -183,20 +185,24 @@ class WorkloadContext {
   /// concurrent misses on the same key build exactly once.
   struct Entry {
     std::once_flag once;
+    std::exception_ptr error;
     std::shared_ptr<const LaneSchedule> schedule;
   };
   struct PhaseEntry {
     std::once_flag once;
+    std::exception_ptr error;
     std::shared_ptr<const PhaseResult> result;
   };
   struct PlanEntry {
     std::once_flag once;
+    std::exception_ptr error;
     std::shared_ptr<EvalPlanBase> plan;
   };
 
   const CSRGraph* adjacency_;
   mutable std::shared_ptr<const CSRGraph> reverse_;  // pinned on first use
   mutable std::once_flag reverse_once_;
+  mutable std::exception_ptr reverse_error_;
   mutable std::mutex mutex_;
   mutable std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> schedules_;
   mutable std::unordered_map<std::string, std::shared_ptr<PhaseEntry>>

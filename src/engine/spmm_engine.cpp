@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/saturate.hpp"
 
 namespace omega {
 
@@ -25,6 +26,7 @@ std::vector<std::uint64_t> scale_chunks(
         critical_path == 0
             ? total_cycles
             : static_cast<std::uint64_t>(
+                  // omega-lint: allow(raw-arith): exact 128-bit proportioning, quotient <= total_cycles
                   static_cast<unsigned __int128>(cum_steps[i]) * total_cycles /
                   critical_path);
     const std::uint64_t clamped = std::min(cum, total_cycles);
@@ -265,7 +267,7 @@ PhaseResult run_spmm_phase_impl(const SpmmPhaseConfig& cfg) {
   }
 
   // RF accounting: operand reads + accumulator read-modify-write per MAC.
-  r.traffic.rf.reads += 3 * r.macs;
+  r.traffic.rf.reads += sat_mul_u64(3, r.macs);
   r.traffic.rf.writes += r.macs;
 
   // ---- Cycles: critical path vs throughput bounds -------------------------
@@ -289,7 +291,7 @@ PhaseResult run_spmm_phase_impl(const SpmmPhaseConfig& cfg) {
   // Partial-sum spills serialize on top of the streaming steady state.
   r.psum_cycles =
       ceil_div(psum_pairs, cfg.bw_red) + ceil_div(psum_pairs, cfg.bw_dist);
-  cycles += r.psum_cycles + r.fill_cycles;
+  cycles = sat_add_u64(cycles, sat_add_u64(r.psum_cycles, r.fill_cycles));
   r.cycles = cycles;
 
   // ---- Chunk timeline ------------------------------------------------------

@@ -98,6 +98,7 @@ double CSRGraph::avg_degree() const {
 
 double CSRGraph::density() const {
   const double v = static_cast<double>(num_vertices());
+  // omega-lint: allow(float-eq): v is an integer cast; exact zero guards the division
   if (v == 0.0) return 0.0;
   return static_cast<double>(num_edges()) / (v * v);
 }

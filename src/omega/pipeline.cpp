@@ -299,6 +299,7 @@ std::optional<std::string> PipelineSpec::validation_error() const {
                        "place G outside F (got " +
                p.dataflow.order.letters() + ")";
       }
+      // omega-lint: allow(float-eq): 1.0 is the exact dense-default sentinel
     } else if (p.weight_density != 1.0) {
       return who() + "weight_density only applies to sparse-weight phases";
     }
@@ -382,6 +383,7 @@ std::optional<std::string> PipelineChainSpec::chain_error() const {
       if (!(p.weight_density > 0.0 && p.weight_density <= 1.0)) {
         return who() + "weight_density must lie in (0, 1]";
       }
+      // omega-lint: allow(float-eq): 1.0 is the exact dense-default sentinel
     } else if (p.weight_density != 1.0) {
       return who() + "weight_density only applies to sparse-weight phases";
     }

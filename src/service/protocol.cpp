@@ -12,6 +12,7 @@ namespace {
 /// Field accessors with protocol-grade messages. All throw
 /// InvalidArgumentError so the server maps them to structured errors.
 std::uint64_t u64_field(const JsonValue& v, const char* what) {
+  // omega-lint: allow(uncaught-escape): narrow Error->InvalidArgumentError rewrap; anything else reaches the handle_line catch-all
   try {
     return v.as_u64();
   } catch (const Error&) {
@@ -594,6 +595,7 @@ Request parse_request(const std::string& line) {
 namespace {
 
 bool kind_is(const std::string& line, std::initializer_list<const char*> any) {
+  // omega-lint: allow(uncaught-escape): parse probe; malformed lines return false, non-Error escapes reach the handler catch-all
   try {
     const JsonValue root = JsonValue::parse(line);
     const JsonValue* kind = root.find("kind");
@@ -618,6 +620,7 @@ bool is_barrier_request(const std::string& line) {
 }
 
 std::uint64_t peek_request_id(const std::string& line) {
+  // omega-lint: allow(uncaught-escape): parse probe; only Error means "no id to recover"
   try {
     const JsonValue root = JsonValue::parse(line);
     if (const JsonValue* id = root.find("id");
@@ -631,6 +634,7 @@ std::uint64_t peek_request_id(const std::string& line) {
 }
 
 std::uint64_t peek_request_version(const std::string& line) {
+  // omega-lint: allow(uncaught-escape): parse probe; only Error means "no version to recover"
   try {
     const JsonValue root = JsonValue::parse(line);
     if (const JsonValue* v = root.find("version");

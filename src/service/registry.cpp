@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/once.hpp"
 
 namespace omega::service {
 
@@ -64,11 +65,13 @@ std::shared_ptr<const WorkloadEntry> WorkloadRegistry::acquire(
 
   // Build outside the registry lock: concurrent misses on different
   // signatures synthesize in parallel; same-signature waiters block on the
-  // once_flag and share one build. A throwing build leaves the once_flag
-  // retryable (std::call_once's exceptional semantics) — but the slot must
-  // not linger as a permanently-empty cache entry, so the thrower drops it.
+  // once_flag and share one build. A throwing build memoizes its exception
+  // on the slot (call_once_caching — exceptions must not cross the
+  // pthread_once boundary), and the slot is dropped from the map so a later
+  // acquire retries with a fresh slot instead of hitting a permanently-empty
+  // cache entry.
   try {
-    std::call_once(slot->once, [&] {
+    call_once_caching(slot->once, slot->error, [&] {
       slot->entry = std::make_shared<const WorkloadEntry>(build_workload(ref));
     });
   } catch (...) {
@@ -132,6 +135,7 @@ ContextEvalStats WorkloadRegistry::eval_stats() const {
   {
     const std::scoped_lock lock(mutex_);
     resident.reserve(entries_.size());
+    // omega-lint: allow(unordered-iter): commutative fold (counter sums), no emission order
     for (const auto& [key, e] : entries_) {
       if (e.slot != nullptr && e.slot->entry != nullptr) {
         resident.push_back(e.slot->entry);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -97,6 +98,7 @@ class WorkloadRegistry {
  private:
   struct Slot {
     std::once_flag once;
+    std::exception_ptr error;
     std::shared_ptr<const WorkloadEntry> entry;
   };
 

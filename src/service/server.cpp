@@ -209,6 +209,7 @@ std::string MappingService::metrics_response(const Request& request) {
 }
 
 std::string MappingService::handle_line(const std::string& line) {
+  // omega-lint: allow(wall-clock): latency histograms are metrics-only, never goldened
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t id = 0;
   // parse_request is all-or-nothing, so a parse-time error leaves no
@@ -249,6 +250,7 @@ std::string MappingService::handle_line(const std::string& line) {
   }
   const auto us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
+          // omega-lint: allow(wall-clock): latency histograms are metrics-only, never goldened
           std::chrono::steady_clock::now() - t0)
           .count());
   metrics_.add("service.requests", 1);
@@ -412,6 +414,9 @@ int serve_unix_socket(MappingService& service, const std::string& path,
       write_all(conn, out.str());
     } catch (const Error&) {
       // Connection-level failure (peer vanished); the service lives on.
+    } catch (const std::exception&) {
+      // Non-structured escape (e.g. bad_alloc on an absurd request): drop
+      // the connection but keep the daemon alive.
     }
     ::close(conn);
   }

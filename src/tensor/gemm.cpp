@@ -19,6 +19,7 @@ void gemm_accumulate_reference(const MatrixF& a, const MatrixF& b, MatrixF& c) {
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t kk = 0; kk < k; ++kk) {
       const float aik = a(i, kk);
+      // omega-lint: allow(float-eq): sparsity skip on exact stored zeros
       if (aik == 0.0f) continue;
       const float* brow = b.row(kk);
       float* crow = c.row(i);

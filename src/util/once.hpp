@@ -1,0 +1,41 @@
+// Exception-safe std::call_once.
+//
+// Letting the callback throw across the pthread_once boundary is
+// ABI-fragile: glibc resets the flag (retry semantics), but ThreadSanitizer's
+// pthread_once interceptor never releases its guard word on an exceptional
+// exit, so the next call_once on the same flag futex-waits forever — a
+// single-threaded self-deadlock. Other runtimes (musl, older libstdc++
+// configurations) have their own behaviors; POSIX says nothing.
+//
+// call_once_caching never lets the callback throw across the boundary:
+// a throwing `fn` is memoized as an exception_ptr on the entry and rethrown
+// to this and every later caller. For the deterministic builders behind our
+// memo entries (same key -> same build -> same Error) this is observably
+// identical to retry semantics, minus the repeated failed builds.
+#pragma once
+
+#include <exception>
+#include <mutex>
+#include <utility>
+
+namespace omega {
+
+/// Runs `fn` at most once per flag, like std::call_once, but captures a
+/// throwing run into `error` instead of resetting the flag. The stored
+/// exception is rethrown to every caller (including the first). `error` must
+/// live alongside `flag` (same entry); writes to it are ordered by the
+/// call_once barrier, so reading it after the call is race-free.
+template <typename Fn>
+void call_once_caching(std::once_flag& flag, std::exception_ptr& error,
+                       Fn&& fn) {
+  std::call_once(flag, [&] {
+    try {
+      std::forward<Fn>(fn)();
+    } catch (...) {
+      error = std::current_exception();
+    }
+  });
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace omega

@@ -1,0 +1,5 @@
+// Fixture: meta bad-suppression.
+// omega-lint: allow(no-such-rule): plausible but unknown rule id
+int fixture_x1 = 0;
+// omega-lint: allow(float-eq)
+int fixture_x2 = 0;

@@ -1,0 +1,10 @@
+// Fixture: R3b float-accum. Registered under src/dse/ by lint_test.
+double fixture_float_accum(const double* vals, int n) {
+  double total_pj = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total_pj += vals[i];  // line 5: positive
+  }
+  // omega-lint: allow(float-accum): fixture fixed accumulation order
+  total_pj += 1.0;  // line 8: suppressed
+  return total_pj;
+}

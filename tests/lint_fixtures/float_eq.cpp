@@ -1,0 +1,21 @@
+// Fixture: R3a float-eq.
+struct FixtureScored {
+  double score;
+};
+
+bool fixture_float_eq(double score_a) {
+  return score_a == 0.5;  // line 7: positive (literal compare)
+}
+
+bool fixture_float_eq_suppressed(double score_a) {
+  // omega-lint: allow(float-eq): fixture exact sentinel compare
+  return score_a == 1.0;  // line 12: suppressed
+}
+
+bool fixture_tie(const FixtureScored& a, const FixtureScored& b) {
+  return a.score == b.score;  // line 16: pass (symmetric same-field tie)
+}
+
+bool fixture_null(const double* p_val) {
+  return p_val == nullptr;  // line 20: pass (pointer compare)
+}

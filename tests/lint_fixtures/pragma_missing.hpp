@@ -1,0 +1,1 @@
+int fixture_bad_header();

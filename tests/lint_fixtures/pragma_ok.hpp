@@ -1,0 +1,2 @@
+#pragma once
+int fixture_good_header();

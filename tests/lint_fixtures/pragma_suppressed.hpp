@@ -1,0 +1,5 @@
+// omega-lint: allow(pragma-once): fixture legacy include-guard header
+#ifndef FIXTURE_PRAGMA_SUPPRESSED_HPP
+#define FIXTURE_PRAGMA_SUPPRESSED_HPP
+int fixture_guarded_header();
+#endif

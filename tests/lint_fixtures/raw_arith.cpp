@@ -1,0 +1,11 @@
+// Fixture: R1 raw-arith. Registered under src/engine/ by lint_test.
+#include <cstdint>
+
+std::uint64_t fixture_raw_arith(std::uint64_t step) {
+  std::uint64_t total_cycles = 0;
+  total_cycles += step;  // line 6: positive
+  // omega-lint: allow(raw-arith): fixture suppressed case
+  total_cycles += step;  // line 8: suppressed
+  std::uint64_t macs = step * total_cycles;  // line 9: positive (binary *)
+  return macs;
+}

@@ -1,0 +1,27 @@
+// Fixture: R4a uncaught-escape. Registered under src/service/ by lint_test.
+#include <stdexcept>
+
+void fixture_handle();
+
+void fixture_escape() {
+  try {  // line 7: positive (final catch is narrow)
+    fixture_handle();
+  } catch (const std::runtime_error&) {
+  }
+}
+
+void fixture_escape_suppressed() {
+  // omega-lint: allow(uncaught-escape): fixture narrow probe by design
+  try {  // line 15: suppressed
+    fixture_handle();
+  } catch (const std::runtime_error&) {
+  }
+}
+
+void fixture_escape_ok() {
+  try {  // line 22: pass (ends with catch-all)
+    fixture_handle();
+  } catch (const std::runtime_error&) {
+  } catch (...) {
+  }
+}

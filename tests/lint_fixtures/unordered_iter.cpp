@@ -1,0 +1,22 @@
+// Fixture: R2a unordered-iter.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+int fixture_emit(int);
+
+int fixture_unordered(const std::unordered_map<std::string, int>& counts) {
+  int acc = 0;
+  for (const auto& [key, value] : counts) {  // line 10: positive
+    acc = fixture_emit(value);
+  }
+  // omega-lint: allow(unordered-iter): fixture commutative fold
+  for (const auto& [key, value] : counts) {  // line 14: suppressed
+    acc = fixture_emit(value);
+  }
+  std::map<std::string, int> ordered_out;
+  for (const auto& [key, value] : counts) {  // line 18: pass (ordered sink)
+    ordered_out.emplace(key, value);
+  }
+  return acc + static_cast<int>(ordered_out.size());
+}

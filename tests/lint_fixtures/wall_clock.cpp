@@ -1,0 +1,11 @@
+// Fixture: R2b wall-clock.
+#include <chrono>
+#include <cstdlib>
+
+int fixture_wall_clock() {
+  const int noise = std::rand();  // line 6: positive (rand call)
+  // omega-lint: allow(wall-clock): fixture explicit timing budget
+  const auto t0 = std::chrono::steady_clock::now();  // line 8: suppressed
+  (void)t0;
+  return noise;
+}

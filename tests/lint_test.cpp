@@ -1,0 +1,215 @@
+// omega_lint rule-engine tests over the committed fixtures in
+// tests/lint_fixtures/. Each rule gets one positive case (detected at the
+// expected file:line) and one suppressed case; baseline tests cover the
+// add/remove (stale) workflow and the --json schema is validated with the
+// project JSON parser.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using omega::JsonValue;
+using omega::lint::BaselineResult;
+using omega::lint::Finding;
+using omega::lint::Linter;
+using omega::lint::LintOptions;
+using omega::lint::LintReport;
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(OMEGA_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Runs one fixture under the given virtual path (the path decides rule
+/// scoping, so raw-arith fixtures mount under src/engine/ and so on).
+LintReport run_one(const std::string& virtual_path, const std::string& name,
+                   LintOptions options = {}) {
+  Linter linter(std::move(options));
+  linter.add_file(virtual_path, fixture(name));
+  return linter.run();
+}
+
+std::vector<std::size_t> lines_of(const LintReport& report,
+                                  const std::string& rule) {
+  std::vector<std::size_t> lines;
+  for (const Finding& f : report.findings) {
+    if (f.rule == rule) lines.push_back(f.line);
+  }
+  return lines;
+}
+
+TEST(LintRawArith, PositiveSuppressedAndLineNumbers) {
+  const LintReport r = run_one("src/engine/raw_arith.cpp", "raw_arith.cpp");
+  EXPECT_EQ(lines_of(r, "raw-arith"), (std::vector<std::size_t>{6, 9}));
+  EXPECT_EQ(r.suppressed, 1u);
+  for (const Finding& f : r.findings) {
+    EXPECT_EQ(f.file, "src/engine/raw_arith.cpp");
+    EXPECT_FALSE(f.hint.empty());
+    EXPECT_FALSE(f.snippet.empty());
+  }
+}
+
+TEST(LintRawArith, OutOfScopeDirectoryIsClean) {
+  // Same content outside src/engine|omega|dse: the rule does not apply.
+  const LintReport r = run_one("src/graph/raw_arith.cpp", "raw_arith.cpp");
+  EXPECT_TRUE(lines_of(r, "raw-arith").empty());
+}
+
+TEST(LintUnorderedIter, PositiveSuppressedAndOrderedSink) {
+  const LintReport r =
+      run_one("src/service/unordered_iter.cpp", "unordered_iter.cpp");
+  // Line 10 flagged; line 14 suppressed; line 18 passes via ordered sink.
+  EXPECT_EQ(lines_of(r, "unordered-iter"), (std::vector<std::size_t>{10}));
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(LintWallClock, PositiveAndSuppressed) {
+  const LintReport r = run_one("src/gnn/wall_clock.cpp", "wall_clock.cpp");
+  EXPECT_EQ(lines_of(r, "wall-clock"), (std::vector<std::size_t>{6}));
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(LintWallClock, ObservabilityLayerIsAllowlisted) {
+  const LintReport r = run_one("src/obs/wall_clock.cpp", "wall_clock.cpp");
+  EXPECT_TRUE(lines_of(r, "wall-clock").empty());
+}
+
+TEST(LintFloatEq, PositiveSuppressedTieAndNullptr) {
+  const LintReport r = run_one("src/omega/float_eq.cpp", "float_eq.cpp");
+  // Line 7 flagged; line 12 suppressed; the symmetric same-field tie at 16
+  // and the pointer compare at 20 both pass.
+  EXPECT_EQ(lines_of(r, "float-eq"), (std::vector<std::size_t>{7}));
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(LintFloatAccum, PositiveAndSuppressed) {
+  const LintReport r = run_one("src/dse/float_accum.cpp", "float_accum.cpp");
+  EXPECT_EQ(lines_of(r, "float-accum"), (std::vector<std::size_t>{5}));
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(LintUncaughtEscape, PositiveSuppressedAndCatchAll) {
+  const LintReport r =
+      run_one("src/service/uncaught_escape.cpp", "uncaught_escape.cpp");
+  EXPECT_EQ(lines_of(r, "uncaught-escape"), (std::vector<std::size_t>{7}));
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(LintPragmaOnce, MissingSuppressedAndPresent) {
+  EXPECT_EQ(lines_of(run_one("src/arch/pragma_missing.hpp",
+                             "pragma_missing.hpp"),
+                     "pragma-once"),
+            (std::vector<std::size_t>{1}));
+  const LintReport suppressed =
+      run_one("src/arch/pragma_suppressed.hpp", "pragma_suppressed.hpp");
+  EXPECT_TRUE(suppressed.findings.empty());
+  EXPECT_EQ(suppressed.suppressed, 1u);
+  EXPECT_TRUE(
+      run_one("src/arch/pragma_ok.hpp", "pragma_ok.hpp").findings.empty());
+}
+
+TEST(LintBadSuppression, UnknownRuleAndMissingReason) {
+  const LintReport r =
+      run_one("src/util/bad_suppression.cpp", "bad_suppression.cpp");
+  EXPECT_EQ(lines_of(r, "bad-suppression"), (std::vector<std::size_t>{2, 4}));
+}
+
+TEST(LintOptionsTest, PathAllowlistDropsFindings) {
+  LintOptions options;
+  options.allow.emplace_back("raw-arith", "src/engine/");
+  const LintReport r =
+      run_one("src/engine/raw_arith.cpp", "raw_arith.cpp", options);
+  EXPECT_TRUE(r.findings.empty());
+  // The allowlist is applied before inline suppressions, so the suppressed
+  // site counts as allowlisted too.
+  EXPECT_EQ(r.allowlisted, 3u);
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
+TEST(LintBaseline, AddThenRemoveReportsStale) {
+  // "Add": baseline today's findings -> report comes back clean.
+  LintReport dirty = run_one("src/engine/raw_arith.cpp", "raw_arith.cpp");
+  ASSERT_EQ(dirty.findings.size(), 2u);
+  const std::string doc = omega::lint::baseline_json(dirty.findings);
+  const std::vector<omega::lint::BaselineEntry> entries =
+      omega::lint::parse_baseline(doc);
+  ASSERT_EQ(entries.size(), 2u);
+  const BaselineResult applied = omega::lint::apply_baseline(dirty, entries);
+  EXPECT_TRUE(dirty.findings.empty());
+  EXPECT_EQ(applied.baselined, 2u);
+  EXPECT_TRUE(applied.stale.empty());
+
+  // "Remove": the violations get fixed -> every entry is stale (and a clean
+  // tree plus stale entries still means zero findings, so exit stays 0).
+  Linter clean_linter;
+  clean_linter.add_file("src/engine/raw_arith.cpp",
+                        "#include <cstdint>\nint fixture_clean = 0;\n");
+  LintReport clean = clean_linter.run();
+  const BaselineResult stale = omega::lint::apply_baseline(clean, entries);
+  EXPECT_TRUE(clean.findings.empty());
+  EXPECT_EQ(stale.baselined, 0u);
+  EXPECT_EQ(stale.stale.size(), 2u);
+}
+
+TEST(LintBaseline, MultisetMatchingAbsorbsAtMostN) {
+  // One baseline entry absorbs one of the two identical-snippet findings
+  // only if the snippets match; distinct snippets match one-for-one.
+  LintReport dirty = run_one("src/engine/raw_arith.cpp", "raw_arith.cpp");
+  ASSERT_EQ(dirty.findings.size(), 2u);
+  const std::vector<omega::lint::BaselineEntry> one = {
+      {dirty.findings[0].file, dirty.findings[0].rule,
+       dirty.findings[0].snippet}};
+  const BaselineResult applied = omega::lint::apply_baseline(dirty, one);
+  EXPECT_EQ(applied.baselined, 1u);
+  EXPECT_EQ(dirty.findings.size(), 1u);
+  EXPECT_TRUE(applied.stale.empty());
+}
+
+TEST(LintJson, ReportSchemaParsesAndCounts) {
+  LintReport r = run_one("src/engine/raw_arith.cpp", "raw_arith.cpp");
+  const BaselineResult no_baseline;
+  const JsonValue doc =
+      JsonValue::parse(omega::lint::report_json(r, no_baseline));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("version")->as_u64(), 1u);
+  const JsonValue* findings = doc.find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_TRUE(findings->is_array());
+  ASSERT_EQ(findings->items().size(), 2u);
+  for (const JsonValue& f : findings->items()) {
+    EXPECT_TRUE(f.find("file")->is_string());
+    EXPECT_TRUE(f.find("line")->is_number());
+    EXPECT_TRUE(f.find("rule")->is_string());
+    EXPECT_TRUE(f.find("message")->is_string());
+    EXPECT_TRUE(f.find("hint")->is_string());
+    EXPECT_TRUE(f.find("snippet")->is_string());
+  }
+  const JsonValue* counts = doc.find("counts");
+  ASSERT_NE(counts, nullptr);
+  EXPECT_EQ(counts->find("files")->as_u64(), 1u);
+  EXPECT_EQ(counts->find("findings")->as_u64(), 2u);
+  EXPECT_EQ(counts->find("suppressed")->as_u64(), 1u);
+  const JsonValue* stale = doc.find("stale_baseline");
+  ASSERT_NE(stale, nullptr);
+  EXPECT_TRUE(stale->is_array());
+}
+
+TEST(LintRules, CatalogIsStable) {
+  EXPECT_TRUE(omega::lint::is_known_rule("raw-arith"));
+  EXPECT_TRUE(omega::lint::is_known_rule("all"));
+  EXPECT_FALSE(omega::lint::is_known_rule("no-such-rule"));
+  EXPECT_EQ(omega::lint::rules().size(), 8u);
+}
+
+}  // namespace

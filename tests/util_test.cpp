@@ -9,6 +9,7 @@
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/saturate.hpp"
 #include "util/table.hpp"
 
 namespace omega {
@@ -325,6 +326,36 @@ TEST(JsonParseTest, NestedStructures) {
   EXPECT_TRUE(
       v.find("deep")->find("a")->find("b")->items()[0].is_null());
   EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(SaturateTest, AddBoundaries) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(sat_add_u64(0, 0), 0u);
+  EXPECT_EQ(sat_add_u64(kMax, 0), kMax);
+  EXPECT_EQ(sat_add_u64(kMax - 1, 1), kMax);  // exact, no clamp yet
+  EXPECT_EQ(sat_add_u64(kMax, 1), kMax);      // clamps
+  EXPECT_EQ(sat_add_u64(kMax, kMax), kMax);
+  EXPECT_EQ(sat_add_u64(kMax / 2, kMax / 2 + 1), kMax);  // exact: 2^64-1
+}
+
+TEST(SaturateTest, MulBoundaries) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  constexpr std::uint64_t kHalfUp = kMax / 2 + 1;  // 2^63
+  EXPECT_EQ(sat_mul_u64(kMax, 0), 0u);
+  EXPECT_EQ(sat_mul_u64(kMax, 1), kMax);
+  EXPECT_EQ(sat_mul_u64(kMax, 2), kMax);        // clamps
+  EXPECT_EQ(sat_mul_u64(kHalfUp, 1), kHalfUp);  // exact at 2^63
+  EXPECT_EQ(sat_mul_u64(kHalfUp, 2), kMax);     // 2^64 clamps
+  EXPECT_EQ(sat_mul_u64(kHalfUp, kHalfUp), kMax);
+  EXPECT_EQ(sat_mul_u64(1u << 31, 1u << 31), 1ull << 62);  // exact, no clamp
+}
+
+TEST(SaturateTest, SubClampsAtZero) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(sat_sub_u64(5, 3), 2u);
+  EXPECT_EQ(sat_sub_u64(3, 5), 0u);
+  EXPECT_EQ(sat_sub_u64(0, kMax), 0u);
+  EXPECT_EQ(sat_sub_u64(kMax, kMax), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,1183 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace omega::lint {
+
+namespace {
+
+// ---- Rule catalog -----------------------------------------------------------
+
+constexpr const char* kRawArith = "raw-arith";
+constexpr const char* kUnorderedIter = "unordered-iter";
+constexpr const char* kWallClock = "wall-clock";
+constexpr const char* kFloatEq = "float-eq";
+constexpr const char* kFloatAccum = "float-accum";
+constexpr const char* kUncaughtEscape = "uncaught-escape";
+constexpr const char* kPragmaOnce = "pragma-once";
+constexpr const char* kBadSuppression = "bad-suppression";
+
+const std::vector<RuleInfo> kRules = {
+    {kRawArith, "R1",
+     "raw +/*/+= on a std::uint64_t accumulator; use sat_add_u64/sat_mul_u64"},
+    {kUnorderedIter, "R2a",
+     "iteration over an unordered container without sorted materialization"},
+    {kWallClock, "R2b",
+     "rand()/time()/clock read outside src/obs, bench/, src/util/rng.*"},
+    {kFloatEq, "R3a", "==/!= on floating-point operands"},
+    {kFloatAccum, "R3b", "order-sensitive float accumulation in a ranking path"},
+    {kUncaughtEscape, "R4a",
+     "service try block whose final catch is not std::exception/..."},
+    {kPragmaOnce, "R4b", "header does not start with #pragma once"},
+    {kBadSuppression, "meta",
+     "omega-lint suppression with an unknown rule or missing reason"},
+};
+
+// ---- Path scoping -----------------------------------------------------------
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool is_header(std::string_view path) {
+  return ends_with(path, ".hpp") || ends_with(path, ".h") ||
+         ends_with(path, ".hh");
+}
+
+/// Directories a rule is restricted to (empty = every scanned file).
+const std::vector<std::string_view>& rule_scope(std::string_view rule) {
+  static const std::vector<std::string_view> kEverywhere = {};
+  static const std::vector<std::string_view> kAccumulatorDirs = {
+      "src/engine/", "src/omega/", "src/dse/"};
+  static const std::vector<std::string_view> kRankingDirs = {"src/dse/"};
+  static const std::vector<std::string_view> kServiceDirs = {"src/service/"};
+  if (rule == kRawArith) return kAccumulatorDirs;
+  if (rule == kFloatAccum) return kRankingDirs;
+  if (rule == kUncaughtEscape) return kServiceDirs;
+  return kEverywhere;
+}
+
+/// Built-in allowlists: paths where a rule does not apply by design.
+const std::vector<std::string_view>& rule_builtin_allow(std::string_view rule) {
+  static const std::vector<std::string_view> kNone = {};
+  static const std::vector<std::string_view> kClockOk = {
+      "src/obs/", "bench/", "src/util/rng."};
+  if (rule == kWallClock) return kClockOk;
+  return kNone;
+}
+
+bool rule_applies(std::string_view rule, std::string_view path) {
+  const auto& scope = rule_scope(rule);
+  if (!scope.empty()) {
+    bool in_scope = false;
+    for (const std::string_view dir : scope) {
+      if (starts_with(path, dir)) in_scope = true;
+    }
+    if (!in_scope) return false;
+  }
+  for (const std::string_view prefix : rule_builtin_allow(rule)) {
+    if (starts_with(path, prefix)) return false;
+  }
+  return true;
+}
+
+// ---- Scrubbing & suppressions -----------------------------------------------
+
+struct Suppression {
+  std::size_t line = 0;
+  std::vector<std::string> rule_ids;
+  bool has_reason = false;
+  bool own_line = false;  // comment line with no code: also covers line+1
+};
+
+/// `source` with comments and string/char literals blanked to spaces
+/// (newlines preserved, so token line numbers match the original), plus the
+/// omega-lint suppressions found in comments.
+struct ScrubResult {
+  std::string text;
+  std::vector<Suppression> suppressions;
+};
+
+void parse_suppression_comment(std::string_view comment, std::size_t line,
+                               std::vector<Suppression>& out) {
+  const std::size_t tag = comment.find("omega-lint:");
+  if (tag == std::string_view::npos) return;
+  // A suppression must be the whole comment: prose that merely MENTIONS the
+  // omega-lint syntax (like the catalog in lint.hpp) is not a suppression.
+  for (std::size_t i = 0; i < tag; ++i) {
+    if (!std::isspace(static_cast<unsigned char>(comment[i]))) return;
+  }
+  Suppression s;
+  s.line = line;
+  std::size_t pos = comment.find("allow(", tag);
+  if (pos == std::string_view::npos) {
+    out.push_back(std::move(s));  // no allow() clause: reported as malformed
+    return;
+  }
+  pos += 6;
+  const std::size_t close = comment.find(')', pos);
+  if (close == std::string_view::npos) {
+    out.push_back(std::move(s));
+    return;
+  }
+  std::string id;
+  for (std::size_t i = pos; i <= close; ++i) {
+    const char c = i < close ? comment[i] : ',';
+    if (c == ',' ) {
+      while (!id.empty() && id.front() == ' ') id.erase(id.begin());
+      while (!id.empty() && id.back() == ' ') id.pop_back();
+      if (!id.empty()) s.rule_ids.push_back(id);
+      id.clear();
+    } else {
+      id.push_back(c);
+    }
+  }
+  // Reason: a ':' after the ')' followed by at least one non-space char.
+  const std::size_t colon = comment.find(':', close);
+  if (colon != std::string_view::npos) {
+    for (std::size_t i = colon + 1; i < comment.size(); ++i) {
+      if (!std::isspace(static_cast<unsigned char>(comment[i]))) {
+        s.has_reason = true;
+        break;
+      }
+    }
+  }
+  out.push_back(std::move(s));
+}
+
+ScrubResult scrub(const std::string& source) {
+  ScrubResult r;
+  r.text.assign(source.size(), ' ');
+  std::size_t line = 1;
+  bool line_has_code = false;
+  std::string comment;           // text of the comment being scanned
+  std::size_t comment_line = 0;  // line the current comment started on
+  const auto flush_comment = [&] {
+    if (!comment.empty()) {
+      const std::size_t before = r.suppressions.size();
+      parse_suppression_comment(comment, comment_line, r.suppressions);
+      if (r.suppressions.size() > before && !line_has_code) {
+        r.suppressions.back().own_line = true;
+      }
+      comment.clear();
+    }
+  };
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    if (c == '\n') {
+      r.text[i] = '\n';
+      if (state == State::kLine) {
+        flush_comment();
+        state = State::kCode;
+      } else if (state == State::kBlock) {
+        flush_comment();  // treat each block-comment line independently
+        comment_line = line + 1;
+      }
+      ++line;
+      line_has_code = false;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+          state = State::kLine;
+          comment_line = line;
+          ++i;
+        } else if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+          state = State::kBlock;
+          comment_line = line;
+          ++i;
+        } else if (c == '"' && i >= 1 && source[i - 1] == 'R') {
+          state = State::kRaw;
+          raw_delim.clear();
+          for (std::size_t j = i + 1; j < source.size() && source[j] != '(';
+               ++j) {
+            raw_delim.push_back(source[j]);
+          }
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        } else {
+          r.text[i] = c;
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            line_has_code = true;
+          }
+        }
+        break;
+      case State::kLine:
+      case State::kBlock:
+        if (state == State::kBlock && c == '*' && i + 1 < source.size() &&
+            source[i + 1] == '/') {
+          flush_comment();
+          state = State::kCode;
+          ++i;
+        } else {
+          comment.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          line_has_code = true;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          line_has_code = true;
+        }
+        break;
+      case State::kRaw: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (c == ')' && source.compare(i, close.size(), close) == 0) {
+          i += close.size() - 1;
+          state = State::kCode;
+          line_has_code = true;
+        }
+        break;
+      }
+    }
+  }
+  flush_comment();
+  return r;
+}
+
+// ---- Tokenizer --------------------------------------------------------------
+
+struct Token {
+  enum class Kind : unsigned char { kIdent, kNumber, kPunct };
+  Kind kind;
+  std::string_view text;
+  std::size_t line = 0;
+  bool is_float = false;  // kNumber only
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<Token> tokenize(std::string_view text) {
+  static constexpr std::array<std::string_view, 24> kMulti = {
+      "...", "->*", "<<=", ">>=", "::", "->", "++", "--", "+=", "-=", "*=",
+      "/=",  "%=",  "&=",  "|=",  "^=", "==", "!=", "<=", ">=", "&&", "||",
+      "<<",  ">>"};
+  std::vector<Token> out;
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < text.size();) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < text.size() && ident_char(text[j])) ++j;
+      out.push_back({Token::Kind::kIdent, text.substr(i, j - i), line, false});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < text.size()) {
+        const char d = text[j];
+        if (ident_char(d) || d == '\'' || d == '.') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                    text[j - 1] == 'p' || text[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      const std::string_view tok = text.substr(i, j - i);
+      // Hex literals (0x1F, 0x1p3) are integers for our purposes; a decimal
+      // token is floating if it has a '.', an exponent, or an f/F suffix.
+      const bool hex = tok.size() > 1 && tok[0] == '0' &&
+                       (tok[1] == 'x' || tok[1] == 'X');
+      const bool is_float =
+          !hex && (tok.find('.') != std::string_view::npos ||
+                   tok.find('e') != std::string_view::npos ||
+                   tok.find('E') != std::string_view::npos ||
+                   tok.back() == 'f' || tok.back() == 'F');
+      out.push_back({Token::Kind::kNumber, tok, line, is_float});
+      i = j;
+      continue;
+    }
+    std::string_view matched;
+    for (const std::string_view m : kMulti) {
+      if (text.compare(i, m.size(), m) == 0) {
+        matched = m;
+        break;
+      }
+    }
+    if (!matched.empty()) {
+      out.push_back({Token::Kind::kPunct, text.substr(i, matched.size()), line,
+                     false});
+      i += matched.size();
+    } else {
+      out.push_back({Token::Kind::kPunct, text.substr(i, 1), line, false});
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---- Declaration harvesting -------------------------------------------------
+
+/// What the harvester learned about an identifier, project-wide. A name
+/// declared with conflicting classes keeps every bit; rules require the bit
+/// they care about to be unambiguous (e.g. raw-arith skips names that are
+/// also floating somewhere).
+enum TypeBits : unsigned {
+  kTypeU64 = 1u << 0,       // std::uint64_t (incl. vector<uint64_t> elements)
+  kTypeFloat = 1u << 1,     // double / float
+  kTypeUnordered = 1u << 2, // unordered_{map,set,...}
+  kTypeOrdered = 1u << 3,   // std::map / std::set (sorted materialization)
+  kTypeAtomic = 1u << 4,    // std::atomic<...>: has its own memory contract
+  kTypeOther = 1u << 5,     // declared with some other type
+};
+
+using TypeTable = std::unordered_map<std::string, unsigned>;
+
+/// Words that start statements/declarations but are never a user type in the
+/// `Type name` declaration pattern the generic harvester keys on.
+bool is_decl_keyword(std::string_view t) {
+  static constexpr std::array<std::string_view, 36> kWords = {
+      "return",   "case",     "new",      "delete",  "throw",    "else",
+      "do",       "goto",     "operator", "sizeof",  "typename", "template",
+      "using",    "namespace","class",    "struct",  "enum",     "public",
+      "private",  "protected","virtual",  "override","final",    "explicit",
+      "friend",   "typedef",  "if",       "while",   "for",      "switch",
+      "catch",    "static_assert",        "alignas", "alignof",  "co_return",
+      "co_yield"};
+  return std::find(kWords.begin(), kWords.end(), t) != kWords.end();
+}
+
+/// Type spellings the dedicated harvest branches own (the generic branch
+/// must not double-record their declarations under kTypeOther).
+bool is_typed_trigger(std::string_view t) {
+  static constexpr std::array<std::string_view, 13> kTriggers = {
+      "uint64_t", "double",   "float", "atomic", "vector", "array",
+      "span",     "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset", "map", "set"};
+  return std::find(kTriggers.begin(), kTriggers.end(), t) != kTriggers.end();
+}
+
+/// Builtin type spellings: a binary '*' or '&' right after one of these is a
+/// pointer/reference declarator, not arithmetic.
+bool is_builtin_type_name(std::string_view t) {
+  static constexpr std::array<std::string_view, 16> kTypes = {
+      "uint64_t", "uint32_t", "uint16_t", "uint8_t", "int64_t", "int32_t",
+      "int16_t",  "int8_t",   "size_t",   "double",  "float",   "int",
+      "unsigned", "long",     "char",     "bool"};
+  return std::find(kTypes.begin(), kTypes.end(), t) != kTypes.end();
+}
+
+/// Tokens a declaration's type can directly follow — keeps the generic
+/// harvester off expression contexts like `x = a * b`.
+bool is_decl_context(std::string_view prev) {
+  return prev == ";" || prev == "{" || prev == "}" || prev == "(" ||
+         prev == "," || prev == "::" || prev == ":" || prev == ">" ||
+         prev == "const" || prev == "constexpr" || prev == "static" ||
+         prev == "inline" || prev == "mutable" || prev == "friend" ||
+         prev == "typename";
+}
+
+/// Tokens that can follow a declared name (initializer, separator, or a
+/// function parameter list).
+bool is_decl_terminator(std::string_view next) {
+  return next == "=" || next == ";" || next == "," || next == ")" ||
+         next == "{" || next == "(";
+}
+
+/// Skips a balanced template argument list; `i` points at '<'. Returns the
+/// index just past the matching '>'. Handles '>>' closing two levels.
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    const std::string_view t = toks[i].text;
+    if (t == "<") {
+      ++depth;
+    } else if (t == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (t == ";" || t == "{") {
+      return i;  // not a template argument list after all
+    }
+  }
+  return i;
+}
+
+/// True if the token range [begin, end) mentions a floating-point type.
+bool mentions_float(const std::vector<Token>& toks, std::size_t begin,
+                    std::size_t end) {
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (toks[i].text == "double" || toks[i].text == "float") return true;
+  }
+  return false;
+}
+
+bool mentions_u64(const std::vector<Token>& toks, std::size_t begin,
+                  std::size_t end) {
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (toks[i].text == "uint64_t") return true;
+  }
+  return false;
+}
+
+/// After a type spelling, skips cv/ref/pointer tokens and records the next
+/// identifier (if any) with `bits`.
+void record_declared_name(const std::vector<Token>& toks, std::size_t i,
+                          unsigned bits, TypeTable& table) {
+  while (i < toks.size() &&
+         (toks[i].text == "const" || toks[i].text == "*" ||
+          toks[i].text == "&" || toks[i].text == "&&")) {
+    ++i;
+  }
+  if (i < toks.size() && toks[i].kind == Token::Kind::kIdent) {
+    table[std::string(toks[i].text)] |= bits;
+  }
+}
+
+void harvest(const std::vector<Token>& toks, TypeTable& table) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    const std::string_view t = toks[i].text;
+    if (t == "uint64_t") {
+      // `std::uint64_t name` (fields, locals, params, function returns).
+      // Inside a template argument list the next token is punctuation, so
+      // nothing is recorded here (the container triggers handle those).
+      record_declared_name(toks, i + 1, kTypeU64, table);
+    } else if (t == "double" || t == "float") {
+      record_declared_name(toks, i + 1, kTypeFloat, table);
+    } else if (t == "atomic" && i + 1 < toks.size() &&
+               toks[i + 1].text == "<") {
+      record_declared_name(toks, skip_angles(toks, i + 1), kTypeAtomic, table);
+    } else if ((t == "unordered_map" || t == "unordered_set" ||
+                t == "unordered_multimap" || t == "unordered_multiset") &&
+               i + 1 < toks.size() && toks[i + 1].text == "<") {
+      record_declared_name(toks, skip_angles(toks, i + 1), kTypeUnordered,
+                           table);
+    } else if ((t == "map" || t == "set" || t == "multimap" ||
+                t == "multiset") &&
+               i >= 2 && toks[i - 1].text == "::" &&
+               toks[i - 2].text == "std" && i + 1 < toks.size() &&
+               toks[i + 1].text == "<") {
+      record_declared_name(toks, skip_angles(toks, i + 1), kTypeOrdered,
+                           table);
+    } else if ((t == "vector" || t == "array" || t == "span") &&
+               i + 1 < toks.size() && toks[i + 1].text == "<") {
+      const std::size_t past = skip_angles(toks, i + 1);
+      if (mentions_u64(toks, i + 1, past)) {
+        // Element access through [] is u64 arithmetic for the accumulator
+        // rule (chunk_cycles[i] + x must saturate like cycles + x).
+        record_declared_name(toks, past, kTypeU64, table);
+      } else if (mentions_float(toks, i + 1, past)) {
+        record_declared_name(toks, past, kTypeFloat, table);
+      }
+    } else if (!is_decl_keyword(t) && !is_typed_trigger(t) &&
+               (i == 0 || is_decl_context(toks[i - 1].text))) {
+      // Generic `Type name` declaration (GnnPhase p, std::size_t n, ...):
+      // records `name` under kTypeOther. The float rules require an
+      // UNAMBIGUOUS float classification, so a `double p` in one file no
+      // longer taints a `GnnPhase p` parameter elsewhere in the project.
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].text == "<") j = skip_angles(toks, i + 1);
+      while (j < toks.size() &&
+             (toks[j].text == "const" || toks[j].text == "*" ||
+              toks[j].text == "&" || toks[j].text == "&&")) {
+        ++j;
+      }
+      if (j > i && j + 1 < toks.size() &&
+          toks[j].kind == Token::Kind::kIdent &&
+          is_decl_terminator(toks[j + 1].text)) {
+        table[std::string(toks[j].text)] |= kTypeOther;
+      }
+    }
+  }
+}
+
+// ---- Operand extraction -----------------------------------------------------
+
+struct Operand {
+  std::string_view terminal;  // last identifier component ("" if unknown)
+  bool is_float_literal = false;
+  bool cast_to_float = false;
+  bool cast_to_u64 = false;
+};
+
+std::size_t match_back(const std::vector<Token>& toks, std::size_t close,
+                       std::string_view open_t, std::string_view close_t) {
+  int depth = 0;
+  for (std::size_t j = close + 1; j-- > 0;) {
+    if (toks[j].text == close_t) ++depth;
+    if (toks[j].text == open_t && --depth == 0) return j;
+    if (j == 0) break;
+  }
+  return 0;
+}
+
+/// The primary expression ending just before token `i` (the operator).
+Operand left_operand(const std::vector<Token>& toks, std::size_t i) {
+  Operand op;
+  if (i == 0) return op;
+  std::size_t j = i - 1;
+  // Skip trailing call/index groups: foo(...)  foo[...]  (...).
+  while (j > 0 && (toks[j].text == ")" || toks[j].text == "]")) {
+    const std::string_view open = toks[j].text == ")" ? "(" : "[";
+    const std::size_t o = match_back(toks, j, open, toks[j].text);
+    if (o == 0) return op;
+    j = o;  // at the opener
+    if (j == 0) return op;
+    --j;    // token before the opener
+    if (toks[j].text == ">") {  // template call / cast: foo<T>(...)
+      const std::size_t lt = match_back(toks, j, "<", ">");
+      if (lt == 0) return op;
+      if (mentions_float(toks, lt, j + 1)) op.cast_to_float = true;
+      if (mentions_u64(toks, lt, j + 1)) op.cast_to_u64 = true;
+      j = lt - 1;
+    }
+  }
+  if (toks[j].kind == Token::Kind::kNumber) {
+    op.is_float_literal = toks[j].is_float;
+    return op;
+  }
+  if (toks[j].kind == Token::Kind::kIdent) op.terminal = toks[j].text;
+  return op;
+}
+
+/// The primary expression starting just after token `i`.
+Operand right_operand(const std::vector<Token>& toks, std::size_t i) {
+  Operand op;
+  std::size_t j = i + 1;
+  // Unary prefixes and grouping parens.
+  while (j < toks.size() &&
+         (toks[j].text == "(" || toks[j].text == "-" || toks[j].text == "+" ||
+          toks[j].text == "~" || toks[j].text == "!" || toks[j].text == "*" ||
+          toks[j].text == "&")) {
+    ++j;
+  }
+  if (j >= toks.size()) return op;
+  if (toks[j].kind == Token::Kind::kNumber) {
+    op.is_float_literal = toks[j].is_float;
+    return op;
+  }
+  if (toks[j].kind != Token::Kind::kIdent) return op;
+  // Follow the access chain a::b.c->d, keeping the last component; a cast
+  // like static_cast<double>(x) reports the cast type instead.
+  std::string_view name = toks[j].text;
+  while (j + 2 < toks.size() &&
+         (toks[j + 1].text == "." || toks[j + 1].text == "->" ||
+          toks[j + 1].text == "::") &&
+         toks[j + 2].kind == Token::Kind::kIdent) {
+    j += 2;
+    name = toks[j].text;
+  }
+  if (j + 1 < toks.size() && toks[j + 1].text == "<" &&
+      (name == "static_cast" || name == "saturate_cast")) {
+    const std::size_t past = skip_angles(toks, j + 1);
+    if (mentions_float(toks, j + 1, past)) op.cast_to_float = true;
+    if (mentions_u64(toks, j + 1, past)) op.cast_to_u64 = true;
+    return op;
+  }
+  op.terminal = name;
+  return op;
+}
+
+// ---- Rule helpers -----------------------------------------------------------
+
+/// Accumulator naming convention (DESIGN.md): any snake_case component of
+/// the identifier equal to one of the accounting nouns.
+bool is_accumulator_name(std::string_view name) {
+  static constexpr std::array<std::string_view, 7> kNouns = {
+      "cycles", "cycle", "macs", "pj", "traffic", "energy", "bytes"};
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    std::size_t end = name.find('_', start);
+    if (end == std::string_view::npos) end = name.size();
+    const std::string_view comp = name.substr(start, end - start);
+    for (const std::string_view n : kNouns) {
+      if (comp == n) return true;
+    }
+    if (end == name.size()) break;
+    start = end + 1;
+  }
+  return false;
+}
+
+unsigned type_bits(const TypeTable& table, std::string_view name) {
+  if (name.empty()) return 0;
+  const auto it = table.find(std::string(name));
+  return it == table.end() ? 0 : it->second;
+}
+
+bool operand_is_floatish(const TypeTable& table, const Operand& op) {
+  if (op.is_float_literal || op.cast_to_float) return true;
+  // Name-table evidence must be unambiguous: a name that is also declared
+  // with a non-float type somewhere is a collision, not a float.
+  const unsigned bits = type_bits(table, op.terminal);
+  return (bits & kTypeFloat) != 0 &&
+         (bits & (kTypeU64 | kTypeOther)) == 0;
+}
+
+std::string trimmed_line(const std::string& source, std::size_t line) {
+  std::size_t begin = 0;
+  for (std::size_t l = 1; l < line; ++l) {
+    begin = source.find('\n', begin);
+    if (begin == std::string::npos) return "";
+    ++begin;
+  }
+  std::size_t end = source.find('\n', begin);
+  if (end == std::string::npos) end = source.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(source[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(source[end - 1]))) {
+    --end;
+  }
+  return source.substr(begin, end - begin);
+}
+
+// ---- Per-file rule pass -----------------------------------------------------
+
+struct FileContext {
+  const std::string& path;
+  const std::string& source;
+  const std::vector<Token>& toks;
+  const TypeTable& types;
+  std::vector<Finding>& out;
+};
+
+void emit(FileContext& ctx, std::size_t line, const char* rule,
+          std::string message, std::string hint) {
+  ctx.out.push_back({ctx.path, line, rule, std::move(message), std::move(hint),
+                     trimmed_line(ctx.source, line)});
+}
+
+void rule_raw_arith(FileContext& ctx) {
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string_view t = toks[i].text;
+    const bool compound = t == "+=" || t == "*=";
+    const bool binary =
+        (t == "+" || t == "*") && i > 0 &&
+        (toks[i - 1].kind == Token::Kind::kIdent ||
+         toks[i - 1].kind == Token::Kind::kNumber ||
+         toks[i - 1].text == ")" || toks[i - 1].text == "]") &&
+        toks[i - 1].text != "operator";
+    if (!compound && !binary) continue;
+    // `std::uint64_t* sink` is a pointer declarator, not a multiply.
+    if (binary && is_builtin_type_name(toks[i - 1].text)) continue;
+    const Operand lhs = left_operand(toks, i);
+    const Operand rhs = right_operand(toks, i);
+    const auto is_u64_acc = [&](const Operand& op) {
+      if (!is_accumulator_name(op.terminal)) return false;
+      const unsigned bits = type_bits(ctx.types, op.terminal);
+      return (bits & kTypeU64) != 0 &&
+             (bits & (kTypeFloat | kTypeAtomic)) == 0;
+    };
+    const bool lhs_acc = is_u64_acc(lhs);
+    const bool rhs_acc = !compound && is_u64_acc(rhs);
+    if (!lhs_acc && !rhs_acc) continue;
+    // Mixed float arithmetic promotes to double: overflow is R3 territory.
+    if (operand_is_floatish(ctx.types, lhs) ||
+        operand_is_floatish(ctx.types, rhs)) {
+      continue;
+    }
+    const std::string_view name = lhs_acc ? lhs.terminal : rhs.terminal;
+    const bool mul = t == "*" || t == "*=";
+    emit(ctx, toks[i].line, kRawArith,
+         "raw '" + std::string(t) + "' on u64 accumulator '" +
+             std::string(name) + "' can wrap silently",
+         mul ? "use sat_mul_u64 (src/util/saturate.hpp) or suppress with a "
+               "reason"
+             : "use sat_add_u64 (src/util/saturate.hpp) or suppress with a "
+               "reason");
+  }
+}
+
+void rule_wall_clock(FileContext& ctx) {
+  static constexpr std::array<std::string_view, 7> kCalls = {
+      "rand", "srand", "random", "time", "clock", "clock_gettime",
+      "gettimeofday"};
+  static constexpr std::array<std::string_view, 3> kClocks = {
+      "system_clock", "steady_clock", "high_resolution_clock"};
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    const std::string_view t = toks[i].text;
+    for (const std::string_view call : kCalls) {
+      if (t == call && i + 1 < toks.size() && toks[i + 1].text == "(" &&
+          (i == 0 || (toks[i - 1].text != "." && toks[i - 1].text != "->"))) {
+        emit(ctx, toks[i].line, kWallClock,
+             "call to '" + std::string(t) + "' is nondeterministic",
+             "route randomness through src/util/rng and time through src/obs, "
+             "or suppress with a reason");
+      }
+    }
+    for (const std::string_view clk : kClocks) {
+      if (t == clk) {
+        emit(ctx, toks[i].line, kWallClock,
+             "wall-clock read ('" + std::string(t) +
+                 "') outside the observability layer",
+             "results and responses must not depend on time; keep clocks in "
+             "src/obs / bench, or suppress with a reason");
+      }
+    }
+  }
+}
+
+void rule_float_eq(FileContext& ctx) {
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string_view t = toks[i].text;
+    if (t != "==" && t != "!=") continue;
+    const Operand lhs = left_operand(toks, i);
+    const Operand rhs = right_operand(toks, i);
+    // A float can never be compared against nullptr; the name on the other
+    // side is a pointer whatever the name table says.
+    if (lhs.terminal == "nullptr" || rhs.terminal == "nullptr") continue;
+    const bool lf = operand_is_floatish(ctx.types, lhs);
+    const bool rf = operand_is_floatish(ctx.types, rhs);
+    if (!lf && !rf) continue;
+    // Symmetric same-field compares (a.score != b.score) are the deliberate
+    // representation-exact ties of the ranking total order.
+    if (!lhs.terminal.empty() && lhs.terminal == rhs.terminal) continue;
+    const std::string name(lhs.terminal.empty() ? rhs.terminal : lhs.terminal);
+    std::string message = "'";
+    message += t;
+    message += "' on floating-point operand";
+    if (!name.empty()) {
+      message += " '";
+      message += name;
+      message += "'";
+    }
+    emit(ctx, toks[i].line, kFloatEq, std::move(message),
+         "compare integers, use an explicit tolerance, or suppress with a "
+         "reason if the exact representation compare is intended");
+  }
+}
+
+void rule_float_accum(FileContext& ctx) {
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].text != "+=") continue;
+    const Operand lhs = left_operand(toks, i);
+    const unsigned bits = type_bits(ctx.types, lhs.terminal);
+    if ((bits & kTypeFloat) == 0 ||
+        (bits & (kTypeU64 | kTypeOther)) != 0) {
+      continue;
+    }
+    emit(ctx, toks[i].line, kFloatAccum,
+         "float accumulation into '" + std::string(lhs.terminal) +
+             "' in a ranking path is order-sensitive",
+         "accumulate in a fixed sequential order (and say so in a "
+         "suppression), or sum integers and convert once");
+  }
+}
+
+std::size_t skip_braces(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].text == "{") ++depth;
+    if (toks[i].text == "}" && --depth == 0) return i + 1;
+  }
+  return i;
+}
+
+std::size_t skip_parens(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")" && --depth == 0) return i + 1;
+  }
+  return i;
+}
+
+void rule_unordered_iter(FileContext& ctx) {
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text != "for" || toks[i + 1].text != "(") continue;
+    const std::size_t open = i + 1;
+    const std::size_t close = skip_parens(toks, open) - 1;
+    // Range-for: a single ':' at paren depth 1.
+    std::size_t colon = 0;
+    int depth = 0;
+    for (std::size_t j = open; j <= close && j < toks.size(); ++j) {
+      if (toks[j].text == "(" || toks[j].text == "[") ++depth;
+      if (toks[j].text == ")" || toks[j].text == "]") --depth;
+      if (toks[j].text == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;
+    // Terminal identifier of the range expression.
+    std::string_view range;
+    for (std::size_t j = close; j-- > colon;) {
+      if (toks[j].kind == Token::Kind::kIdent) {
+        range = toks[j].text;
+        break;
+      }
+      if (toks[j].text == ")" || toks[j].text == "]") {
+        j = match_back(toks, j, toks[j].text == ")" ? "(" : "[", toks[j].text);
+        if (j == 0) break;
+      }
+    }
+    if ((type_bits(ctx.types, range) & kTypeUnordered) == 0) continue;
+    // Body extent.
+    std::size_t body_begin = close + 1;
+    std::size_t body_end;
+    if (body_begin < toks.size() && toks[body_begin].text == "{") {
+      body_end = skip_braces(toks, body_begin);
+    } else {
+      body_end = body_begin;
+      while (body_end < toks.size() && toks[body_end].text != ";") ++body_end;
+    }
+    // Sorted materialization inside the body: writes into an ordered
+    // container (std::map / std::set).
+    bool ordered_sink = false;
+    for (std::size_t j = body_begin; j < body_end; ++j) {
+      if (toks[j].kind == Token::Kind::kIdent &&
+          (type_bits(ctx.types, toks[j].text) & kTypeOrdered) != 0 &&
+          j + 1 < toks.size() &&
+          (toks[j + 1].text == "." || toks[j + 1].text == "[" ||
+           toks[j + 1].text == "->")) {
+        ordered_sink = true;
+        break;
+      }
+    }
+    // ... or a sort of the materialized output later in the enclosing scope.
+    // The scan pops through one wrapper scope (the idiomatic lock block
+    // around the collection loop) and is token-capped so it cannot drift
+    // into an unrelated function further down the file.
+    bool sorted_after = false;
+    int after_depth = 0;
+    const std::size_t scan_end = std::min(toks.size(), body_end + 256);
+    for (std::size_t j = body_end; j < scan_end; ++j) {
+      if (toks[j].text == "{") ++after_depth;
+      if (toks[j].text == "}" && --after_depth < -2) break;
+      if (toks[j].kind == Token::Kind::kIdent &&
+          (toks[j].text == "sort" || toks[j].text == "stable_sort")) {
+        sorted_after = true;
+        break;
+      }
+    }
+    if (ordered_sink || sorted_after) continue;
+    emit(ctx, toks[i].line, kUnorderedIter,
+         "iteration over unordered container '" + std::string(range) +
+             "' has no deterministic order",
+         "materialize into a std::map/std::set or sort before emission; if "
+         "the fold is commutative, suppress with a reason");
+  }
+}
+
+void rule_uncaught_escape(FileContext& ctx) {
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || toks[i].text != "try") continue;
+    if (i + 1 >= toks.size() || toks[i + 1].text != "{") continue;
+    std::size_t j = skip_braces(toks, i + 1);
+    bool last_is_catch_all = false;
+    bool saw_catch = false;
+    while (j < toks.size() && toks[j].text == "catch") {
+      saw_catch = true;
+      const std::size_t popen = j + 1;
+      const std::size_t pclose = skip_parens(toks, popen);
+      last_is_catch_all = false;
+      for (std::size_t k = popen; k < pclose; ++k) {
+        if (toks[k].text == "..." || toks[k].text == "exception") {
+          last_is_catch_all = true;
+        }
+      }
+      j = pclose;
+      if (j < toks.size() && toks[j].text == "{") j = skip_braces(toks, j);
+    }
+    if (saw_catch && !last_is_catch_all) {
+      emit(ctx, toks[i].line, kUncaughtEscape,
+           "service try block's final catch lets non-structured exceptions "
+           "escape",
+           "end the chain with catch (const std::exception&) so only "
+           "structured errors cross the service boundary, or suppress with a "
+           "reason");
+    }
+  }
+}
+
+void rule_pragma_once(FileContext& ctx) {
+  if (!is_header(ctx.path)) return;
+  if (ctx.source.find("#pragma once") != std::string::npos) return;
+  ctx.out.push_back({ctx.path, 1, kPragmaOnce,
+                     "header is missing #pragma once",
+                     "add #pragma once before the first declaration", ""});
+}
+
+}  // namespace
+
+// ---- Public API -------------------------------------------------------------
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+bool is_known_rule(const std::string& id) {
+  if (id == "all") return true;
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleInfo& r) { return id == r.id; });
+}
+
+Linter::Linter(LintOptions options) : options_(std::move(options)) {}
+
+void Linter::add_file(std::string path, std::string content) {
+  files_.emplace_back(std::move(path), std::move(content));
+}
+
+LintReport Linter::run() const {
+  // Pass 1: scrub + tokenize every file, harvesting declarations into one
+  // project-wide table (a field declared in phase_result.hpp must resolve
+  // inside gemm_engine.cpp).
+  struct Prepared {
+    ScrubResult scrubbed;
+    std::vector<Token> toks;
+  };
+  TypeTable types;
+  std::vector<Prepared> prepared(files_.size());
+  for (std::size_t f = 0; f < files_.size(); ++f) {
+    prepared[f].scrubbed = scrub(files_[f].second);
+    prepared[f].toks = tokenize(prepared[f].scrubbed.text);
+    harvest(prepared[f].toks, types);
+  }
+
+  LintReport report;
+  report.files = files_.size();
+  for (std::size_t f = 0; f < files_.size(); ++f) {
+    const std::string& path = files_[f].first;
+    const std::string& source = files_[f].second;
+    std::vector<Finding> raw;
+    FileContext ctx{path, source, prepared[f].toks, types, raw};
+    rule_raw_arith(ctx);
+    rule_unordered_iter(ctx);
+    rule_wall_clock(ctx);
+    rule_float_eq(ctx);
+    rule_float_accum(ctx);
+    rule_uncaught_escape(ctx);
+    rule_pragma_once(ctx);
+
+    // Malformed suppressions are findings themselves: a suppression is part
+    // of the contract record and must name a known rule and a reason.
+    for (const Suppression& s : prepared[f].scrubbed.suppressions) {
+      if (s.rule_ids.empty()) {
+        raw.push_back({path, s.line, kBadSuppression,
+                       "omega-lint comment without an allow(rule) clause",
+                       "write: // omega-lint: allow(rule-id): <reason>",
+                       trimmed_line(source, s.line)});
+        continue;
+      }
+      for (const std::string& id : s.rule_ids) {
+        if (!is_known_rule(id)) {
+          raw.push_back({path, s.line, kBadSuppression,
+                         "unknown rule '" + id + "' in suppression",
+                         "run omega_lint --list-rules for valid ids",
+                         trimmed_line(source, s.line)});
+        }
+      }
+      if (!s.has_reason) {
+        raw.push_back({path, s.line, kBadSuppression,
+                       "suppression without a reason",
+                       "append ': <why this site is safe>' to the allow()",
+                       trimmed_line(source, s.line)});
+      }
+    }
+
+    // Apply rule scoping, CLI allowlists, then inline suppressions.
+    for (Finding& finding : raw) {
+      if (!rule_applies(finding.rule, path)) continue;
+      bool allowlisted = false;
+      for (const auto& [rule, prefix] : options_.allow) {
+        if ((rule == finding.rule || rule == "all") &&
+            starts_with(path, prefix)) {
+          allowlisted = true;
+        }
+      }
+      if (allowlisted) {
+        ++report.allowlisted;
+        continue;
+      }
+      bool suppressed = false;
+      if (finding.rule != kBadSuppression) {
+        for (const Suppression& s : prepared[f].scrubbed.suppressions) {
+          const bool covers_line =
+              s.line == finding.line ||
+              (s.own_line && s.line + 1 == finding.line);
+          if (!covers_line || !s.has_reason) continue;
+          for (const std::string& id : s.rule_ids) {
+            if (id == finding.rule || id == "all") suppressed = true;
+          }
+        }
+      }
+      if (suppressed) {
+        ++report.suppressed;
+      } else {
+        report.findings.push_back(std::move(finding));
+      }
+    }
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return report;
+}
+
+// ---- Baseline ---------------------------------------------------------------
+
+std::vector<BaselineEntry> parse_baseline(const std::string& json_text) {
+  const JsonValue doc = JsonValue::parse(json_text);
+  OMEGA_CHECK(doc.is_object(), "baseline: top level must be an object");
+  const JsonValue* entries = doc.find("entries");
+  OMEGA_CHECK(entries != nullptr && entries->is_array(),
+              "baseline: missing \"entries\" array");
+  std::vector<BaselineEntry> out;
+  for (const JsonValue& e : entries->items()) {
+    OMEGA_CHECK(e.is_object(), "baseline: entry must be an object");
+    BaselineEntry b;
+    const JsonValue* file = e.find("file");
+    const JsonValue* rule = e.find("rule");
+    OMEGA_CHECK(file != nullptr && rule != nullptr,
+                "baseline: entry needs \"file\" and \"rule\"");
+    b.file = file->as_string();
+    b.rule = rule->as_string();
+    if (const JsonValue* snippet = e.find("snippet")) {
+      b.snippet = snippet->as_string();
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::string baseline_json(const std::vector<Finding>& findings) {
+  JsonWriter w(2);
+  w.begin_object();
+  w.member("version", 1);
+  w.key("entries").begin_array();
+  for (const Finding& f : findings) {
+    w.begin_object();
+    w.member("file", f.file);
+    w.member("rule", f.rule);
+    w.member("snippet", f.snippet);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+BaselineResult apply_baseline(LintReport& report,
+                              const std::vector<BaselineEntry>& baseline) {
+  BaselineResult result;
+  // Multiset matching on (file, rule, snippet): N identical baseline rows
+  // absorb at most N findings, so adding a second violation on a baselined
+  // line still fails.
+  std::map<std::string, std::size_t> budget;
+  const auto key = [](const std::string& file, const std::string& rule,
+                      const std::string& snippet) {
+    return file + "\x1f" + rule + "\x1f" + snippet;
+  };
+  for (const BaselineEntry& b : baseline) {
+    ++budget[key(b.file, b.rule, b.snippet)];
+  }
+  std::vector<Finding> remaining;
+  for (Finding& f : report.findings) {
+    const auto it = budget.find(key(f.file, f.rule, f.snippet));
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      ++result.baselined;
+    } else {
+      remaining.push_back(std::move(f));
+    }
+  }
+  report.findings = std::move(remaining);
+  for (const BaselineEntry& b : baseline) {
+    auto& left = budget[key(b.file, b.rule, b.snippet)];
+    if (left > 0) {
+      --left;
+      result.stale.push_back(b);
+    }
+  }
+  return result;
+}
+
+std::string report_json(const LintReport& report,
+                        const BaselineResult& baseline) {
+  JsonWriter w(2);
+  w.begin_object();
+  w.member("version", 1);
+  w.key("findings").begin_array();
+  for (const Finding& f : report.findings) {
+    w.begin_object();
+    w.member("file", f.file);
+    w.member("line", static_cast<std::uint64_t>(f.line));
+    w.member("rule", f.rule);
+    w.member("message", f.message);
+    w.member("hint", f.hint);
+    w.member("snippet", f.snippet);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("counts").begin_object();
+  w.member("files", static_cast<std::uint64_t>(report.files));
+  w.member("findings", static_cast<std::uint64_t>(report.findings.size()));
+  w.member("suppressed", static_cast<std::uint64_t>(report.suppressed));
+  w.member("allowlisted", static_cast<std::uint64_t>(report.allowlisted));
+  w.member("baselined", static_cast<std::uint64_t>(baseline.baselined));
+  w.member("stale_baseline",
+           static_cast<std::uint64_t>(baseline.stale.size()));
+  w.end_object();
+  w.key("stale_baseline").begin_array();
+  for (const BaselineEntry& b : baseline.stale) {
+    w.begin_object();
+    w.member("file", b.file);
+    w.member("rule", b.rule);
+    w.member("snippet", b.snippet);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace omega::lint

@@ -1,0 +1,139 @@
+// omega_lint — contract-enforcing static analysis for the OMEGA tree.
+//
+// The repo's correctness story rests on invariants that used to live as
+// prose in DESIGN.md: u64 cycle/traffic accumulators saturate instead of
+// wrapping ("Overflow contract"), ranked/serialized output never depends on
+// unordered-container iteration order or wall-clock reads ("Determinism
+// guarantees"), floats are never compared with ==/!= outside deliberate
+// total-order ties, and the service boundary converts every escape into a
+// structured error. This tool makes those contracts machine-checkable: a
+// token/AST-lite scanner (no libclang) with a pluggable rule engine, inline
+// suppressions that require a reason, per-rule path allowlists, and a
+// committed-baseline mode so a tree starts clean and NEW violations fail CI.
+//
+// Rules (DESIGN.md "Static analysis & contracts" has the full catalog):
+//   raw-arith      (R1)  raw +/*/+= on std::uint64_t accumulators named
+//                        *cycles*/*macs*/*traffic*/*energy*/*bytes* in
+//                        src/engine, src/omega, src/dse — use sat_add_u64 /
+//                        sat_mul_u64 (src/util/saturate.hpp).
+//   unordered-iter (R2a) range-for over unordered_{map,set} without a sorted
+//                        materialization (insert into std::map/std::set in
+//                        the body, or std::sort later in the same scope).
+//   wall-clock     (R2b) rand()/time()/clock reads outside src/obs, bench/
+//                        and src/util/rng.* — nondeterminism must stay in
+//                        the observability / benchmarking layers.
+//   float-eq       (R3a) ==/!= with a floating operand, except symmetric
+//                        same-field compares (a.score != b.score), which are
+//                        the deliberate representation-exact total-order
+//                        ties the determinism contract depends on.
+//   float-accum    (R3b) += on floating accumulators in src/dse (ranking
+//                        paths): float sums are order-sensitive.
+//   uncaught-escape(R4a) a try in src/service whose final catch is not
+//                        catch (const std::exception&) / catch (...): the
+//                        service boundary must not let raw exceptions kill
+//                        the daemon.
+//   pragma-once    (R4b) every header starts with #pragma once.
+//   bad-suppression      an omega-lint: allow(...) with an unknown rule id
+//                        or no reason — suppressions are part of the
+//                        contract and must say why.
+//
+// Suppression syntax (same line or the line above):
+//   // omega-lint: allow(rule-id): <reason>
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace omega::lint {
+
+struct RuleInfo {
+  const char* id;       // stable rule id ("raw-arith")
+  const char* code;     // catalog code ("R1")
+  const char* summary;  // one-line description
+};
+
+/// The rule catalog, in report order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+/// True if `id` names a known rule (or the "all" wildcard).
+[[nodiscard]] bool is_known_rule(const std::string& id);
+
+struct Finding {
+  std::string file;     // virtual path, '/'-separated, repo-relative
+  std::size_t line = 0; // 1-based
+  std::string rule;
+  std::string message;
+  std::string hint;
+  std::string snippet;  // trimmed source line the finding anchors to
+};
+
+struct LintOptions {
+  /// Extra per-rule path allowlists on top of the built-ins:
+  /// rule id (or "all") -> path prefix.
+  std::vector<std::pair<std::string, std::string>> allow;
+};
+
+struct LintReport {
+  std::vector<Finding> findings;  // active findings, file/line ordered
+  std::size_t suppressed = 0;     // dropped by inline allow() suppressions
+  std::size_t allowlisted = 0;    // dropped by per-rule path allowlists
+  std::size_t files = 0;          // files scanned
+};
+
+/// Project-wide linter: add every file first (declaration harvesting is
+/// global, so a field declared in a header resolves in the .cpp that uses
+/// it), then run().
+class Linter {
+ public:
+  explicit Linter(LintOptions options = {});
+
+  /// Registers `content` under the virtual path `path` (repo-relative,
+  /// '/'-separated; the path decides which rules apply).
+  void add_file(std::string path, std::string content);
+
+  /// Runs every rule over every added file.
+  [[nodiscard]] LintReport run() const;
+
+ private:
+  LintOptions options_;
+  std::vector<std::pair<std::string, std::string>> files_;  // path, content
+};
+
+// ---- Baseline ---------------------------------------------------------------
+//
+// A baseline entry identifies a finding by (file, rule, snippet) rather than
+// line number, so unrelated edits above a baselined site do not churn the
+// file. Matching is multiset: N identical entries absorb at most N findings.
+
+struct BaselineEntry {
+  std::string file;
+  std::string rule;
+  std::string snippet;
+};
+
+/// Parses a baseline document ({"version":1,"entries":[...]}); throws
+/// InvalidArgumentError on malformed input.
+[[nodiscard]] std::vector<BaselineEntry> parse_baseline(
+    const std::string& json_text);
+
+/// Renders `findings` as a baseline document (pretty-printed, stable order).
+[[nodiscard]] std::string baseline_json(const std::vector<Finding>& findings);
+
+/// Removes findings matched by `baseline` from `report` (counting them) and
+/// returns the stale entries — baseline rows with no matching finding left,
+/// i.e. violations that have since been fixed and should be deleted.
+struct BaselineResult {
+  std::size_t baselined = 0;
+  std::vector<BaselineEntry> stale;
+};
+BaselineResult apply_baseline(LintReport& report,
+                              const std::vector<BaselineEntry>& baseline);
+
+/// Machine-readable report: {"version":1,"findings":[...],"counts":{...},
+/// "stale_baseline":[...]}.
+[[nodiscard]] std::string report_json(const LintReport& report,
+                                      const BaselineResult& baseline);
+
+}  // namespace omega::lint

@@ -1,0 +1,204 @@
+// omega_lint CLI — scans the repo (default: src/ tools/ bench/) with the
+// contract rules in lint.hpp and reports findings as human-readable text or
+// --json. Exit code: 0 clean, 1 findings, 2 usage/IO error.
+//
+//   omega_lint [paths...] [--root DIR] [--json] [--baseline FILE]
+//              [--write-baseline FILE] [--allow RULE:PREFIX] [--list-rules]
+//
+// Baseline workflow: `omega_lint --write-baseline lint_baseline.json` records
+// today's findings; CI runs `omega_lint --baseline lint_baseline.json` so
+// only NEW violations fail. Fixed violations show up as stale baseline rows
+// (exit stays 0) — delete them by rewriting the baseline.
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: omega_lint [paths...] [options]\n"
+    "\n"
+    "Scans C++ sources (default paths: src tools bench, relative to --root)\n"
+    "for contract violations. Exit 0 = clean, 1 = findings, 2 = error.\n"
+    "\n"
+    "options:\n"
+    "  --root DIR             repo root paths are resolved against (default .)\n"
+    "  --json                 machine-readable report on stdout\n"
+    "  --baseline FILE        ignore findings recorded in FILE; report stale\n"
+    "                         entries (violations fixed since the baseline)\n"
+    "  --write-baseline FILE  write current findings to FILE and exit 0\n"
+    "  --allow RULE:PREFIX    allowlist RULE (or 'all') under path PREFIX;\n"
+    "                         repeatable\n"
+    "  --list-rules           print the rule catalog and exit\n"
+    "  -q, --quiet            suppress the summary line on success\n";
+
+bool has_source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h" ||
+         ext == ".hh";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + p.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Repo-relative, '/'-separated virtual path (rule scoping keys on it).
+std::string virtual_path(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  if (ec || rel.empty()) rel = file;
+  return rel.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string root = ".";
+  std::string baseline_file;
+  std::string write_baseline_file;
+  bool json = false;
+  bool quiet = false;
+  omega::lint::LintOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "omega_lint: " << a << " needs a value\n" << kUsage;
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (a == "--list-rules") {
+      for (const omega::lint::RuleInfo& r : omega::lint::rules()) {
+        std::cout << r.id << " (" << r.code << "): " << r.summary << "\n";
+      }
+      return 0;
+    } else if (a == "--root") {
+      root = next();
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--baseline") {
+      baseline_file = next();
+    } else if (a == "--write-baseline") {
+      write_baseline_file = next();
+    } else if (a == "--allow") {
+      const std::string v = next();
+      const std::size_t colon = v.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          !omega::lint::is_known_rule(v.substr(0, colon))) {
+        std::cerr << "omega_lint: --allow wants KNOWN_RULE:PATH_PREFIX, got '"
+                  << v << "'\n";
+        return 2;
+      }
+      options.allow.emplace_back(v.substr(0, colon), v.substr(colon + 1));
+    } else if (a == "-q" || a == "--quiet") {
+      quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "omega_lint: unknown option '" << a << "'\n" << kUsage;
+      return 2;
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tools", "bench"};
+
+  omega::lint::Linter linter(options);
+  std::size_t files = 0;
+  try {
+    const fs::path root_path(root);
+    std::vector<fs::path> inputs;
+    for (const std::string& p : paths) {
+      const fs::path full = fs::path(p).is_absolute() ? fs::path(p)
+                                                      : root_path / p;
+      if (fs::is_directory(full)) {
+        for (const auto& e : fs::recursive_directory_iterator(full)) {
+          if (e.is_regular_file() && has_source_extension(e.path())) {
+            inputs.push_back(e.path());
+          }
+        }
+      } else if (fs::is_regular_file(full)) {
+        inputs.push_back(full);
+      } else {
+        std::cerr << "omega_lint: no such file or directory: " << full
+                  << "\n";
+        return 2;
+      }
+    }
+    std::sort(inputs.begin(), inputs.end());
+    for (const fs::path& file : inputs) {
+      linter.add_file(virtual_path(file, root_path), read_file(file));
+      ++files;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "omega_lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  omega::lint::LintReport report;
+  omega::lint::BaselineResult baseline;
+  try {
+    report = linter.run();
+    if (!write_baseline_file.empty()) {
+      std::ofstream out(write_baseline_file, std::ios::binary);
+      out << omega::lint::baseline_json(report.findings) << "\n";
+      if (!out) {
+        std::cerr << "omega_lint: cannot write " << write_baseline_file
+                  << "\n";
+        return 2;
+      }
+      std::cout << "omega_lint: wrote " << report.findings.size()
+                << " baseline entr" << (report.findings.size() == 1 ? "y" : "ies")
+                << " to " << write_baseline_file << "\n";
+      return 0;
+    }
+    if (!baseline_file.empty()) {
+      baseline = omega::lint::apply_baseline(
+          report, omega::lint::parse_baseline(read_file(baseline_file)));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "omega_lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (json) {
+    std::cout << omega::lint::report_json(report, baseline) << "\n";
+  } else {
+    for (const omega::lint::Finding& f : report.findings) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+      if (!f.snippet.empty()) std::cout << "    > " << f.snippet << "\n";
+      if (!f.hint.empty()) std::cout << "    hint: " << f.hint << "\n";
+    }
+    for (const omega::lint::BaselineEntry& b : baseline.stale) {
+      std::cout << "stale baseline entry (violation fixed — delete it): "
+                << b.file << " [" << b.rule << "] " << b.snippet << "\n";
+    }
+    if (!report.findings.empty() || !quiet) {
+      std::cout << "omega_lint: " << files << " files, "
+                << report.findings.size() << " finding"
+                << (report.findings.size() == 1 ? "" : "s") << " ("
+                << report.suppressed << " suppressed, " << report.allowlisted
+                << " allowlisted, " << baseline.baselined << " baselined, "
+                << baseline.stale.size() << " stale)\n";
+    }
+  }
+  return report.findings.empty() ? 0 : 1;
+}
