@@ -439,10 +439,25 @@ Request parse_request(const std::string& line) {
   bool saw_out_features = false;
   bool saw_pp_fraction = false;
   bool saw_chain = false;
+  bool saw_scheduling = false;
   for (const auto& [key, value] : root.members()) {
     if (key == "kind") continue;
     if (key == "id") {
       r.id = u64_field(value, "id");
+    } else if (key == "priority") {
+      // Scheduling fields apply to every kind (the transports schedule all
+      // requests, barriers included); validated against the version after
+      // the loop since "version" may appear in any member position.
+      r.priority = u64_field(value, "priority");
+      saw_scheduling = true;
+      if (r.priority > kMaxRequestPriority) {
+        throw InvalidArgumentError(
+            "priority must be in [0, " +
+            std::to_string(kMaxRequestPriority) + "]");
+      }
+    } else if (key == "deadline_ms") {
+      r.deadline_ms = u64_field(value, "deadline_ms");
+      saw_scheduling = true;
     } else if (key == "version") {
       r.version = u64_field(value, "version");
       if (r.version < 1 || r.version > 2) {
@@ -589,6 +604,11 @@ Request parse_request(const std::string& line) {
         "metrics requires \"version\":2 (v1 observability is the stats "
         "request)");
   }
+  if (saw_scheduling && r.version < 2) {
+    throw InvalidArgumentError(
+        "\"priority\"/\"deadline_ms\" require \"version\":2 (unversioned "
+        "requests keep the v1 unscheduled shape)");
+  }
   return r;
 }
 
@@ -631,6 +651,40 @@ std::uint64_t peek_request_id(const std::string& line) {
     // Malformed JSON: no id to recover.
   }
   return 0;
+}
+
+RequestScheduling peek_request_scheduling(const std::string& line) {
+  RequestScheduling s;
+  // omega-lint: allow(uncaught-escape): parse probe; malformed lines schedule at band 0 and fail properly at parse_request
+  try {
+    const JsonValue root = JsonValue::parse(line);
+    if (!root.is_object()) return s;
+    if (const JsonValue* id = root.find("id");
+        id != nullptr && id->is_number()) {
+      s.id = id->as_u64();
+    }
+    if (const JsonValue* v = root.find("version");
+        v != nullptr && v->is_number()) {
+      const std::uint64_t version = v->as_u64();
+      if (version >= 1 && version <= 2) s.version = version;
+    }
+    // Scheduling fields are a v2 addition; on v1 lines they are a protocol
+    // error that parse_request reports, so the probe leaves them unset.
+    if (s.version >= 2) {
+      if (const JsonValue* p = root.find("priority");
+          p != nullptr && p->is_number()) {
+        const std::uint64_t priority = p->as_u64();
+        if (priority <= kMaxRequestPriority) s.priority = priority;
+      }
+      if (const JsonValue* d = root.find("deadline_ms");
+          d != nullptr && d->is_number()) {
+        s.deadline_ms = d->as_u64();
+      }
+    }
+  } catch (const Error&) {
+    // Malformed JSON: band 0, no deadline; parse_request reports the error.
+  }
+  return s;
 }
 
 std::uint64_t peek_request_version(const std::string& line) {

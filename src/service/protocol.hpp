@@ -43,6 +43,13 @@
 // gauges, latency histograms, registry + eval-core counters):
 //
 //   {"id":7,"version":2,"kind":"metrics"}
+//
+// and per-request scheduling fields on every kind (the streaming transports
+// feed these to the request scheduler; the stdio batch path accepts them so
+// one request file replays identically over every transport, but dispatches
+// batch-concurrently as before):
+//
+//   {"id":8,"version":2,"kind":"evaluate","priority":7,"deadline_ms":250,...}
 #pragma once
 
 #include <cstdint>
@@ -87,6 +94,10 @@ enum class RequestKind : std::uint8_t {
 
 [[nodiscard]] const char* to_string(RequestKind k);
 
+/// Highest priority band the protocol accepts ("priority" in [0, 7];
+/// 0 = lowest = default). Matches the scheduler's default band count.
+inline constexpr std::uint64_t kMaxRequestPriority = 7;
+
 /// A parsed protocol request. Defaults mirror the CLI's.
 struct Request {
   std::uint64_t id = 0;
@@ -98,6 +109,13 @@ struct Request {
   std::uint64_t version = 0;
   RequestKind kind = RequestKind::kStats;
   WorkloadRef workload;
+
+  // Scheduling (version >= 2, any kind). Absent means band 0 with no
+  // deadline — exactly today's behavior. The streaming transports hand
+  // these to the request scheduler; the stdio batch path parses and
+  // ignores them (batch-concurrent dispatch, documented above).
+  std::uint64_t priority = 0;     // [0, kMaxRequestPriority], 7 = highest
+  std::uint64_t deadline_ms = 0;  // relative deadline; 0 = none
 
   // Substrate.
   std::size_t pes = 512;
@@ -145,6 +163,20 @@ struct Request {
 /// requests still echo the version; 0 when absent, malformed, or not a
 /// version this server speaks.
 [[nodiscard]] std::uint64_t peek_request_version(const std::string& line);
+
+/// Scheduling metadata recovered from a request line without full parsing.
+/// The transports admit every line through the scheduler — including lines
+/// that will fail parse_request — so this probe must never throw: malformed
+/// or v1 lines yield band 0 / no deadline (id and version still recovered
+/// when present, for shaping a shed response).
+struct RequestScheduling {
+  std::uint64_t id = 0;
+  std::uint64_t version = 0;
+  std::uint64_t priority = 0;
+  std::uint64_t deadline_ms = 0;
+};
+[[nodiscard]] RequestScheduling peek_request_scheduling(
+    const std::string& line);
 
 /// True when the line is a well-formed stats request. The server treats
 /// these as dispatch barriers so their registry counters deterministically

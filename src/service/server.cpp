@@ -4,28 +4,16 @@
 #include <istream>
 #include <optional>
 #include <ostream>
-#include <sstream>
 
 #include "obs/trace.hpp"
 #include "util/format.hpp"
 #include "util/parallel.hpp"
 
-#if defined(__unix__) || defined(__APPLE__)
-#define OMEGA_HAVE_UNIX_SOCKETS 1
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-#include <cerrno>
-#include <cstring>
-#ifndef MSG_NOSIGNAL
-#define MSG_NOSIGNAL 0  // macOS: no flag; EPIPE still surfaces via SIGPIPE
-#endif
-#endif
-
 namespace omega::service {
 
 MappingService::MappingService(ServiceOptions options)
-    : options_(options), registry_(options.registry_capacity) {}
+    : options_(options),
+      registry_(options.registry_capacity, options.registry_shards) {}
 
 std::string MappingService::handle(const Request& request) {
   if (request.kind == RequestKind::kStats) {
@@ -322,151 +310,8 @@ std::size_t MappingService::serve(std::istream& in, std::ostream& out) {
   return served;
 }
 
-#if OMEGA_HAVE_UNIX_SOCKETS
-
-namespace {
-
-/// Disarms SIGPIPE for writes on this socket where MSG_NOSIGNAL does not
-/// exist (macOS): without it an early-disconnecting peer would kill the
-/// process instead of surfacing EPIPE to the per-connection handler.
-void disarm_sigpipe(int fd) {
-#ifdef SO_NOSIGPIPE
-  const int one = 1;
-  (void)::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
-#else
-  (void)fd;  // linux: write_all's MSG_NOSIGNAL covers it
-#endif
-}
-
-/// Reads everything the peer sends until write-shutdown/close.
-std::string read_all(int fd) {
-  std::string data;
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n > 0) {
-      data.append(buf, static_cast<std::size_t>(n));
-    } else if (n == 0) {
-      return data;
-    } else if (errno != EINTR) {
-      throw Error(std::string("socket read failed: ") + std::strerror(errno));
-    }
-  }
-}
-
-void write_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    // MSG_NOSIGNAL: a peer that disconnected before reading must surface
-    // as EPIPE (caught per-connection) — the default SIGPIPE disposition
-    // would kill the whole daemon.
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
-    if (n > 0) {
-      off += static_cast<std::size_t>(n);
-    } else if (errno != EINTR) {
-      throw Error(std::string("socket write failed: ") + std::strerror(errno));
-    }
-  }
-}
-
-}  // namespace
-
-int serve_unix_socket(MappingService& service, const std::string& path,
-                      std::size_t max_connections) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    throw InvalidArgumentError("socket path too long: " + path);
-  }
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
-    throw Error(std::string("socket() failed: ") + std::strerror(errno));
-  }
-  ::unlink(path.c_str());  // replace a stale socket file
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listener, 16) != 0) {
-    const std::string why = std::strerror(errno);
-    ::close(listener);
-    throw Error("cannot listen on " + path + ": " + why);
-  }
-
-  std::size_t accepted = 0;
-  while (max_connections == 0 || accepted < max_connections) {
-    const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR) continue;
-      ::close(listener);
-      throw Error(std::string("accept() failed: ") + std::strerror(errno));
-    }
-    disarm_sigpipe(conn);
-    ++accepted;
-    try {
-      // One connection = one exchange: the peer sends everything and
-      // half-closes, then the ordered responses are written back in one
-      // piece (see server.hpp for the client contract).
-      std::istringstream in(read_all(conn));
-      std::ostringstream out;
-      service.serve(in, out);
-      write_all(conn, out.str());
-    } catch (const Error&) {
-      // Connection-level failure (peer vanished); the service lives on.
-    } catch (const std::exception&) {
-      // Non-structured escape (e.g. bad_alloc on an absurd request): drop
-      // the connection but keep the daemon alive.
-    }
-    ::close(conn);
-  }
-  ::close(listener);
-  ::unlink(path.c_str());
-  return 0;
-}
-
-std::string send_to_unix_socket(const std::string& path,
-                                const std::string& requests) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    throw InvalidArgumentError("socket path too long: " + path);
-  }
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    throw Error(std::string("socket() failed: ") + std::strerror(errno));
-  }
-  disarm_sigpipe(fd);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const std::string why = std::strerror(errno);
-    ::close(fd);
-    throw Error("cannot connect to " + path + ": " + why);
-  }
-  try {
-    write_all(fd, requests);
-    ::shutdown(fd, SHUT_WR);  // signals end-of-batch to the daemon
-    std::string responses = read_all(fd);
-    ::close(fd);
-    return responses;
-  } catch (...) {
-    ::close(fd);
-    throw;
-  }
-}
-
-#else
-
-int serve_unix_socket(MappingService&, const std::string&, std::size_t) {
-  throw Error("unix sockets are not supported on this platform");
-}
-
-std::string send_to_unix_socket(const std::string&, const std::string&) {
-  throw Error("unix sockets are not supported on this platform");
-}
-
-#endif
+// The socket transports (streaming Unix-socket + TCP serve loops and their
+// clients) live in tcp.cpp; this translation unit is the service itself
+// plus the stdio batch transport.
 
 }  // namespace omega::service

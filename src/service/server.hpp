@@ -18,7 +18,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
-#include "service/registry.hpp"
+#include "service/shard.hpp"
 
 namespace omega::obs {
 class TraceCollector;
@@ -29,6 +29,10 @@ namespace omega::service {
 struct ServiceOptions {
   /// Workloads kept warm; 0 disables caching (cold per-request builds).
   std::size_t registry_capacity = 8;
+  /// Independent registry partitions (consistent-hash on the workload
+  /// signature; see shard.hpp). 1 = the classic single registry, with
+  /// byte-identical stats responses.
+  std::size_t registry_shards = 1;
   /// Concurrent in-flight requests per batch (0 = pool default). Each
   /// request's internal sweep additionally parallelizes on the same pool.
   std::size_t threads = 0;
@@ -55,7 +59,7 @@ class MappingService {
   /// requests served.
   std::size_t serve(std::istream& in, std::ostream& out);
 
-  [[nodiscard]] const WorkloadRegistry& registry() const { return registry_; }
+  [[nodiscard]] const ShardedRegistry& registry() const { return registry_; }
 
   /// Service-level metrics (request/response counters, latency histograms;
   /// naming convention in DESIGN.md "Observability"). The v2 `metrics`
@@ -63,28 +67,28 @@ class MappingService {
   [[nodiscard]] const obs::MetricsRegistry& metrics() const {
     return metrics_;
   }
+  /// Mutable sink for transport-level instrumentation (the request
+  /// scheduler records its service.sched.* series here so one metrics
+  /// response covers the whole serving core).
+  [[nodiscard]] obs::MetricsRegistry& metrics_mut() { return metrics_; }
 
  private:
   [[nodiscard]] std::string handle(const Request& request);
   [[nodiscard]] std::string metrics_response(const Request& request);
 
   ServiceOptions options_;
-  WorkloadRegistry registry_;
+  ShardedRegistry registry_;
   obs::MetricsRegistry metrics_;
 };
 
-/// Serves NDJSON batches over a Unix domain socket at `path` (created
-/// fresh; an existing socket file is replaced). Each connection is one
-/// exchange: the peer sends its whole request stream (blank lines allowed
-/// as batch separators), half-closes its write side, and then reads every
-/// response back in request order — responses are not interleaved with
-/// reading, so a client must not block on responses before it has
-/// half-closed (that is `send_to_unix_socket`'s shape; for incremental
-/// blank-line streaming use the stdio transport). Connections are served
-/// sequentially; a peer that disconnects early only loses its own
-/// responses. Accepts `max_connections` connections then returns (0 =
-/// loop until the process is killed). Returns 0 on orderly shutdown;
-/// throws Error when the socket cannot be created.
+/// Serves streaming NDJSON over a Unix domain socket at `path` (a provably
+/// stale socket file is replaced; a live server there is an error).
+/// Connections are concurrent and responses stream incrementally in
+/// per-connection per-band request order — the full contract, and the
+/// tunable ServeOptions overload, live in tcp.hpp (this wrapper keeps the
+/// legacy signature: default options, accept `max_connections` then
+/// return, 0 = loop until the process is killed). Returns 0 on orderly
+/// shutdown; throws Error when the socket cannot be created.
 int serve_unix_socket(MappingService& service, const std::string& path,
                       std::size_t max_connections = 0);
 

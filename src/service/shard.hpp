@@ -1,0 +1,99 @@
+// Registry sharding of the serving core (see DESIGN.md "Serving core").
+//
+// A single WorkloadRegistry serializes every acquire on one LRU mutex; under
+// concurrent connections the warm-hit path — a map lookup plus a splice —
+// becomes a contention point long before the engine math does. Sharding
+// splits the registry into N independent partitions selected by a consistent
+// hash on `WorkloadRef::signature()`:
+//
+//  * each shard is a full WorkloadRegistry (own lock, own LRU, own
+//    counters), so acquires of different signatures on different shards
+//    never touch the same mutex;
+//  * the router is a consistent-hash ring (FNV-1a plus a 64-bit avalanche
+//    finalizer over virtual-node labels — raw FNV clusters short similar
+//    strings in the upper bits, which would collapse the ring) rather than
+//    `hash % N`, so growing the shard count later — including
+//    to multi-process shards fronted by the same router — remaps only
+//    ~1/N of the signature space instead of nearly all of it;
+//  * routing is deterministic and platform-independent: FNV-1a is defined
+//    bytewise, no std::hash involved, so a signature maps to the same shard
+//    on every build (pinned by tests/shard_test.cpp).
+//
+// With shards == 1 (the default) every signature routes to the single
+// partition and the aggregate stats are bit-identical to the unsharded
+// registry — the legacy service goldens do not move.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/registry.hpp"
+
+namespace omega::service {
+
+/// FNV-1a 64-bit over the bytes of `s`. Deterministic across platforms and
+/// builds (unlike std::hash); the shard router keys on it.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s);
+
+/// Consistent-hash ring over `shards` partitions. Each shard contributes
+/// `replicas` virtual nodes; a key routes to the owner of the first ring
+/// point at or after its hash (wrapping).
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t shards, std::size_t replicas = 16);
+
+  /// Shard index owning `signature`, in [0, shards()).
+  [[nodiscard]] std::size_t route(std::string_view signature) const;
+
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+  [[nodiscard]] std::size_t replicas() const { return replicas_; }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t shard;
+  };
+  std::size_t shards_;
+  std::size_t replicas_;
+  std::vector<Point> ring_;  // hash-sorted
+};
+
+/// N independent WorkloadRegistry partitions behind a ShardRouter. Mirrors
+/// the WorkloadRegistry observable surface; stats aggregate over shards and
+/// entry rows merge signature-sorted, so with shards == 1 every response is
+/// byte-identical to the unsharded registry.
+class ShardedRegistry {
+ public:
+  /// `capacity` is the total LRU capacity, split evenly across shards
+  /// (ceil division; capacity 0 disables caching on every shard).
+  explicit ShardedRegistry(std::size_t capacity = 8, std::size_t shards = 1);
+
+  [[nodiscard]] std::shared_ptr<const WorkloadEntry> acquire(
+      const WorkloadRef& ref);
+
+  /// Aggregate over shards; `capacity` is the sum of per-shard capacities.
+  [[nodiscard]] RegistryStats stats() const;
+  [[nodiscard]] ContextEvalStats eval_stats() const;
+  /// Merged over shards, signature-sorted (same order as unsharded).
+  [[nodiscard]] std::vector<RegistryEntryStats> entry_stats() const;
+
+  /// Barrier epoch; all shards advance together, so any shard's epoch is
+  /// the registry epoch.
+  [[nodiscard]] std::uint64_t epoch() const;
+  void advance_epoch();
+
+  [[nodiscard]] std::size_t shards() const { return shards_.size(); }
+  /// Routing probe (tests / DESIGN examples).
+  [[nodiscard]] std::size_t shard_of(std::string_view signature) const {
+    return router_.route(signature);
+  }
+
+ private:
+  ShardRouter router_;
+  std::vector<std::unique_ptr<WorkloadRegistry>> shards_;
+};
+
+}  // namespace omega::service

@@ -1,0 +1,149 @@
+// Streaming socket transports of the serving core (see DESIGN.md "Serving
+// core").
+//
+// Unlike the legacy Unix-socket exchange — which buffered a connection's
+// entire request stream before dispatching and wrote every response back in
+// one piece — these transports frame NDJSON incrementally: a connection
+// thread reads one line at a time, submits it to the shared request
+// scheduler, and completions stream back the moment each request finishes.
+// A fast request no longer waits behind a slow search at a batch barrier.
+//
+// Concurrency model:
+//
+//  * one accept loop per server; every accepted connection gets its own
+//    session thread (reads + submits), and the scheduler's dispatch threads
+//    execute requests and write responses back;
+//  * the server-wide scheduler spans connections, so priority bands and the
+//    admission bound apply to total load, not per-connection load.
+//
+// Ordering contract (changed from the batch transports, pinned by tests):
+// responses stream in **per-connection request order within a priority
+// band**. Requests of one connection and band emit in submission order even
+// when they execute out of order or concurrently; requests in different
+// bands (or on different connections) may interleave freely. Since v1
+// requests carry no priority they all share band 0, so a v1 request stream
+// over one connection still yields byte-identical response order to the
+// stdio batch path. Barrier requests (stats/metrics) drain the connection's
+// in-flight requests before and after dispatch, keeping their counters
+// deterministic per connection exactly as handle_batch's segment barriers
+// do per batch.
+//
+// Backpressure caveat: responses are written under a per-session mutex from
+// scheduler threads; a peer that stops reading eventually blocks those
+// writes. Well-behaved streaming clients read concurrently with sending
+// (StreamClient does); the legacy send-all-then-read exchange stays safe
+// for batches that fit the socket buffers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace omega::service {
+
+class MappingService;
+
+/// Transport + scheduling knobs of a streaming server (TCP or Unix socket).
+struct ServeOptions {
+  /// Accept this many connections then return (0 = serve until killed).
+  std::size_t max_connections = 0;
+  /// listen() backlog (pending-accept queue length).
+  int backlog = 64;
+  /// Scheduler admission bound: requests waiting across all connections.
+  std::size_t queue_depth = 256;
+  /// Scheduler dispatch threads (0 = one per hardware thread).
+  std::size_t scheduler_threads = 0;
+  /// Deadlines below this are shed at admission (0 = disabled).
+  std::uint64_t min_feasible_deadline_ms = 0;
+};
+
+/// A bound+listening server socket (RAII: closes, and unlinks a Unix socket
+/// path, on destruction). Two-step construction — bind first, serve_on
+/// later — lets in-process callers bind TCP port 0 and read the resolved
+/// port before any client races the server.
+class Listener {
+ public:
+  /// Binds and listens on `bind_addr:port` (IPv4 dotted quad; port 0 picks
+  /// an ephemeral port, readable via port()). Throws Error on failure.
+  static Listener tcp(const std::string& bind_addr, std::uint16_t port,
+                      int backlog = 64);
+
+  /// Binds and listens on a Unix-domain socket at `path`. A stale socket
+  /// file (no listener behind it) is detected by a connect probe and
+  /// replaced; a live server at `path` is an error — the unlink-then-bind
+  /// of the legacy path silently stole live sockets. Throws Error on
+  /// failure.
+  static Listener unix_socket(const std::string& path, int backlog = 64);
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  /// The bound TCP port (resolved — meaningful after tcp() with port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  Listener() = default;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string unlink_path_;  // non-empty: unix socket file to remove
+};
+
+/// Runs the streaming accept loop on an already-bound listener: concurrent
+/// per-connection sessions feeding one shared request scheduler. Returns 0
+/// after `options.max_connections` connections have been accepted and fully
+/// served (0 = loops until the process is killed). The listener's backlog
+/// was fixed at bind time; options.backlog is ignored here.
+int serve_on(MappingService& service, Listener& listener,
+             const ServeOptions& options = {});
+
+/// Binds `bind_addr:port` and runs serve_on. Convenience for the CLI.
+int serve_tcp(MappingService& service, const std::string& bind_addr,
+              std::uint16_t port, const ServeOptions& options = {});
+
+/// Streaming Unix-socket server with full options. The legacy
+/// `serve_unix_socket(service, path, max_connections)` signature in
+/// server.hpp wraps this with default options (no default argument here —
+/// it would make two-argument calls ambiguous against that overload).
+int serve_unix_socket(MappingService& service, const std::string& path,
+                      const ServeOptions& options);
+
+/// Streaming client: sends request lines and reads response lines
+/// incrementally on one connection — responses arrive as the server
+/// completes them, concurrently with further sends.
+class StreamClient {
+ public:
+  static StreamClient connect_tcp(const std::string& host,
+                                  std::uint16_t port);
+  static StreamClient connect_unix(const std::string& path);
+
+  StreamClient(StreamClient&& other) noexcept;
+  StreamClient& operator=(StreamClient&& other) noexcept;
+  StreamClient(const StreamClient&) = delete;
+  StreamClient& operator=(const StreamClient&) = delete;
+  ~StreamClient();
+
+  /// Sends one request line (the newline is appended).
+  void send_line(const std::string& line);
+  /// Half-closes the write side: tells the server no more requests follow.
+  void shutdown_writes();
+  /// Blocks for the next full response line; nullopt once the server
+  /// closes the connection.
+  [[nodiscard]] std::optional<std::string> read_line();
+
+ private:
+  explicit StreamClient(int fd) : fd_(fd) {}
+  int fd_ = -1;
+  std::string buffer_;  // framing carry-over between read_line calls
+};
+
+/// Batch-exchange TCP client (mirrors send_to_unix_socket): connects, sends
+/// `requests`, half-closes, returns every response byte.
+[[nodiscard]] std::string send_to_tcp(const std::string& host,
+                                      std::uint16_t port,
+                                      const std::string& requests);
+
+}  // namespace omega::service

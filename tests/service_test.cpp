@@ -315,6 +315,61 @@ TEST(ProtocolTest, VersionAndPipelineShapeAreValidated) {
   EXPECT_FALSE(v1.has_pipeline);
 }
 
+TEST(ProtocolTest, ParsesSchedulingFieldsOnVersionTwo) {
+  const Request r = parse_request(
+      R"({"id":3,"version":2,"priority":5,"deadline_ms":250,)"
+      R"("kind":"evaluate","workload":)" +
+      std::string(kCoraQuarter) + R"(,"pattern":"SP2"})");
+  EXPECT_EQ(r.priority, 5u);
+  EXPECT_EQ(r.deadline_ms, 250u);
+  // Absent fields keep today's unscheduled defaults.
+  const Request plain = parse_request(
+      R"({"id":4,"version":2,"kind":"evaluate","workload":)" +
+      std::string(kCoraQuarter) + R"(,"pattern":"SP2"})");
+  EXPECT_EQ(plain.priority, 0u);
+  EXPECT_EQ(plain.deadline_ms, 0u);
+}
+
+TEST(ProtocolTest, SchedulingFieldsRequireVersionTwoAndValidRange) {
+  // priority/deadline_ms on a v1 (or unversioned) request is a mistake,
+  // not a silent no-op.
+  EXPECT_THROW(parse_request(R"({"id":1,"priority":3,"kind":"evaluate",)"
+                             R"("workload":)" +
+                             std::string(kCoraQuarter) +
+                             R"(,"pattern":"SP2"})"),
+               InvalidArgumentError);
+  EXPECT_THROW(parse_request(
+                   R"({"id":1,"version":1,"deadline_ms":10,"kind":"stats"})"),
+               InvalidArgumentError);
+  // Bands are [0, kMaxRequestPriority].
+  EXPECT_THROW(parse_request(R"({"id":1,"version":2,"priority":8,)"
+                             R"("kind":"evaluate","workload":)" +
+                             std::string(kCoraQuarter) +
+                             R"(,"pattern":"SP2"})"),
+               InvalidArgumentError);
+}
+
+TEST(ProtocolTest, PeekRequestSchedulingNeverThrows) {
+  const RequestScheduling sched = peek_request_scheduling(
+      R"({"id":9,"version":2,"priority":6,"deadline_ms":40,)"
+      R"("kind":"stats"})");
+  EXPECT_EQ(sched.id, 9u);
+  EXPECT_EQ(sched.version, 2u);
+  EXPECT_EQ(sched.priority, 6u);
+  EXPECT_EQ(sched.deadline_ms, 40u);
+  // v1 lines (even with bogus scheduling keys) peek as band 0 — the shed
+  // path and the parse error path must agree on the band.
+  const RequestScheduling v1 =
+      peek_request_scheduling(R"({"id":2,"priority":6,"kind":"stats"})");
+  EXPECT_EQ(v1.id, 2u);
+  EXPECT_EQ(v1.priority, 0u);
+  EXPECT_EQ(v1.deadline_ms, 0u);
+  // Malformed input degrades to the defaults instead of throwing.
+  const RequestScheduling junk = peek_request_scheduling("{nonsense");
+  EXPECT_EQ(junk.id, 0u);
+  EXPECT_EQ(junk.priority, 0u);
+}
+
 TEST(ServiceTest, PipelineEvaluateRoundTrip) {
   MappingService svc;
   const JsonValue v = JsonValue::parse(svc.handle_line(line_pipeline(21)));

@@ -70,6 +70,7 @@
 #include "omega/omega.hpp"
 #include "omega/pipeline.hpp"
 #include "service/server.hpp"
+#include "service/tcp.hpp"
 #include "util/format.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -188,27 +189,49 @@ constexpr CommandHelp kCommands[] = {
      "  --compose sequential|pipelined --pes N --scale X\n"},
     {"serve", "long-lived NDJSON mapping service",
      "usage: omega_cli serve [flags]\n"
-     "  NDJSON on stdin/stdout — one JSON request per line, a blank line\n"
-     "  (or EOF) flushes the batch. See DESIGN.md \"Mapping service\".\n"
+     "  Default: NDJSON on stdin/stdout — one JSON request per line, a\n"
+     "  blank line (or EOF) flushes the batch. --socket/--tcp serve the\n"
+     "  streaming transports instead: concurrent connections, responses\n"
+     "  stream per request in per-connection priority-band order, and a\n"
+     "  bounded priority/deadline scheduler sheds overload as structured\n"
+     "  {\"error\":{\"type\":\"overloaded\"}} responses. See DESIGN.md\n"
+     "  \"Serving core\".\n"
      "flags:\n"
      "  --registry N         workload registry capacity\n"
-     "  --threads N          worker threads (default hardware)\n"
-     "  --socket PATH        serve a Unix domain socket instead of stdio\n"
-     "  --max-connections N  stop after N socket connections (0 = forever)\n"
+     "  --shards N           registry partitions (consistent-hash router)\n"
+     "  --threads N          stdio batch worker threads (default hardware)\n"
+     "  --socket PATH        serve a Unix domain socket (streaming)\n"
+     "  --tcp PORT           serve TCP on --bind:PORT (streaming; port 0\n"
+     "                       picks a free port, printed on stderr)\n"
+     "  --bind ADDR          TCP bind address (default 127.0.0.1)\n"
+     "  --backlog N          listen() backlog (default 64)\n"
+     "  --queue N            scheduler admission queue depth (default 256)\n"
+     "  --sched-threads N    scheduler dispatch threads (default hardware)\n"
+     "  --min-deadline MS    shed requests whose deadline_ms is below MS\n"
+     "                       at admission (0 = disabled)\n"
+     "  --max-connections N  stop after N connections (0 = forever)\n"
      "  --trace PATH         write per-request spans (parse / registry /\n"
      "                       evaluate / serialize) as Chrome trace-event\n"
      "                       JSON when the service exits\n"},
     {"batch", "replay a request file through an in-process service",
-     "usage: omega_cli batch <file|-> [--registry N] [--threads N] "
-     "[--trace PATH]\n"},
-    {"client", "send requests to a running serve --socket daemon",
-     "usage: omega_cli client --socket PATH [file|-]\n"},
-    {"metrics", "fetch a metrics snapshot from a serve --socket daemon",
-     "usage: omega_cli metrics --socket PATH\n"
+     "usage: omega_cli batch <file|-> [--registry N] [--shards N] "
+     "[--threads N] [--trace PATH]\n"},
+    {"client", "send requests to a running serve daemon",
+     "usage: omega_cli client (--socket PATH | --connect HOST:PORT) "
+     "[file|-]\n"
+     "flags:\n"
+     "  --priority N     inject \"priority\":N into each request line\n"
+     "                   (0-7; requires v2 request lines)\n"
+     "  --deadline-ms N  inject \"deadline_ms\":N likewise\n"
+     "  Responses print as the daemon streams them: per-connection\n"
+     "  request order within a priority band.\n"},
+    {"metrics", "fetch a metrics snapshot from a serve daemon",
+     "usage: omega_cli metrics (--socket PATH | --connect HOST:PORT)\n"
      "  Sends {\"id\":1,\"version\":2,\"kind\":\"metrics\"} and prints the\n"
      "  response: service counters, latency histograms (p50/p90/p99),\n"
-     "  registry hit/miss/eviction counters, and eval-core counters. See\n"
-     "  DESIGN.md \"Observability\" for the metric namespace.\n"},
+     "  scheduler queue/shed counters, registry hit/miss/eviction\n"
+     "  counters, and eval-core counters. See DESIGN.md \"Observability\"\n"
+     "  for the metric namespace.\n"},
 };
 
 const CommandHelp* find_command(const std::string& name) {
@@ -996,122 +1019,234 @@ int cmd_run_model(int argc, char** argv) {
 
 // ---- Mapping service subcommands -------------------------------------------
 
-service::ServiceOptions parse_service_flags(int argc, char** argv, int first,
-                                            std::string* socket_path,
-                                            std::size_t* max_connections,
-                                            std::string* input_path,
-                                            std::string* trace_path = nullptr) {
-  service::ServiceOptions so;
+/// Everything the service/transport subcommands accept; which fields each
+/// command honors is controlled by the enable flags below.
+struct ServiceCliFlags {
+  service::ServiceOptions service;
+  service::ServeOptions serve;
+  std::string socket_path;
+  std::string connect;  // client side: HOST:PORT
+  bool tcp = false;
+  std::uint16_t tcp_port = 0;
+  std::string bind_addr = "127.0.0.1";
+  std::string input_path;
+  std::string trace_path;
+  std::uint64_t priority = 0;
+  std::uint64_t deadline_ms = 0;
+  bool inject_scheduling = false;
+};
+
+ServiceCliFlags parse_service_flags(int argc, char** argv, int first,
+                                    bool server_flags, bool client_flags,
+                                    bool with_input) {
+  ServiceCliFlags f;
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) throw InvalidArgumentError("missing value for " + a);
       return argv[++i];
     };
-    if (a == "--registry") {
-      so.registry_capacity = static_cast<std::size_t>(std::stoul(next()));
-    } else if (a == "--threads") {
-      so.threads = static_cast<std::size_t>(std::stoul(next()));
-    } else if (a == "--socket" && socket_path != nullptr) {
-      *socket_path = next();
-    } else if (a == "--max-connections" && max_connections != nullptr) {
-      *max_connections = static_cast<std::size_t>(std::stoul(next()));
-    } else if (a == "--trace" && trace_path != nullptr) {
-      *trace_path = next();
-    } else if (input_path != nullptr && !starts_with(a, "--")) {
-      *input_path = a;
+    if (a == "--registry" && server_flags) {
+      f.service.registry_capacity =
+          static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--shards" && server_flags) {
+      f.service.registry_shards = static_cast<std::size_t>(std::stoul(next()));
+      if (f.service.registry_shards == 0) {
+        throw InvalidArgumentError("--shards must be >= 1");
+      }
+    } else if (a == "--threads" && server_flags) {
+      f.service.threads = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--trace" && server_flags) {
+      f.trace_path = next();
+    } else if (a == "--socket") {
+      f.socket_path = next();
+    } else if (a == "--tcp" && server_flags) {
+      f.tcp = true;
+      f.tcp_port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (a == "--bind" && server_flags) {
+      f.bind_addr = next();
+    } else if (a == "--backlog" && server_flags) {
+      f.serve.backlog = static_cast<int>(std::stoul(next()));
+    } else if (a == "--queue" && server_flags) {
+      f.serve.queue_depth = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--sched-threads" && server_flags) {
+      f.serve.scheduler_threads =
+          static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--min-deadline" && server_flags) {
+      f.serve.min_feasible_deadline_ms = std::stoull(next());
+    } else if (a == "--max-connections" && server_flags) {
+      f.serve.max_connections = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--connect" && client_flags) {
+      f.connect = next();
+    } else if (a == "--priority" && client_flags) {
+      f.priority = std::stoull(next());
+      f.inject_scheduling = true;
+    } else if (a == "--deadline-ms" && client_flags) {
+      f.deadline_ms = std::stoull(next());
+      f.inject_scheduling = true;
+    } else if (with_input && !starts_with(a, "--")) {
+      f.input_path = a;
     } else {
       throw InvalidArgumentError("unknown flag: " + a);
     }
   }
-  return so;
+  return f;
+}
+
+/// Splits "HOST:PORT" (the port is the last ':' so IPv6-ish hosts keep
+/// working once resolution handles them).
+std::pair<std::string, std::uint16_t> parse_host_port(const std::string& s) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= s.size()) {
+    throw InvalidArgumentError("--connect wants HOST:PORT, got: " + s);
+  }
+  return {s.substr(0, colon),
+          static_cast<std::uint16_t>(std::stoul(s.substr(colon + 1)))};
+}
+
+/// Injects the client's --priority/--deadline-ms as leading members of a
+/// request object. The fields are v2 protocol additions, so the server
+/// rejects injected v1 lines with a structured error rather than silently
+/// ignoring the flags.
+std::string with_scheduling(const std::string& line, std::uint64_t priority,
+                            std::uint64_t deadline_ms) {
+  const std::string body = trim(line);
+  if (body.empty() || body.front() != '{') return line;
+  std::string inject = "\"priority\":" + std::to_string(priority);
+  if (deadline_ms > 0) {
+    inject += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
+  const bool empty_object = body.size() == 2;  // "{}"
+  return "{" + inject + (empty_object ? "" : ",") + body.substr(1);
+}
+
+std::string read_input_or_stdin(const std::string& input_path) {
+  if (input_path == "-" || input_path.empty()) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    return buf.str();
+  }
+  std::ifstream in(input_path);
+  if (!in) throw InvalidArgumentError("cannot open " + input_path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 int cmd_serve(int argc, char** argv) {
-  std::string socket_path;
-  std::string trace_path;
-  std::size_t max_connections = 0;
-  service::ServiceOptions so =
-      parse_service_flags(argc, argv, 2, &socket_path, &max_connections,
-                          nullptr, &trace_path);
+  ServiceCliFlags f = parse_service_flags(argc, argv, 2, /*server_flags=*/true,
+                                          /*client_flags=*/false,
+                                          /*with_input=*/false);
+  if (f.tcp && !f.socket_path.empty()) {
+    throw InvalidArgumentError("--tcp and --socket are exclusive");
+  }
   obs::TraceCollector tc;
-  if (!trace_path.empty()) so.trace = &tc;
-  service::MappingService svc(so);
+  if (!f.trace_path.empty()) f.service.trace = &tc;
+  service::MappingService svc(f.service);
   int rc = 0;
-  if (!socket_path.empty()) {
-    std::cerr << "mapping service listening on " << socket_path << "\n";
-    rc = service::serve_unix_socket(svc, socket_path, max_connections);
+  if (f.tcp) {
+    service::Listener listener =
+        service::Listener::tcp(f.bind_addr, f.tcp_port, f.serve.backlog);
+    // The resolved port matters when --tcp 0 asked for an ephemeral one.
+    std::cerr << "mapping service listening on " << f.bind_addr << ":"
+              << listener.port() << "\n";
+    rc = service::serve_on(svc, listener, f.serve);
+  } else if (!f.socket_path.empty()) {
+    std::cerr << "mapping service listening on " << f.socket_path << "\n";
+    rc = service::serve_unix_socket(svc, f.socket_path, f.serve);
   } else {
     svc.serve(std::cin, std::cout);
   }
-  if (!trace_path.empty()) {
+  if (!f.trace_path.empty()) {
     tc.name_process(0, "omega.service");
-    tc.write_file(trace_path);
-    std::cerr << "(trace: " << trace_path << ", " << tc.size()
+    tc.write_file(f.trace_path);
+    std::cerr << "(trace: " << f.trace_path << ", " << tc.size()
               << " events)\n";
   }
   return rc;
 }
 
 int cmd_batch(int argc, char** argv) {
-  std::string input_path;
-  std::string trace_path;
-  service::ServiceOptions so =
-      parse_service_flags(argc, argv, 2, nullptr, nullptr, &input_path,
-                          &trace_path);
-  if (input_path.empty()) {
+  ServiceCliFlags f = parse_service_flags(argc, argv, 2, /*server_flags=*/true,
+                                          /*client_flags=*/false,
+                                          /*with_input=*/true);
+  if (f.input_path.empty()) {
     throw InvalidArgumentError("batch needs a request file (or '-')");
   }
   obs::TraceCollector tc;
-  if (!trace_path.empty()) so.trace = &tc;
-  service::MappingService svc(so);
-  if (input_path == "-") {
+  if (!f.trace_path.empty()) f.service.trace = &tc;
+  service::MappingService svc(f.service);
+  if (f.input_path == "-") {
     svc.serve(std::cin, std::cout);
   } else {
-    std::ifstream in(input_path);
-    if (!in) throw InvalidArgumentError("cannot open " + input_path);
+    std::ifstream in(f.input_path);
+    if (!in) throw InvalidArgumentError("cannot open " + f.input_path);
     svc.serve(in, std::cout);
   }
-  if (!trace_path.empty()) {
+  if (!f.trace_path.empty()) {
     tc.name_process(0, "omega.service");
-    tc.write_file(trace_path);
-    std::cerr << "(trace: " << trace_path << ", " << tc.size()
+    tc.write_file(f.trace_path);
+    std::cerr << "(trace: " << f.trace_path << ", " << tc.size()
               << " events)\n";
   }
   return 0;
 }
 
 int cmd_metrics(int argc, char** argv) {
-  std::string socket_path;
-  parse_service_flags(argc, argv, 2, &socket_path, nullptr, nullptr);
-  if (socket_path.empty()) {
-    throw InvalidArgumentError("metrics needs --socket PATH");
+  const ServiceCliFlags f =
+      parse_service_flags(argc, argv, 2, /*server_flags=*/false,
+                          /*client_flags=*/true, /*with_input=*/false);
+  const std::string request = "{\"id\":1,\"version\":2,\"kind\":\"metrics\"}\n";
+  if (!f.connect.empty()) {
+    const auto [host, port] = parse_host_port(f.connect);
+    std::cout << service::send_to_tcp(host, port, request);
+    return 0;
   }
-  std::cout << service::send_to_unix_socket(
-      socket_path, "{\"id\":1,\"version\":2,\"kind\":\"metrics\"}\n");
+  if (f.socket_path.empty()) {
+    throw InvalidArgumentError("metrics needs --socket PATH or "
+                               "--connect HOST:PORT");
+  }
+  std::cout << service::send_to_unix_socket(f.socket_path, request);
   return 0;
 }
 
 int cmd_client(int argc, char** argv) {
-  std::string socket_path;
-  std::string input_path = "-";
-  parse_service_flags(argc, argv, 2, &socket_path, nullptr, &input_path);
-  if (socket_path.empty()) {
-    throw InvalidArgumentError("client needs --socket PATH");
+  ServiceCliFlags f = parse_service_flags(argc, argv, 2, /*server_flags=*/false,
+                                          /*client_flags=*/true,
+                                          /*with_input=*/true);
+  if (f.connect.empty() == f.socket_path.empty()) {
+    throw InvalidArgumentError(
+        "client needs exactly one of --socket PATH or --connect HOST:PORT");
   }
-  std::string requests;
-  if (input_path == "-") {
-    std::ostringstream buf;
-    buf << std::cin.rdbuf();
-    requests = buf.str();
-  } else {
-    std::ifstream in(input_path);
-    if (!in) throw InvalidArgumentError("cannot open " + input_path);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    requests = buf.str();
+  std::string requests = read_input_or_stdin(f.input_path);
+  if (f.inject_scheduling) {
+    std::istringstream in(requests);
+    std::string rewritten;
+    std::string line;
+    while (std::getline(in, line)) {
+      rewritten += with_scheduling(line, f.priority, f.deadline_ms);
+      rewritten += '\n';
+    }
+    requests = std::move(rewritten);
   }
-  std::cout << service::send_to_unix_socket(socket_path, requests);
+  // Stream: send everything, half-close, then print responses as the
+  // daemon emits them (per-connection per-band request order).
+  service::StreamClient client =
+      f.connect.empty()
+          ? service::StreamClient::connect_unix(f.socket_path)
+          : [&] {
+              const auto [host, port] = parse_host_port(f.connect);
+              return service::StreamClient::connect_tcp(host, port);
+            }();
+  if (!requests.empty() && requests.back() != '\n') requests += '\n';
+  std::istringstream in(requests);
+  std::string line;
+  while (std::getline(in, line)) client.send_line(line);
+  client.shutdown_writes();
+  std::optional<std::string> response;
+  while ((response = client.read_line()).has_value()) {
+    std::cout << *response << '\n';
+  }
   return 0;
 }
 
